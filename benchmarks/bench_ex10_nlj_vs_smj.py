@@ -1,0 +1,48 @@
+"""Example 10: NLJ vs SMJ with a pre-sorted inner, under suspends.
+
+All of the paper's arithmetic is reproduced exactly: NLJ runs at 10,000
+I/Os vs SMJ's 10,100; a suspend at 80,000 buffered tuples costs NLJ
+~1,333 I/Os vs SMJ's worst-case 167; the crossover suspend point is
+16,020 tuples; and since the average suspend lands halfway through the
+90,000-tuple buffer, SMJ is the better plan when suspends are expected.
+"""
+
+import pytest
+
+from repro.harness.figures import ex10_rows
+from repro.harness.report import format_table
+from repro.planning.cost_model import Example10Scenario
+from repro.planning.planner import choose_plan_example10
+
+from benchmarks.conftest import once, record_result
+
+SUSPEND_POINTS = (0, 10_000, 16_020, 30_000, 45_000, 80_000)
+
+
+def compute():
+    return ex10_rows(SUSPEND_POINTS)
+
+
+def test_ex10_nlj_vs_smj(benchmark):
+    rows, crossover = once(benchmark, compute)
+    text = format_table(
+        rows,
+        title=(
+            "Example 10 - NLJ vs SMJ total I/O by suspend point "
+            "(|R|=300k, |S|=350k pre-sorted, sel=0.6)"
+        ),
+    )
+    text += f"\ncrossover suspend point: {crossover:.0f} tuples (paper: 16,020)"
+    record_result("ex10_nlj_vs_smj", text)
+
+    assert crossover == pytest.approx(16_020)
+    by_fill = {r["buffer_fill"]: r for r in rows}
+    assert by_fill[0]["winner"] == "NLJ"
+    assert by_fill[10_000]["winner"] == "NLJ"
+    assert by_fill[30_000]["winner"] == "SMJ"
+    assert by_fill[80_000]["nlj_total_io"] == pytest.approx(11_333, abs=1)
+    assert by_fill[80_000]["smj_total_io"] == 10_267
+    # Average suspend point (half the buffer) favors SMJ.
+    assert choose_plan_example10(
+        suspend_at_buffer_fill=Example10Scenario().nlj_buffer_tuples / 2
+    ).with_suspend == "SMJ"

@@ -1,0 +1,52 @@
+"""Figure 10: NLJ_S total-overhead surface over (suspend point x selectivity).
+
+The paper's surface plot: all-GoBack and all-DumpState total overhead as
+both the filter selectivity and the suspend point (fraction of the outer
+buffer filled) vary. Expected shape: increasing selectivity flips the
+preferred strategy; moving the suspend point deeper into the buffer
+amplifies whichever difference exists.
+"""
+
+import pytest
+
+from repro.harness.figures import fig10_rows
+from repro.harness.report import format_table
+
+from benchmarks.conftest import once, record_result
+
+SCALE = 200
+SELECTIVITIES = (0.1, 0.28, 0.6, 1.0)
+FILL_FRACTIONS = (0.2, 0.5, 0.8)
+
+
+def surface():
+    return fig10_rows(SELECTIVITIES, FILL_FRACTIONS, scale=SCALE)
+
+
+def test_fig10_surface(benchmark):
+    rows = once(benchmark, surface)
+    text = format_table(
+        rows,
+        title=(
+            "Figure 10 - NLJ_S total overhead surface over "
+            "(selectivity x suspend point)"
+        ),
+    )
+    record_result("fig10_surface", text)
+
+    cell = {(r["selectivity"], r["buffer_filled"]): r for r in rows}
+    # Strategy preference flips along the selectivity axis.
+    assert cell[(0.1, "80%")]["winner"] == "dump"
+    assert cell[(1.0, "80%")]["winner"] == "goback"
+    # Deeper suspend points amplify the difference at fixed selectivity.
+    for sel in (0.1, 1.0):
+        shallow = cell[(sel, "20%")]
+        deep = cell[(sel, "80%")]
+        gap_shallow = abs(shallow["all_dump"] - shallow["all_goback"])
+        gap_deep = abs(deep["all_dump"] - deep["all_goback"])
+        assert gap_deep >= gap_shallow
+    # Overhead is monotone in the suspend point for each strategy.
+    for sel in SELECTIVITIES:
+        for strat in ("all_dump", "all_goback"):
+            series = [cell[(sel, f)][strat] for f in ("20%", "50%", "80%")]
+            assert series == sorted(series)

@@ -1,0 +1,59 @@
+"""Figures 11 and 13: the 10-operator complex plan.
+
+Figure 11: the suspend plan the online optimizer chooses — a *hybrid*
+(some operators dump, others go back), neither purist extreme.
+
+Figure 13: total overhead and suspend-time overhead of the online plan
+vs all-GoBack and all-DumpState. Expected shape: the hybrid beats both
+on total overhead while keeping suspend time well below all-DumpState.
+"""
+
+import pytest
+
+from repro.core.strategies import Strategy
+from repro.harness.figures import fig13_results
+from repro.harness.report import format_table
+
+from benchmarks.conftest import once, record_result
+
+SCALE = 100
+
+
+def run_experiment():
+    return fig13_results(scale=SCALE)
+
+
+def test_fig13_complex_plan(benchmark):
+    results, names = once(benchmark, run_experiment)
+    rows = [
+        {
+            "strategy": s,
+            "total_overhead": round(r.total_overhead, 1),
+            "suspend_time": round(r.suspend_cost, 1),
+            "resume_time": round(r.resume_cost, 1),
+        }
+        for s, r in results.items()
+    ]
+    text = format_table(
+        rows,
+        title=(
+            "Figure 13 - complex 10-operator plan, suspend at 85% of the "
+            "top NLJ buffer (filter selectivity 0.1)"
+        ),
+    )
+    lp_plan = results["lp"].suspend_plan
+    text += "\n\nFigure 11 - the hybrid suspend plan chosen online:\n"
+    text += lp_plan.describe(names)
+    record_result("fig13_complex_plan", text)
+
+    lp = results["lp"]
+    dump = results["all_dump"]
+    goback = results["all_goback"]
+    # The hybrid strictly beats both purist plans on total overhead.
+    assert lp.total_overhead < dump.total_overhead
+    assert lp.total_overhead < goback.total_overhead
+    # And stays well below all-DumpState at suspend time.
+    assert lp.suspend_cost < dump.suspend_cost
+    # The chosen plan is genuinely hybrid.
+    strategies = {d.strategy for d in lp_plan.decisions.values()}
+    assert strategies == {Strategy.DUMP, Strategy.GOBACK}

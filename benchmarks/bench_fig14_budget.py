@@ -1,0 +1,49 @@
+"""Figure 14: total and suspend overhead vs the suspend budget.
+
+Paper setup: a left-deep plan with 3 block NLJs of different outer buffer
+sizes over a selectivity-0.1 filter. As the allowed suspend budget grows,
+the optimizer moves from all-GoBack (cheap suspend, expensive resume)
+through mixed plans to the unconstrained optimum: total overhead falls,
+suspend-time overhead rises until it flattens at the optimum.
+"""
+
+import math
+
+import pytest
+
+from repro.harness.figures import fig14_rows
+from repro.harness.report import format_table
+
+from benchmarks.conftest import once, record_result
+
+SCALE = 100
+BUDGETS = (1.0, 10.0, 25.0, 60.0, 120.0, 250.0, math.inf)
+
+
+def sweep():
+    return fig14_rows(BUDGETS, scale=SCALE)
+
+
+def test_fig14_budget_sweep(benchmark):
+    rows = once(benchmark, sweep)
+    text = format_table(
+        rows,
+        title=(
+            "Figure 14 - left-deep 3-NLJ plan: overhead vs suspend budget "
+            "(suspend at 85% of the top buffer)"
+        ),
+    )
+    record_result("fig14_budget", text)
+
+    numeric = [r for r in rows if r["total_overhead"] != "infeasible"]
+    assert len(numeric) >= 4
+    overheads = [r["total_overhead"] for r in numeric]
+    suspends = [r["suspend_time"] for r in numeric]
+    # Total overhead is non-increasing as the budget grows.
+    assert all(a >= b - 1e-6 for a, b in zip(overheads, overheads[1:]))
+    # The loosest budget strictly improves on the tightest.
+    assert overheads[-1] < overheads[0]
+    # Suspend time grows toward the unconstrained optimum, then flattens.
+    assert suspends[-1] >= suspends[0]
+    # The last two budgets coincide (optimum reached).
+    assert overheads[-1] == pytest.approx(overheads[-2], abs=1.0)

@@ -1,0 +1,43 @@
+"""Figure 15 / Example 9: HHJ vs SMJ, with and without suspends.
+
+The Section 7 analytical study: for R(2.2M) |x| S(250k) with a 0.1-
+selectivity filter on R and 150k tuples of memory, hybrid hash join beats
+sort-merge join when no suspend occurs — but a suspend during the last
+phase of the join is catastrophic for HHJ (its in-memory build partitions
+have no materialization point), flipping the choice to SMJ.
+"""
+
+import pytest
+
+from repro.harness.figures import fig15_rows
+from repro.harness.report import format_table
+
+from benchmarks.conftest import once, record_result
+
+
+def compute():
+    return fig15_rows()
+
+
+def test_fig15_hhj_vs_smj(benchmark):
+    rows, choice = once(benchmark, compute)
+    text = format_table(
+        rows,
+        title=(
+            "Figure 15 / Example 9 - HHJ vs SMJ disk I/Os, with and "
+            "without a suspend during the last join phase "
+            "(|R|=2.2M, |S|=250k, sel=0.1, memory=150k tuples)"
+        ),
+    )
+    text += (
+        f"\noptimizer choice without suspends: {choice.without_suspend}"
+        f"\noptimizer choice expecting a suspend: {choice.with_suspend}"
+    )
+    record_result("fig15_plan_ahead", text)
+
+    by_plan = {r["plan"]: r for r in rows}
+    assert by_plan["HHJ"]["io_no_suspend"] < by_plan["SMJ"]["io_no_suspend"]
+    assert (
+        by_plan["SMJ"]["io_with_suspend"] < by_plan["HHJ"]["io_with_suspend"]
+    )
+    assert choice.flipped

@@ -1,0 +1,71 @@
+"""Figure 8: NLJ_S — overhead vs filter selectivity for the three plans.
+
+Paper setup: the NLJ_S plan (Figure 6), suspend halfway through filling
+the NLJ outer buffer, filter selectivity swept. Expected shape (all
+reproduced here):
+
+- all-DumpState total overhead is flat in selectivity;
+- all-GoBack total overhead falls as ~1/selectivity (the recomputation
+  cost of the buffer);
+- they cross near selectivity 0.28 (the write/read cost ratio);
+- the online LP strategy always matches the better of the two;
+- all-GoBack suspend *time* is near zero everywhere, all-DumpState's is
+  large — the reason GoBack exists at all.
+"""
+
+import pytest
+
+from repro.harness.figures import fig8_rows
+from repro.harness.report import format_table
+
+from benchmarks.conftest import once, record_result
+
+SCALE = 100
+SELECTIVITIES = (0.05, 0.1, 0.2, 0.28, 0.4, 0.6, 0.8, 1.0)
+
+
+def sweep():
+    return fig8_rows(SELECTIVITIES, scale=SCALE)
+
+
+def test_fig8_selectivity_sweep(benchmark):
+    rows = once(benchmark, sweep)
+    text = format_table(
+        rows,
+        title=(
+            "Figure 8 - NLJ_S total overhead & suspend time vs filter "
+            "selectivity (suspend at 50% of outer buffer)"
+        ),
+    )
+    record_result("fig8_selectivity", text)
+
+    by_sel = {r["selectivity"]: r for r in rows}
+    # DumpState wins at low selectivity, GoBack at high selectivity.
+    assert (
+        by_sel[0.05]["all_dump_overhead"]
+        < by_sel[0.05]["all_goback_overhead"]
+    )
+    assert (
+        by_sel[1.0]["all_goback_overhead"] < by_sel[1.0]["all_dump_overhead"]
+    )
+    # Crossover falls between 0.2 and 0.6 (paper: ~0.28 on PREDATOR).
+    crossed = [
+        sel
+        for sel in SELECTIVITIES
+        if by_sel[sel]["all_goback_overhead"]
+        <= by_sel[sel]["all_dump_overhead"]
+    ]
+    assert crossed and 0.2 <= min(crossed) <= 0.6
+    # LP tracks the minimum everywhere.
+    for sel in SELECTIVITIES:
+        best = min(
+            by_sel[sel]["all_dump_overhead"],
+            by_sel[sel]["all_goback_overhead"],
+        )
+        assert by_sel[sel]["lp_overhead"] <= best + 1.0
+    # GoBack suspend time is far below DumpState's at every point.
+    for sel in SELECTIVITIES:
+        assert (
+            by_sel[sel]["all_goback_suspend"]
+            < by_sel[sel]["all_dump_suspend"] / 3
+        )

@@ -1,0 +1,53 @@
+"""Figure 9: SMJ_S — overhead vs suspend point (% of sort buffer filled).
+
+Paper setup: the SMJ_S plan (Figure 7), selectivity fixed at 0.5, the
+suspend point swept across the fill fraction of the left sort's buffer.
+Expected shape: whichever strategy wins at this selectivity keeps winning
+at every suspend point, and the gap between the strategies widens as the
+suspend point moves toward a full buffer (more state in memory). The LP
+strategy always picks the winner.
+"""
+
+import pytest
+
+from repro.harness.figures import fig9_rows
+from repro.harness.report import format_table
+
+from benchmarks.conftest import once, record_result
+
+SCALE = 100
+FILL_FRACTIONS = (0.1, 0.25, 0.5, 0.75, 0.95)
+
+
+def sweep():
+    return fig9_rows(FILL_FRACTIONS, scale=SCALE)
+
+
+def test_fig9_suspend_point_sweep(benchmark):
+    rows = once(benchmark, sweep)
+    text = format_table(
+        rows,
+        title=(
+            "Figure 9 - SMJ_S overhead vs suspend point "
+            "(selectivity 0.5, suspend during first sort-buffer fill)"
+        ),
+    )
+    record_result("fig9_suspend_point", text)
+
+    gaps = [
+        abs(r["all_dump_overhead"] - r["all_goback_overhead"]) for r in rows
+    ]
+    # The strategy gap widens with the suspend point.
+    assert gaps[-1] > gaps[0]
+    # The same strategy wins at every suspend point at this selectivity.
+    winners = {
+        "goback"
+        if r["all_goback_overhead"] <= r["all_dump_overhead"]
+        else "dump"
+        for r in rows
+    }
+    assert len(winners) == 1
+    # LP tracks the winner.
+    for r in rows:
+        best = min(r["all_dump_overhead"], r["all_goback_overhead"])
+        assert r["lp_overhead"] <= best + 1.0

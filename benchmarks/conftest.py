@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+(Section 6) or analytical study (Section 7): it computes the same
+rows/series the paper reports, prints them, and records them under
+``benchmarks/results/`` so EXPERIMENTS.md can cite the measured values.
+
+The pytest-benchmark timings attached to each experiment measure the
+simulation work itself (useful for tracking regressions in the engine),
+not the paper's metric — the paper's metrics are the *simulated* costs
+inside the printed tables.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_result(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n{text}\n[saved to {path}]")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, iterations=1, rounds=1)

@@ -1,0 +1,11 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+``pip install -e . --no-build-isolation`` needs ``wheel`` for PEP 660
+editable installs; this shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (and plain ``python setup.py develop``) work in the
+offline test environment. Configuration lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

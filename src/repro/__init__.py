@@ -1,0 +1,52 @@
+"""Reproduction of "Query Suspend and Resume" (SIGMOD 2007).
+
+This package implements, from scratch, the paper's full system:
+
+- a simulated storage manager with deterministic I/O cost accounting
+  (:mod:`repro.storage`),
+- an iterator-based relational query engine with the extended iterator
+  interface of the paper (``SignContract`` / ``Suspend`` / ``Suspend(Ctr)`` /
+  ``Resume``) and all the physical operators of Section 4
+  (:mod:`repro.engine`),
+- the paper's core contribution: asynchronous semantics-driven
+  checkpointing, contracts, the contract graph, the DumpState / GoBack
+  suspend strategies, and the mixed-integer-programming suspend-plan
+  optimizer (:mod:`repro.core`),
+- the Section 7 suspend-aware analytical planner (:mod:`repro.planning`),
+- the paper's workloads and an experiment harness regenerating every table
+  and figure of the evaluation (:mod:`repro.workloads`, :mod:`repro.harness`).
+
+Quickstart::
+
+    from repro import QuerySession
+    from repro.workloads import build_nlj_s
+
+    db, plan = build_nlj_s(selectivity=0.5)
+    session = QuerySession(db, plan)
+    result = session.execute(suspend_when=lambda stats: stats.root_rows >= 100)
+    sq = session.suspend(strategy="lp")
+    resumed = QuerySession.resume(db, sq)
+    rest = resumed.execute()
+"""
+
+from repro.storage.database import Database
+from repro.storage.disk import IOCostModel, SimulatedDisk, VirtualClock
+from repro.core.lifecycle import ExecutionResult, QuerySession, QueryStatus
+from repro.core.strategies import Strategy, SuspendPlan
+from repro.core.suspended_query import SuspendedQuery
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "ExecutionResult",
+    "IOCostModel",
+    "QuerySession",
+    "QueryStatus",
+    "SimulatedDisk",
+    "Strategy",
+    "SuspendPlan",
+    "SuspendedQuery",
+    "VirtualClock",
+    "__version__",
+]

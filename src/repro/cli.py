@@ -1,0 +1,210 @@
+"""Command-line interface: run the paper's experiments and a demo.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli experiment fig8 [--scale 200]
+    python -m repro.cli experiment table2
+    python -m repro.cli demo [--rows 20]
+
+Each experiment prints the same series its benchmark records; the demo
+walks one suspend/resume cycle end to end with the online optimizer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.harness import figures
+from repro.harness.report import format_table
+
+
+def _exp_table2(args) -> str:
+    rows = figures.table2_rows()
+    return format_table(
+        rows, title="Table 2 - optimizer time vs plan size"
+    )
+
+
+def _exp_fig2(args) -> str:
+    return (
+        "Figure 2 is a trace benchmark; run "
+        "`pytest benchmarks/bench_fig2_heap_state.py --benchmark-only`."
+    )
+
+
+def _exp_fig8(args) -> str:
+    rows = figures.fig8_rows(scale=args.scale)
+    return format_table(
+        rows, title="Figure 8 - NLJ_S overhead vs filter selectivity"
+    )
+
+
+def _exp_fig9(args) -> str:
+    rows = figures.fig9_rows(scale=args.scale)
+    return format_table(
+        rows, title="Figure 9 - SMJ_S overhead vs suspend point"
+    )
+
+
+def _exp_fig10(args) -> str:
+    rows = figures.fig10_rows(scale=max(args.scale, 200))
+    return format_table(
+        rows,
+        title="Figure 10 - NLJ_S overhead surface (selectivity x point)",
+    )
+
+
+def _exp_fig12(args) -> str:
+    scale_points = tuple(
+        p * 100 // args.scale for p in (4_000, 10_000, 16_000, 19_000, 23_000, 28_000)
+    )
+    rows = figures.fig12_rows(scale_points, scale=args.scale)
+    return format_table(
+        rows, title="Figure 12 - online vs static optimizer (skewed data)"
+    )
+
+
+def _exp_fig13(args) -> str:
+    results, names = figures.fig13_results(scale=args.scale)
+    rows = [
+        {
+            "strategy": s,
+            "total_overhead": round(r.total_overhead, 1),
+            "suspend_time": round(r.suspend_cost, 1),
+        }
+        for s, r in results.items()
+    ]
+    text = format_table(rows, title="Figure 13 - complex 10-operator plan")
+    text += "\n\nFigure 11 - suspend plan chosen online:\n"
+    text += results["lp"].suspend_plan.describe(names)
+    return text
+
+
+def _exp_fig14(args) -> str:
+    rows = figures.fig14_rows(scale=args.scale)
+    return format_table(
+        rows, title="Figure 14 - overhead vs suspend budget"
+    )
+
+
+def _exp_fig15(args) -> str:
+    rows, choice = figures.fig15_rows()
+    text = format_table(rows, title="Figure 15 / Example 9 - HHJ vs SMJ")
+    text += (
+        f"\nchoice without suspends: {choice.without_suspend}; "
+        f"expecting a suspend: {choice.with_suspend}"
+    )
+    return text
+
+
+def _exp_ex10(args) -> str:
+    rows, crossover = figures.ex10_rows()
+    text = format_table(rows, title="Example 10 - NLJ vs SMJ")
+    text += f"\ncrossover suspend point: {crossover:.0f} tuples"
+    return text
+
+
+EXPERIMENTS = {
+    "table2": _exp_table2,
+    "fig2": _exp_fig2,
+    "fig8": _exp_fig8,
+    "fig9": _exp_fig9,
+    "fig10": _exp_fig10,
+    "fig12": _exp_fig12,
+    "fig13": _exp_fig13,
+    "fig14": _exp_fig14,
+    "fig15": _exp_fig15,
+    "ex10": _exp_ex10,
+}
+
+
+def run_demo(rows_before_suspend: int = 20) -> str:
+    """One suspend/resume cycle on a small join, narrated."""
+    from repro import Database, QuerySession
+    from repro.engine.plan import FilterSpec, NLJSpec, ScanSpec
+    from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
+    from repro.relational.expressions import EquiJoinCondition, UniformSelect
+
+    db = Database()
+    db.create_table("R", BASE_SCHEMA, generate_uniform_table(2_000, seed=1))
+    db.create_table("S", BASE_SCHEMA, generate_uniform_table(400, seed=2))
+    plan = NLJSpec(
+        outer=FilterSpec(
+            ScanSpec("R", label="scan_R"), UniformSelect(1, 0.5), label="filter"
+        ),
+        inner=ScanSpec("S", label="scan_S"),
+        condition=EquiJoinCondition(0, 0, modulus=100),
+        buffer_tuples=300,
+        label="join",
+    )
+    lines = []
+    session = QuerySession(db, plan)
+    first = session.execute(max_rows=rows_before_suspend)
+    lines.append(
+        f"executed: {len(first.rows)} rows in {first.elapsed:.1f} time units"
+    )
+    sq = session.suspend(strategy="lp")
+    lines.append(f"suspended in {session.last_suspend_cost:.1f} time units")
+    lines.append("suspend plan:")
+    lines.append(
+        sq.suspend_plan.describe(
+            {0: "join", 1: "filter", 2: "scan_R", 3: "scan_S"}
+        )
+    )
+    resumed = QuerySession.resume(db, sq)
+    lines.append(f"resumed in {resumed.last_resume_cost:.1f} time units")
+    rest = resumed.execute()
+    lines.append(
+        f"finished: {len(rest.rows)} more rows "
+        f"({len(first.rows) + len(rest.rows)} total)"
+    )
+    return "\n".join(lines)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Query Suspend and Resume (SIGMOD 2007) reproduction: run the "
+            "paper's experiments and demos."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    exp = sub.add_parser("experiment", help="run one paper experiment")
+    exp.add_argument("name", choices=sorted(EXPERIMENTS))
+    exp.add_argument(
+        "--scale",
+        type=int,
+        default=100,
+        help="data scale divisor vs the paper's sizes (default 100)",
+    )
+
+    demo = sub.add_parser("demo", help="one suspend/resume cycle, narrated")
+    demo.add_argument("--rows", type=int, default=20)
+    return parser
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        print("available experiments:")
+        for name in sorted(EXPERIMENTS):
+            print(f"  {name}")
+        return 0
+    if args.command == "experiment":
+        print(EXPERIMENTS[args.name](args))
+        return 0
+    if args.command == "demo":
+        print(run_demo(args.rows))
+        return 0
+    return 1  # pragma: no cover - argparse enforces choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

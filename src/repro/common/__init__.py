@@ -1,0 +1,22 @@
+"""Shared utilities: error types and deterministic pseudo-randomness."""
+
+from repro.common.errors import (
+    ContractError,
+    InvalidSuspendPlanError,
+    ReproError,
+    StorageError,
+    SuspendBudgetInfeasibleError,
+    SuspendRequested,
+)
+from repro.common.rng import hash_unit, stable_shuffle
+
+__all__ = [
+    "ContractError",
+    "InvalidSuspendPlanError",
+    "ReproError",
+    "StorageError",
+    "SuspendBudgetInfeasibleError",
+    "SuspendRequested",
+    "hash_unit",
+    "stable_shuffle",
+]

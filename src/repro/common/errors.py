@@ -1,0 +1,50 @@
+"""Exception hierarchy for the suspend/resume reproduction.
+
+``SuspendRequested`` is the Python analogue of the paper's *suspend
+exception* (Section 3.2): the DBMS raises it in the thread running the
+query, it unwinds to the executor at a safe point, and the query enters its
+suspend phase.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this package."""
+
+
+class StorageError(ReproError):
+    """Raised for invalid storage-layer operations (bad page, bad handle)."""
+
+
+class ContractError(ReproError):
+    """Raised when the checkpoint/contract protocol is violated.
+
+    Examples: enforcing a contract that was pruned from the contract graph,
+    or signing a contract against a checkpoint that no longer exists.
+    """
+
+
+class InvalidSuspendPlanError(ReproError):
+    """Raised when a suspend plan violates the validity constraints.
+
+    The constraints are the ones encoded in Equations (3)-(6) of the paper:
+    an operator goes back to at most one ancestor, a child may only go back
+    to an ancestor its parent also goes back to, and an operator whose
+    latest checkpoint postdates the contract target cannot dump state.
+    """
+
+
+class SuspendBudgetInfeasibleError(ReproError):
+    """Raised when no valid suspend plan fits within the suspend budget."""
+
+
+class SuspendRequested(ReproError):
+    """Control-flow exception: a suspend request fired at a safe point.
+
+    Operators poll the suspend controller at points where their in-memory
+    state is internally consistent; when a request is pending the controller
+    raises this exception, which unwinds to the executor.
+    """
+
+    def __init__(self, reason: str = "suspend requested"):
+        super().__init__(reason)
+        self.reason = reason

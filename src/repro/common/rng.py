@@ -1,0 +1,40 @@
+"""Deterministic pseudo-random helpers.
+
+Experiments must be bit-for-bit reproducible, so data generators avoid
+global random state. ``hash_unit`` maps an integer to a deterministic
+pseudo-uniform value in [0, 1); it is used to give every row a "uniform"
+attribute so that a predicate ``u < s`` has selectivity ~s without any
+stored random seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+# Knuth's multiplicative hash constant (golden-ratio derived).
+_KNUTH = 2654435761
+_MASK32 = 0xFFFFFFFF
+
+
+def hash_unit(i: int, salt: int = 0) -> float:
+    """Map integer ``i`` to a deterministic pseudo-uniform float in [0, 1).
+
+    The mapping mixes ``i`` with ``salt`` through two rounds of a
+    multiplicative hash so that consecutive integers do not produce
+    correlated outputs.
+    """
+    x = ((i + 1) * _KNUTH) & _MASK32
+    x ^= (salt * 0x9E3779B9) & _MASK32
+    x = (x * _KNUTH) & _MASK32
+    x ^= x >> 16
+    x = (x * 0x85EBCA6B) & _MASK32
+    x ^= x >> 13
+    return (x & _MASK32) / float(_MASK32 + 1)
+
+
+def stable_shuffle(items: list, seed: int) -> list:
+    """Return a deterministically shuffled copy of ``items``."""
+    rng = random.Random(seed)
+    out = list(items)
+    rng.shuffle(out)
+    return out

@@ -1,0 +1,278 @@
+"""The execute/suspend/resume query lifecycle (Section 2, Figure 3).
+
+:class:`QuerySession` drives one query through the lifecycle:
+
+- ``execute()`` pulls tuples from the root operator. A suspend condition
+  (armed via ``suspend_when`` or requested directly) raises the suspend
+  exception at the next safe point and leaves the session ready for the
+  suspend phase.
+- ``suspend()`` chooses a suspend plan (online LP by default), carries it
+  out via the recursive ``Suspend()``/``Suspend(Ctr)`` calls, writes the
+  SuspendedQuery structure to disk, and discards the in-memory plan.
+- ``QuerySession.resume(db, sq)`` reads the structure back, re-instantiates
+  the execution plan, and runs the recursive ``Resume()`` protocol; the
+  returned session continues exactly after the last tuple delivered.
+
+A suspend request arriving *during* resume follows the paper's rule:
+discard the half-resumed state and keep the old SuspendedQuery
+(:meth:`QuerySession.resume` is atomic from the caller's perspective).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Optional
+
+from repro.common.errors import ReproError, SuspendRequested
+from repro.core.optimizer import choose_suspend_plan
+from repro.core.static_optimizer import choose_static_plan
+from repro.core.strategies import SuspendPlan
+from repro.core.suspended_query import SuspendedQuery
+from repro.engine.config import EngineConfig
+from repro.engine.plan import PlanSpec, instantiate_plan
+from repro.engine.runtime import ResumeContext, Runtime, SuspendContext
+from repro.storage.database import Database
+
+
+class QueryStatus(Enum):
+    RUNNING = "running"
+    SUSPEND_PENDING = "suspend_pending"
+    SUSPENDED = "suspended"
+    COMPLETED = "completed"
+
+
+@dataclass
+class ExecutionResult:
+    """What one ``execute()`` call produced."""
+
+    status: QueryStatus
+    rows: list = field(default_factory=list)
+    #: Virtual time consumed by this execute call.
+    elapsed: float = 0.0
+
+
+class QuerySession:
+    """One query's journey through execute/suspend/resume."""
+
+    def __init__(
+        self,
+        db: Database,
+        plan_spec: PlanSpec,
+        config: Optional[EngineConfig] = None,
+    ):
+        self.db = db
+        self.plan_spec = plan_spec
+        self.config = config or EngineConfig()
+        self.runtime = Runtime(db, self.config)
+        self.root = instantiate_plan(plan_spec, self.runtime)
+        self.root.open()
+        self.status = QueryStatus.RUNNING
+        self.rows: list = []
+        self.last_suspend_cost = 0.0
+        self.last_resume_cost = 0.0
+        self.last_suspend_plan: Optional[SuspendPlan] = None
+
+    # ------------------------------------------------------------------
+    # Execute phase
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        max_rows: Optional[int] = None,
+        suspend_when: Optional[Callable[[Runtime], bool]] = None,
+        collect: bool = True,
+    ) -> ExecutionResult:
+        """Run until completion, ``max_rows`` outputs, or a suspend request.
+
+        ``suspend_when`` is a predicate over the runtime; when it first
+        holds at a safe point, execution stops with status
+        ``SUSPEND_PENDING`` and :meth:`suspend` may be called.
+        """
+        if self.status not in (QueryStatus.RUNNING, QueryStatus.SUSPEND_PENDING):
+            raise ReproError(f"cannot execute in status {self.status}")
+        if suspend_when is not None:
+            self.runtime.controller.arm(suspend_when)
+        produced: list = []
+        count = 0
+        start = self.db.now
+        try:
+            while True:
+                row = self.root.next()
+                if row is None:
+                    self.status = QueryStatus.COMPLETED
+                    break
+                count += 1
+                if collect:
+                    produced.append(row)
+                if max_rows is not None and count >= max_rows:
+                    break
+        except SuspendRequested:
+            self.status = QueryStatus.SUSPEND_PENDING
+        finally:
+            self.runtime.controller.disarm()
+        self.rows.extend(produced)
+        return ExecutionResult(
+            status=self.status, rows=produced, elapsed=self.db.now - start
+        )
+
+    # ------------------------------------------------------------------
+    # Suspend phase
+    # ------------------------------------------------------------------
+    def suspend(
+        self,
+        strategy: str = "lp",
+        budget: float = math.inf,
+        plan: Optional[SuspendPlan] = None,
+    ) -> SuspendedQuery:
+        """Carry out the suspend phase and return the SuspendedQuery.
+
+        ``strategy``: "lp" (online optimizer), "all_dump", "all_goback",
+        "static" (table-statistics baseline), or "exhaustive"; a
+        pre-built ``plan`` overrides it.
+        """
+        if self.status in (QueryStatus.SUSPENDED, QueryStatus.COMPLETED):
+            raise ReproError(f"cannot suspend in status {self.status}")
+        controller = self.runtime.controller
+        controller.suppress()
+        start = self.db.now
+        try:
+            if plan is None:
+                if strategy == "static":
+                    plan = choose_static_plan(self.runtime)
+                else:
+                    plan = choose_suspend_plan(
+                        self.runtime, strategy=strategy, budget=budget
+                    )
+            else:
+                # Caller-supplied plans are validated against the live
+                # topology and c_{i,j} restrictions before being trusted.
+                from repro.core.costs import build_cost_model
+                from repro.core.strategies import validate_suspend_plan
+
+                validate_suspend_plan(
+                    plan, build_cost_model(self.runtime).topology()
+                )
+            sq = SuspendedQuery(
+                plan_spec=self.plan_spec,
+                suspend_plan=plan,
+                root_rows_emitted=self.root.tuples_emitted,
+                suspended_at=self.db.now,
+            )
+            ctx = SuspendContext(plan=plan, sq=sq, runtime=self.runtime)
+            self.root.do_suspend(ctx)
+            # Write the SuspendedQuery structure itself to disk.
+            self.db.disk.write_control_bytes(
+                sq.nominal_bytes(bytes_per_row=200)
+            )
+        finally:
+            controller.unsuppress()
+        self.last_suspend_cost = self.db.now - start
+        self.last_suspend_plan = plan
+        # Release all memory resources: the operator tree is discarded.
+        self.root.close()
+        self.runtime.ops.clear()
+        self.runtime.ops_by_name.clear()
+        self.status = QueryStatus.SUSPENDED
+        return sq
+
+    # ------------------------------------------------------------------
+    # Resume phase
+    # ------------------------------------------------------------------
+    @classmethod
+    def resume(
+        cls,
+        db: Database,
+        sq: SuspendedQuery,
+        config: Optional[EngineConfig] = None,
+    ) -> "QuerySession":
+        """Reconstruct a session from a SuspendedQuery.
+
+        The resume phase reads the structure back from disk, recreates the
+        plan, and invokes ``Resume()`` on the root, which restores every
+        operator either from its dump or by rolling forward from its
+        checkpoint. The returned session's next output tuple is the one
+        immediately after the last delivered before suspension.
+        """
+        session = cls.__new__(cls)
+        session.db = db
+        session.plan_spec = sq.plan_spec
+        session.config = config or EngineConfig()
+        session.runtime = Runtime(db, session.config)
+        session.rows = []
+        session.last_suspend_cost = 0.0
+        session.last_suspend_plan = sq.suspend_plan
+
+        start = db.now
+        controller = session.runtime.controller
+        controller.suppress()
+        try:
+            if sq.migrated_payloads:
+                sq.import_payloads(db.state_store)
+            # Read the SuspendedQuery structure from disk.
+            db.disk.read_control_bytes(sq.nominal_bytes(bytes_per_row=200))
+            session.root = instantiate_plan(sq.plan_spec, session.runtime)
+            ctx = ResumeContext(sq=sq, runtime=session.runtime)
+            session.root.do_resume(ctx)
+        finally:
+            controller.unsuppress()
+        session.last_resume_cost = db.now - start
+        session.status = QueryStatus.RUNNING
+        return session
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    def op_named(self, name: str):
+        return self.runtime.op_named(name)
+
+    def operator_names(self) -> dict[int, str]:
+        return {op_id: op.name for op_id, op in self.runtime.ops.items()}
+
+    def memory_in_use(self) -> int:
+        """Bytes of operator heap state currently held (page-granular).
+
+        The paper's motivating resource: a suspended query must release
+        all of it. After :meth:`suspend` the operator tree is discarded
+        and this returns 0; the dumped state lives on (simulated) disk.
+        """
+        page_bytes = self.db.cost_model.page_bytes
+        return sum(
+            op.heap_pages() * page_bytes for op in self.runtime.ops.values()
+        )
+
+    def stats_rows(self) -> list[dict]:
+        """Per-operator runtime statistics (for monitoring/reports).
+
+        One row per operator: emitted tuple count, attributed work
+        (simulated time units), current heap size in tuples, and the
+        number of live checkpoints in the contract graph.
+        """
+        graph = self.runtime.graph
+        rows = []
+        for op_id in sorted(self.runtime.ops):
+            op = self.runtime.ops[op_id]
+            latest = graph.latest_checkpoint(op_id)
+            rows.append(
+                {
+                    "op": op.name,
+                    "type": type(op).__name__,
+                    "emitted": op.tuples_emitted,
+                    "work": round(op.work, 2),
+                    "heap_tuples": op.heap_tuples(),
+                    "checkpoints": len(graph.checkpoints_of(op_id)),
+                    "latest_ckpt_seq": latest.seq if latest else 0,
+                }
+            )
+        return rows
+
+    def describe_plan(self) -> str:
+        """Indented tree rendering of the live operator plan."""
+
+        def render(op, depth: int) -> list[str]:
+            lines = [f"{'  ' * depth}{op.name} ({type(op).__name__})"]
+            for child in op.children:
+                lines.extend(render(child, depth + 1))
+            return lines
+
+        return "\n".join(render(self.root, 0))

@@ -1,0 +1,288 @@
+"""Online suspend-plan optimization (Section 5).
+
+Builds the paper's mixed-integer program from the suspend-time cost model
+and solves it with :mod:`repro.core.mip`. Variables x_{i,j} (operator i
+goes back to the chain initiated by j ∈ anc(i)) map onto
+:class:`~repro.core.strategies.OpDecision`; constraints follow
+Equations (3)-(8):
+
+(3)  Σ_j x_{i,j} <= 1
+(4)  x_{i,j} <= x_{par(i),j}              for j ∈ anc(par(i))
+(5)  x_{i,i} <= 1 - Σ_j x_{par(i),j}
+(6)  x_{i,j} >= x_{par(i),j}  if c_{i,j}  for j ∈ anc(par(i))
+(7)  Σ_i [ d^s_i (1 - Σ_j x_{i,j}) + Σ_j g^s_{i,j} x_{i,j} ] <= C
+(8)  x_{i,j} ∈ {0, 1}
+
+The objective is the total suspend+resume overhead, Equations (1)+(2).
+
+``enumerate_valid_plans`` provides an exhaustive optimizer used to
+cross-validate the MIP on small plans and as the reference in property
+tests.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterator, Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.common.errors import SuspendBudgetInfeasibleError
+from repro.core.costs import SuspendCostModel, build_cost_model
+from repro.core.mip import solve_binary_program
+from repro.core.strategies import (
+    OpDecision,
+    Strategy,
+    SuspendPlan,
+    all_dump_plan,
+    all_goback_plan,
+    validate_suspend_plan,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.runtime import Runtime
+
+
+@dataclass
+class PlanCost:
+    """Estimated cost split of a suspend plan."""
+
+    suspend: float
+    resume: float
+
+    @property
+    def total(self) -> float:
+        return self.suspend + self.resume
+
+
+def estimate_plan_cost(plan: SuspendPlan, model: SuspendCostModel) -> PlanCost:
+    """Evaluate Equations (1)+(2) for a concrete plan."""
+    suspend = 0.0
+    resume = 0.0
+    for i in model.op_ids:
+        decision = plan.decision(i)
+        if decision.strategy is Strategy.DUMP:
+            suspend += model.d_s[i]
+            resume += model.d_r[i]
+        else:
+            j = decision.goback_anchor
+            suspend += model.g_s.get((i, j), 0.0)
+            resume += model.g_r.get((i, j), 0.0)
+    return PlanCost(suspend=suspend, resume=resume)
+
+
+def build_lp_plan(
+    model: SuspendCostModel, budget: float = math.inf
+) -> SuspendPlan:
+    """Solve the Section 5 MIP and decode the optimal suspend plan."""
+    pairs = sorted(model.links)
+    index = {pair: k for k, pair in enumerate(pairs)}
+    n = len(pairs)
+
+    # Objective: constant Σ(d_s + d_r) plus per-variable deltas.
+    c = np.zeros(n)
+    for (i, j), k in index.items():
+        c[k] = (
+            model.g_s[(i, j)]
+            + model.g_r[(i, j)]
+            - model.d_s[i]
+            - model.d_r[i]
+        )
+
+    # Constraints are built sparsely (COO triplets); plans of 100+
+    # operators have thousands of variables and dense rows dominate the
+    # optimizer's runtime otherwise.
+    coo_rows: list[int] = []
+    coo_cols: list[int] = []
+    coo_vals: list[float] = []
+    rhs: list[float] = []
+
+    def add_row(coeffs: dict[int, float], bound: float) -> None:
+        row_idx = len(rhs)
+        for k, v in coeffs.items():
+            coo_rows.append(row_idx)
+            coo_cols.append(k)
+            coo_vals.append(v)
+        rhs.append(bound)
+
+    for i in model.op_ids:
+        anchors = model.anchors_of(i)
+        # (3): at most one anchor.
+        if anchors:
+            add_row({index[(i, j)]: 1.0 for j in anchors}, 1.0)
+        parent = model.parent.get(i)
+        if parent is None:
+            continue
+        parent_anchors = set(model.anchors_of(parent))
+        for j in anchors:
+            if j == i:
+                # (5): own chain only under a dumping parent.
+                coeffs = {index[(i, i)]: 1.0}
+                for pj in parent_anchors:
+                    coeffs[index[(parent, pj)]] = 1.0
+                add_row(coeffs, 1.0)
+            else:
+                # (4): chain must pass through the parent.
+                if (parent, j) in index:
+                    add_row(
+                        {index[(i, j)]: 1.0, index[(parent, j)]: -1.0}, 0.0
+                    )
+                else:
+                    add_row({index[(i, j)]: 1.0}, 0.0)  # unreachable chain
+        # (6): forced propagation when dumping is invalid under chain j.
+        for pj in parent_anchors:
+            if pj == parent and parent == i:
+                continue
+            if (i, pj) in model.cannot_dump_under:
+                if (i, pj) in index:
+                    add_row(
+                        {
+                            index[(parent, pj)]: 1.0,
+                            index[(i, pj)]: -1.0,
+                        },
+                        0.0,
+                    )
+                else:
+                    # The operator can neither dump nor join chain pj:
+                    # the parent must not anchor there at all.
+                    add_row({index[(parent, pj)]: 1.0}, 0.0)
+
+    # (7): suspend budget.
+    if budget != math.inf:
+        coeffs = {}
+        for (i, j), k in index.items():
+            coeffs[k] = model.g_s[(i, j)] - model.d_s[i]
+        bound = budget - sum(model.d_s.values())
+        add_row(coeffs, bound)
+
+    a_ub = sparse.csr_matrix(
+        (coo_vals, (coo_rows, coo_cols)), shape=(len(rhs), n)
+    )
+    b_ub = np.array(rhs)
+    result = solve_binary_program(c, a_ub, b_ub)
+    if not result.feasible:
+        raise SuspendBudgetInfeasibleError(
+            f"no valid suspend plan fits within budget {budget}"
+        )
+
+    decisions: dict[int, OpDecision] = {}
+    for i in model.op_ids:
+        chosen = None
+        for j in model.anchors_of(i):
+            if result.x[index[(i, j)]] > 0.5:
+                chosen = j
+                break
+        if chosen is None:
+            decisions[i] = OpDecision.dump()
+        else:
+            decisions[i] = OpDecision.goback(chosen)
+    plan = SuspendPlan(decisions=decisions, source="lp")
+    validate_suspend_plan(plan, model.topology())
+    return plan
+
+
+def enumerate_valid_plans(model: SuspendCostModel) -> Iterator[SuspendPlan]:
+    """Yield every valid suspend plan (exponential; small plans only)."""
+    children_of: dict[Optional[int], list[int]] = {}
+    for i in model.op_ids:
+        children_of.setdefault(model.parent.get(i), []).append(i)
+    root = children_of[None][0]
+
+    def options(i: int, chain: Optional[int]) -> list[OpDecision]:
+        opts = []
+        if chain is None:
+            opts.append(OpDecision.dump())
+            if (i, i) in model.links:
+                opts.append(OpDecision.goback(i))
+        else:
+            if (i, chain) in model.links:
+                opts.append(OpDecision.goback(chain))
+            if (i, chain) not in model.cannot_dump_under:
+                opts.append(OpDecision.dump())
+        return opts
+
+    def assign(
+        todo: list[tuple[int, Optional[int]]], acc: dict[int, OpDecision]
+    ) -> Iterator[dict[int, OpDecision]]:
+        if not todo:
+            yield dict(acc)
+            return
+        (i, chain), rest = todo[0], todo[1:]
+        for decision in options(i, chain):
+            acc[i] = decision
+            child_chain = (
+                decision.goback_anchor
+                if decision.strategy is Strategy.GOBACK
+                else None
+            )
+            child_todo = [
+                (child, child_chain) for child in children_of.get(i, [])
+            ]
+            yield from assign(child_todo + rest, acc)
+            del acc[i]
+
+    for decisions in assign([(root, None)], {}):
+        if len(decisions) == len(model.op_ids):
+            plan = SuspendPlan(decisions=decisions, source="exhaustive")
+            validate_suspend_plan(plan, model.topology())
+            yield plan
+
+
+def exhaustive_best_plan(
+    model: SuspendCostModel, budget: float = math.inf
+) -> SuspendPlan:
+    """Brute-force optimum; reference implementation for tests."""
+    best = None
+    best_cost = math.inf
+    for plan in enumerate_valid_plans(model):
+        cost = estimate_plan_cost(plan, model)
+        if cost.suspend > budget + 1e-9:
+            continue
+        if cost.total < best_cost - 1e-12:
+            best_cost = cost.total
+            best = plan
+    if best is None:
+        raise SuspendBudgetInfeasibleError(
+            f"no valid suspend plan fits within budget {budget}"
+        )
+    return best
+
+
+def choose_suspend_plan(
+    runtime: "Runtime",
+    strategy: str = "lp",
+    budget: float = math.inf,
+    model: Optional[SuspendCostModel] = None,
+) -> SuspendPlan:
+    """Pick a suspend plan for the current runtime state.
+
+    ``strategy`` is one of:
+
+    - ``"lp"`` — the paper's online optimizer (MIP);
+    - ``"all_dump"`` / ``"all_goback"`` — the purist baselines;
+    - ``"exhaustive"`` — brute force (testing).
+    """
+    if model is None:
+        model = build_cost_model(runtime)
+    topo = model.topology()
+    if strategy == "lp":
+        return build_lp_plan(model, budget=budget)
+    if strategy == "dp":
+        from repro.core.tree_optimizer import build_dp_plan
+
+        if budget != math.inf:
+            # The DP cannot encode the global budget constraint.
+            return build_lp_plan(model, budget=budget)
+        return build_dp_plan(model)
+    if strategy == "exhaustive":
+        return exhaustive_best_plan(model, budget=budget)
+    if strategy == "all_dump":
+        plan = all_dump_plan(topo)
+    elif strategy == "all_goback":
+        plan = all_goback_plan(topo)
+    else:
+        raise ValueError(f"unknown suspend strategy {strategy!r}")
+    validate_suspend_plan(plan, topo)
+    return plan

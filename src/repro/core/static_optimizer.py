@@ -1,0 +1,98 @@
+"""The offline/static suspend-plan baseline of Figure 12.
+
+The paper contrasts its online optimizer — which uses exact runtime state
+at suspend time — with "an optimizer that uses offline statistics to make
+a strategy choice". The static optimizer here decides between the two
+purist plans (all-DumpState vs all-GoBack) from *table-level statistics
+only*: it estimates the recomputation cost of heap state from catalog
+selectivity estimates and compares it against the dump-and-reload cost,
+assuming buffers are half full on average (it cannot know the actual
+suspend point).
+
+On the skewed table of Figure 12 the table-level effective selectivity
+(~0.385) sits above the DumpState/GoBack crossover (~0.28), so the static
+optimizer always picks all-GoBack — even while execution is inside the
+low-selectivity region where all-DumpState is far cheaper. The online
+optimizer adapts; this one, by construction, cannot.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.strategies import SuspendPlan, all_dump_plan, all_goback_plan
+from repro.core.costs import build_cost_model
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.base import Operator
+    from repro.engine.runtime import Runtime
+
+
+def _subtree_selectivity(op: "Operator") -> float:
+    """Estimated selectivity of the subtree feeding an operator's heap.
+
+    Multiplies the catalog's table-level estimates for every filter on the
+    path down to the scans. Missing estimates default to 1.0.
+    """
+    from repro.engine.filter import Filter
+    from repro.engine.scan import TableScan
+
+    if isinstance(op, Filter):
+        label = getattr(op.predicate, "label", "predicate")
+        sel = 1.0
+        scan = _find_scan(op)
+        if scan is not None:
+            stats = op.rt.db.catalog.stats(scan.table.name)
+            sel = stats.selectivity_of(label, default=1.0)
+        return sel * _subtree_selectivity(op.children[0])
+    if not op.children:
+        return 1.0
+    return _subtree_selectivity(op.children[0])
+
+
+def _find_scan(op: "Operator"):
+    from repro.engine.scan import TableScan
+
+    if isinstance(op, TableScan):
+        return op
+    for child in op.children:
+        found = _find_scan(child)
+        if found is not None:
+            return found
+    return None
+
+
+def choose_static_plan(runtime: "Runtime") -> SuspendPlan:
+    """Pick all-DumpState or all-GoBack from table-level statistics."""
+    cost_model = runtime.disk.cost_model
+    read = cost_model.page_read_cost
+    write = cost_model.page_write_cost
+
+    dump_total = 0.0
+    goback_total = 0.0
+    any_stateful = False
+    for op in runtime.ops.values():
+        if not op.STATEFUL:
+            continue
+        any_stateful = True
+        buffer_capacity = getattr(op, "buffer_tuples", None)
+        expected_tuples = (
+            buffer_capacity / 2 if buffer_capacity else max(1, op.heap_tuples())
+        )
+        per_page = op.schema.tuples_per_page(cost_model.page_bytes)
+        expected_pages = max(1.0, expected_tuples / per_page)
+        # Dump: write at suspend, read at resume.
+        dump_total += expected_pages * (write + read)
+        # GoBack: re-read enough base pages to regenerate the heap state.
+        sel = _subtree_selectivity(op.children[0]) if op.children else 1.0
+        sel = max(sel, 1e-6)
+        goback_total += (expected_tuples / sel) / per_page * read
+
+    model = build_cost_model(runtime)
+    topo = model.topology()
+    if not any_stateful or goback_total <= dump_total:
+        plan = all_goback_plan(topo)
+    else:
+        plan = all_dump_plan(topo)
+    plan.source = "static"
+    return plan

@@ -1,0 +1,288 @@
+"""Suspend strategies and the suspend-plan space (Sections 3.2 and 5).
+
+A *suspend plan* assigns each operator either:
+
+- ``DUMP`` (the paper's DumpState): write heap state to disk now, plus the
+  control state needed to continue from the exact point; or
+- ``GOBACK`` with a *goback anchor* j: discard heap state and rely on the
+  contract chain originally initiated by operator j (an ancestor, or the
+  operator itself when it starts its own chain after a dumping parent).
+
+The MIP variables x_{i,j} of Section 5 map one-to-one onto
+``OpDecision(GOBACK, anchor=j)``; "all x of operator i are zero" maps onto
+``OpDecision(DUMP)``. ``validate_suspend_plan`` enforces the paper's
+Equations (3)-(6):
+
+(3) at most one anchor per operator;
+(4) a child may anchor at j only if its parent does;
+(5) an operator starts its own chain (anchor = itself) only if its parent
+    dumps (or it is the root);
+(6) when the parent anchors at j and the operator cannot dump under chain
+    j (the c_{i,j} runtime restriction), it must anchor at j too.
+
+Two additional structural rules are implied by the operator semantics and
+checked here as well: only *stateful* operators may start their own chain
+(footnote 2 of the paper), and stateless operators must propagate a
+parent's chain (they hold no heap state from which to regenerate output
+for the contract point, so c_{i,j} = 1 for them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Mapping, Optional
+
+from repro.common.errors import InvalidSuspendPlanError
+
+
+class Strategy(Enum):
+    """Per-operator suspend strategy."""
+
+    DUMP = "dump"
+    GOBACK = "goback"
+
+
+@dataclass(frozen=True)
+class OpDecision:
+    """The suspend decision for one operator.
+
+    ``goback_anchor`` is the op_id of the operator whose contract chain is
+    followed (Section 5's j index); it is required for GOBACK and must be
+    None for DUMP.
+
+    ``dump_children`` implements Section 3.4's *generalized suspend
+    plans*: a GoBack operator may choose DumpState with respect to
+    individual children — e.g. a merge join that goes back on its left
+    side while dumping its right-side value packet. The listed children
+    receive a plain ``Suspend()`` (their positions are kept) and the
+    operator dumps the corresponding heap fraction instead of
+    regenerating it. Only operators that support per-child handling
+    (currently merge join) honor the field.
+    """
+
+    strategy: Strategy
+    goback_anchor: Optional[int] = None
+    dump_children: tuple = ()
+
+    def __post_init__(self):
+        if self.strategy is Strategy.GOBACK and self.goback_anchor is None:
+            raise InvalidSuspendPlanError("GOBACK decision requires an anchor")
+        if self.strategy is Strategy.DUMP and self.goback_anchor is not None:
+            raise InvalidSuspendPlanError("DUMP decision cannot carry an anchor")
+        if self.strategy is Strategy.DUMP and self.dump_children:
+            raise InvalidSuspendPlanError(
+                "per-child dumps only modify a GOBACK decision"
+            )
+
+    @staticmethod
+    def dump() -> "OpDecision":
+        return OpDecision(Strategy.DUMP)
+
+    @staticmethod
+    def goback(anchor: int, dump_children: tuple = ()) -> "OpDecision":
+        return OpDecision(
+            Strategy.GOBACK,
+            goback_anchor=anchor,
+            dump_children=tuple(dump_children),
+        )
+
+
+@dataclass
+class SuspendPlan:
+    """A complete suspend plan: one decision per operator id."""
+
+    decisions: dict[int, OpDecision] = field(default_factory=dict)
+    #: Which optimizer produced it ("lp", "all_dump", "all_goback",
+    #: "static", ...) — reporting only.
+    source: str = "manual"
+
+    def decision(self, op_id: int) -> OpDecision:
+        if op_id not in self.decisions:
+            raise InvalidSuspendPlanError(f"no decision for operator {op_id}")
+        return self.decisions[op_id]
+
+    def is_all(self, strategy: Strategy) -> bool:
+        return all(d.strategy is strategy for d in self.decisions.values())
+
+    def describe(self, names: Optional[Mapping[int, str]] = None) -> str:
+        """Human-readable one-line-per-operator rendering (Figure 11)."""
+        lines = []
+        for op_id in sorted(self.decisions):
+            decision = self.decisions[op_id]
+            name = names[op_id] if names else f"op{op_id}"
+            if decision.strategy is Strategy.DUMP:
+                lines.append(f"{name}: DumpState")
+            else:
+                anchor = decision.goback_anchor
+                target = (
+                    "self"
+                    if anchor == op_id
+                    else (names[anchor] if names else f"op{anchor}")
+                )
+                lines.append(f"{name}: GoBack(to {target})")
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class PlanTopology:
+    """The tree facts the validity rules need, decoupled from operators.
+
+    ``parent`` maps op_id -> parent op_id (root absent); ``stateful`` and
+    ``has_checkpoint`` describe per-operator capabilities;
+    ``cannot_dump_under`` is the c_{i,j} relation: (i, j) present means
+    operator i cannot DumpState when its parent's chain anchors at j.
+    """
+
+    parent: Mapping[int, int]
+    stateful: Mapping[int, bool]
+    has_checkpoint: Mapping[int, bool]
+    cannot_dump_under: frozenset
+
+    def op_ids(self) -> list[int]:
+        ids = set(self.parent) | set(self.parent.values())
+        ids |= set(self.stateful)
+        return sorted(ids)
+
+    def root_id(self) -> int:
+        ids = set(self.stateful)
+        for op_id in self.parent:
+            ids.discard(op_id)
+        if len(ids) != 1:
+            raise InvalidSuspendPlanError(
+                f"topology does not have a unique root: {sorted(ids)}"
+            )
+        return next(iter(ids))
+
+    def ancestors_and_self(self, op_id: int) -> list[int]:
+        """anc(i) of the paper: i plus every proper ancestor, bottom-up."""
+        chain = [op_id]
+        current = op_id
+        while current in self.parent:
+            current = self.parent[current]
+            chain.append(current)
+        return chain
+
+    def height(self) -> int:
+        return max(
+            len(self.ancestors_and_self(op_id)) for op_id in self.op_ids()
+        )
+
+
+def validate_suspend_plan(plan: SuspendPlan, topo: PlanTopology) -> None:
+    """Raise :class:`InvalidSuspendPlanError` unless ``plan`` is valid."""
+    op_ids = topo.op_ids()
+    missing = [i for i in op_ids if i not in plan.decisions]
+    if missing:
+        raise InvalidSuspendPlanError(f"plan lacks decisions for {missing}")
+
+    for op_id in op_ids:
+        decision = plan.decision(op_id)
+        for child_id in decision.dump_children:
+            if topo.parent.get(child_id) != op_id:
+                raise InvalidSuspendPlanError(
+                    f"operator {op_id} lists {child_id} in dump_children "
+                    "but it is not one of its children"
+                )
+        parent_id = topo.parent.get(op_id)
+        parent_decision = plan.decision(parent_id) if parent_id is not None else None
+        # A child whose heap contribution the parent dumps receives a
+        # plain Suspend(): for validity purposes its parent "dumped".
+        if (
+            parent_decision is not None
+            and parent_decision.strategy is Strategy.GOBACK
+            and op_id in parent_decision.dump_children
+        ):
+            parent_decision = OpDecision.dump()
+
+        if decision.strategy is Strategy.GOBACK:
+            anchor = decision.goback_anchor
+            if anchor not in topo.ancestors_and_self(op_id):
+                raise InvalidSuspendPlanError(
+                    f"operator {op_id} anchors at {anchor}, which is not an "
+                    "ancestor of it"
+                )
+            if anchor == op_id:
+                # Rule (5) + footnote 2: own chains need a dumping parent
+                # (or root) and a stateful operator with a live checkpoint.
+                if not topo.stateful.get(op_id, False):
+                    raise InvalidSuspendPlanError(
+                        f"stateless operator {op_id} cannot start a GoBack chain"
+                    )
+                if not topo.has_checkpoint.get(op_id, False):
+                    raise InvalidSuspendPlanError(
+                        f"operator {op_id} has no checkpoint to go back to"
+                    )
+                if (
+                    parent_decision is not None
+                    and parent_decision.strategy is Strategy.GOBACK
+                ):
+                    raise InvalidSuspendPlanError(
+                        f"operator {op_id} starts its own chain although its "
+                        "parent goes back (violates Eq. 5)"
+                    )
+            else:
+                # Rule (4): the chain must pass through the parent.
+                if parent_decision is None:
+                    raise InvalidSuspendPlanError(
+                        f"root operator {op_id} cannot anchor at {anchor}"
+                    )
+                if (
+                    parent_decision.strategy is not Strategy.GOBACK
+                    or parent_decision.goback_anchor != anchor
+                ):
+                    raise InvalidSuspendPlanError(
+                        f"operator {op_id} anchors at {anchor} but its parent "
+                        f"decision is {parent_decision} (violates Eq. 4)"
+                    )
+        else:  # DUMP
+            # Rule (6): under a parent chain anchored at j, dumping is only
+            # allowed when (i, j) is not in the c restriction.
+            if (
+                parent_decision is not None
+                and parent_decision.strategy is Strategy.GOBACK
+            ):
+                j = parent_decision.goback_anchor
+                if (op_id, j) in topo.cannot_dump_under:
+                    raise InvalidSuspendPlanError(
+                        f"operator {op_id} dumps under chain {j} although "
+                        "c_{i,j}=1 forbids it (violates Eq. 6)"
+                    )
+
+
+def all_dump_plan(topo: PlanTopology) -> SuspendPlan:
+    """The paper's all-DumpState strawman plan."""
+    return SuspendPlan(
+        decisions={i: OpDecision.dump() for i in topo.op_ids()},
+        source="all_dump",
+    )
+
+
+def all_goback_plan(topo: PlanTopology) -> SuspendPlan:
+    """The paper's all-GoBack plan.
+
+    Every stateful operator whose parent dumps—or that is the root—starts
+    its own chain; everything beneath a chain propagates it; stateless
+    operators under a dumping parent dump (they have no heap state, so
+    "dump" is just recording control state).
+    """
+    decisions: dict[int, OpDecision] = {}
+
+    def assign(op_id: int, chain: Optional[int]) -> None:
+        if chain is not None:
+            decisions[op_id] = OpDecision.goback(chain)
+            child_chain = chain
+        elif topo.stateful.get(op_id, False) and topo.has_checkpoint.get(
+            op_id, False
+        ):
+            decisions[op_id] = OpDecision.goback(op_id)
+            child_chain = op_id
+        else:
+            decisions[op_id] = OpDecision.dump()
+            child_chain = None
+        for child_id, parent_id in topo.parent.items():
+            if parent_id == op_id:
+                assign(child_id, child_chain)
+
+    assign(topo.root_id(), None)
+    return SuspendPlan(decisions=decisions, source="all_goback")

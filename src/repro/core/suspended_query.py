@@ -1,0 +1,190 @@
+"""The SuspendedQuery data structure (Section 2).
+
+Populated during the suspend phase, written to (simulated) disk, and read
+back during the resume phase. It encapsulates everything needed to
+regenerate the query's execution state at the suspend point:
+
+- the execution plan (a picklable spec tree, re-instantiated at resume),
+- the suspend plan that was carried out,
+- one :class:`OpSuspendEntry` per operator, and
+- handles to any heap state dumped by DumpState operators.
+
+The structure is small apart from the dump handles (whose payloads were
+already charged as page I/O when dumped): writing it costs a few
+control-state pages, exactly as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.common.errors import StorageError
+from repro.core.checkpoint import control_state_bytes
+from repro.core.strategies import SuspendPlan
+from repro.storage.statefile import DumpHandle, StateStore
+
+#: Entry kinds. ``dump`` continues from the exact suspend point;
+#: ``dump_to_contract`` continues from an earlier contract point using the
+#: dumped (still-valid) heap state; ``goback`` rebuilds heap state by
+#: rolling forward from a checkpoint to the recorded target control state.
+KIND_DUMP = "dump"
+KIND_DUMP_TO_CONTRACT = "dump_to_contract"
+KIND_GOBACK = "goback"
+
+_VALID_KINDS = (KIND_DUMP, KIND_DUMP_TO_CONTRACT, KIND_GOBACK)
+
+
+@dataclass
+class OpSuspendEntry:
+    """Per-operator resume information.
+
+    Attributes:
+        op_id: the operator this entry belongs to.
+        kind: one of the module-level KIND_* constants.
+        target_control: the control state to restore/roll forward to. For
+            ``dump`` it is the state at the suspend point; for
+            ``dump_to_contract`` and ``goback`` under a chain it is the
+            contract's recorded control state.
+        ckpt_payload: for ``goback``: the fulfilling checkpoint's payload.
+        dump_handle: for dump kinds: handle to the dumped heap state.
+        current_control: for ``dump_to_contract``: the operator's control
+            state at the suspend point. The dumped heap reflects *current*
+            state while the output must restart from the contract point;
+            resume reconciles the two.
+        saved_rows: rows carried by a migrated contract (footnote 3),
+            returned first on resume before regular regeneration.
+    """
+
+    op_id: int
+    kind: str
+    target_control: dict
+    ckpt_payload: Optional[dict] = None
+    dump_handle: Optional[DumpHandle] = None
+    current_control: Optional[dict] = None
+    saved_rows: list = field(default_factory=list)
+
+    def __post_init__(self):
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(f"unknown suspend entry kind {self.kind!r}")
+
+    def nominal_bytes(self, bytes_per_row: int = 200) -> int:
+        total = 64 + control_state_bytes(self.target_control, bytes_per_row)
+        if self.ckpt_payload is not None:
+            total += control_state_bytes(self.ckpt_payload, bytes_per_row)
+        total += len(self.saved_rows) * bytes_per_row
+        return total
+
+
+@dataclass
+class SuspendedQuery:
+    """Everything needed to resume a suspended query."""
+
+    plan_spec: Any
+    suspend_plan: SuspendPlan
+    entries: dict[int, OpSuspendEntry] = field(default_factory=dict)
+    #: Output tuples the root had emitted before suspension (the client has
+    #: already received them; resume continues after them).
+    root_rows_emitted: int = 0
+    suspended_at: float = 0.0
+    #: Dump payloads exported for migration to a replica (see
+    #: :meth:`export_payloads`). Empty when resuming in place.
+    migrated_payloads: dict = field(default_factory=dict)
+
+    def entry(self, op_id: int) -> OpSuspendEntry:
+        if op_id not in self.entries:
+            raise StorageError(f"SuspendedQuery has no entry for op {op_id}")
+        return self.entries[op_id]
+
+    def add_entry(self, entry: OpSuspendEntry) -> None:
+        if entry.op_id in self.entries:
+            raise StorageError(
+                f"SuspendedQuery already has an entry for op {entry.op_id}"
+            )
+        self.entries[entry.op_id] = entry
+
+    def nominal_bytes(self, bytes_per_row: int = 200) -> int:
+        """Size of the structure itself (dumped heap state not included)."""
+        total = 256  # plans and header
+        total += sum(
+            e.nominal_bytes(bytes_per_row) for e in self.entries.values()
+        )
+        return total
+
+    # ------------------------------------------------------------------
+    # Migration support (the Grid scenario)
+    # ------------------------------------------------------------------
+    def export_payloads(self, store: StateStore) -> None:
+        """Copy every referenced stored payload into the structure itself.
+
+        Used when migrating to a replica DBMS whose state store does not
+        hold the dumps or the operators' disk-resident state (sorted
+        sublists, hash partitions). The paper notes that shipping state
+        over the network costs an order of magnitude more than local
+        dumps; the *receiving* side charges the transfer when importing.
+        """
+        payloads: dict = {}
+
+        def collect(obj):
+            for handle in _iter_handles(obj):
+                payloads[handle.key] = (store.peek(handle), handle.pages)
+
+        for entry in self.entries.values():
+            collect(entry.dump_handle)
+            collect(entry.target_control)
+            collect(entry.current_control)
+            collect(entry.ckpt_payload)
+        self.migrated_payloads = payloads
+
+    def import_payloads(self, store: StateStore) -> None:
+        """Re-home migrated payloads into ``store``, charging the writes,
+        and rewrite every handle in the structure to point at them."""
+        mapping: dict[str, DumpHandle] = {}
+
+        def rehome(handle: DumpHandle) -> DumpHandle:
+            if handle.key in mapping:
+                return mapping[handle.key]
+            if handle.key not in self.migrated_payloads:
+                raise StorageError(
+                    f"migrated SuspendedQuery lacks payload for handle "
+                    f"{handle.key!r}"
+                )
+            payload, pages = self.migrated_payloads[handle.key]
+            new = store.dump(store.fresh_key("migrated"), payload, pages)
+            mapping[handle.key] = new
+            return new
+
+        for entry in self.entries.values():
+            if entry.dump_handle is not None:
+                entry.dump_handle = rehome(entry.dump_handle)
+            entry.target_control = _map_handles(entry.target_control, rehome)
+            entry.current_control = _map_handles(
+                entry.current_control, rehome
+            )
+            entry.ckpt_payload = _map_handles(entry.ckpt_payload, rehome)
+        self.migrated_payloads = {}
+
+
+def _iter_handles(obj):
+    """Yield every DumpHandle nested anywhere inside ``obj``."""
+    if isinstance(obj, DumpHandle):
+        yield obj
+    elif isinstance(obj, dict):
+        for value in obj.values():
+            yield from _iter_handles(value)
+    elif isinstance(obj, (list, tuple)):
+        for value in obj:
+            yield from _iter_handles(value)
+
+
+def _map_handles(obj, fn):
+    """Return ``obj`` with every nested DumpHandle replaced by ``fn(h)``."""
+    if isinstance(obj, DumpHandle):
+        return fn(obj)
+    if isinstance(obj, dict):
+        return {k: _map_handles(v, fn) for k, v in obj.items()}
+    if isinstance(obj, list):
+        return [_map_handles(v, fn) for v in obj]
+    if isinstance(obj, tuple):
+        return tuple(_map_handles(v, fn) for v in obj)
+    return obj

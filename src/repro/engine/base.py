@@ -1,0 +1,553 @@
+"""Operator base class: the extended iterator interface of the paper.
+
+Beyond ``open``/``next``/``close``, every operator participates in the
+checkpoint/contract protocol of Section 3:
+
+- stateful operators call :meth:`make_checkpoint` at every
+  minimal-heap-state point (proactive checkpointing);
+- :meth:`sign_contract` implements ``SignContract(Ckpt)``: the child
+  records its control state in a new contract and either points it at its
+  latest proactive checkpoint (stateful) or creates a reactive checkpoint
+  (stateless, recursing into its own children);
+- :meth:`do_suspend` / :meth:`do_suspend_to` implement ``Suspend()`` /
+  ``Suspend(Ctr)``, carrying out the DumpState or GoBack strategy chosen
+  by the suspend plan and populating the SuspendedQuery structure;
+- :meth:`do_resume` implements ``Resume()``: children first, then either
+  reload dumped heap state or roll forward from the fulfilling checkpoint
+  to the recorded target, *skipping* regeneration work where the operator
+  semantics allow (Section 3.3).
+
+Subclasses distinguish *heap children* (whose tuples build the operator's
+heap state; their GoBack positions come from the fulfilling checkpoint's
+contracts) from *stream children* (consumed tuple-at-a-time after the heap
+is built, like block NLJ's inner; their positions are captured by nested
+contracts signed at contract-signing time).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
+
+from repro.common.errors import ContractError, ReproError
+from repro.core.checkpoint import Checkpoint, Contract, control_state_bytes
+from repro.core.strategies import Strategy
+from repro.core.suspended_query import (
+    KIND_DUMP,
+    KIND_DUMP_TO_CONTRACT,
+    KIND_GOBACK,
+    OpSuspendEntry,
+)
+from repro.engine.runtime import ResumeContext, Runtime, SuspendContext
+from repro.relational.schema import Schema
+from repro.storage.statefile import DumpHandle
+
+Row = tuple
+
+
+class Operator:
+    """Base physical operator. Subclasses implement the ``_``-hooks."""
+
+    #: Stateful operators hold heap state and checkpoint proactively at
+    #: minimal-heap-state points; stateless ones checkpoint reactively.
+    STATEFUL = False
+    #: Whether the operator supports rewind() (restart current output pass).
+    REWINDABLE = False
+
+    def __init__(
+        self,
+        op_id: int,
+        name: str,
+        children: Sequence["Operator"],
+        runtime: Runtime,
+        schema: Schema,
+    ):
+        self.op_id = op_id
+        self.name = name
+        self.children = list(children)
+        self.rt = runtime
+        self.schema = schema
+        self.parent: Optional["Operator"] = None
+        for child in self.children:
+            child.parent = self
+        self.tuples_emitted = 0
+        self.work = 0.0
+        self.is_open = False
+        #: Rows to return before regular production (saved by contract
+        #: migration, footnote 3 of the paper).
+        self._pending_rows: deque = deque()
+        runtime.register(self)
+
+    # ------------------------------------------------------------------
+    # Iterator interface
+    # ------------------------------------------------------------------
+    def open(self) -> None:
+        """Open children, initialize state, take the initial checkpoint."""
+        for child in self.children:
+            child.open()
+        self._do_open()
+        self.is_open = True
+        if self.STATEFUL:
+            # All stateful operators checkpoint just before execution
+            # starts (Example 8 / Figure 5 of the paper).
+            self.make_checkpoint()
+
+    def next(self) -> Optional[Row]:
+        """Return the next output row, or None when exhausted."""
+        self.rt.poll()
+        if self._pending_rows:
+            row = self._pending_rows.popleft()
+        else:
+            row = self._next()
+        if row is not None:
+            self.tuples_emitted += 1
+            self.charge_cpu(1)
+        return row
+
+    def close(self) -> None:
+        self._do_close()
+        self.is_open = False
+        for child in self.children:
+            child.close()
+
+    def rewind(self) -> None:
+        """Restart output from the beginning of the current pass.
+
+        Only rewindable operators (scans and stateless wrappers over
+        rewindable inputs, plus sort in its merge phase) support this; it
+        is how block NLJ re-reads its inner child each pass.
+        """
+        raise ReproError(f"operator {self.name} ({type(self).__name__}) "
+                         "does not support rewind()")
+
+    # Hooks ------------------------------------------------------------
+    def _do_open(self) -> None:
+        """Subclass initialization; children are already open."""
+
+    def _next(self) -> Optional[Row]:
+        raise NotImplementedError
+
+    def _do_close(self) -> None:
+        """Subclass cleanup; children are closed afterwards."""
+
+    # ------------------------------------------------------------------
+    # Work accounting
+    # ------------------------------------------------------------------
+    def charge_cpu(self, ntuples: int) -> None:
+        """Charge CPU work for processing ``ntuples`` to this operator."""
+        self.work += self.rt.disk.charge_cpu_tuples(ntuples)
+
+    @contextmanager
+    def attribute_work(self):
+        """Attribute the I/O charged inside the block to this operator.
+
+        Wrap only *direct* storage calls — never calls into children,
+        whose work is attributed to them by their own wrappers.
+        """
+        before = self.rt.disk.now
+        yield
+        self.work += self.rt.disk.now - before
+
+    # ------------------------------------------------------------------
+    # Heap/control state introspection (drives costs and dumps)
+    # ------------------------------------------------------------------
+    def heap_tuples(self) -> int:
+        """Number of tuples currently held in heap state."""
+        return 0
+
+    def heap_pages(self) -> int:
+        """Pages needed to dump the current heap state."""
+        return 0
+
+    def control_state(self) -> dict:
+        """Small picklable snapshot of the operator's control state."""
+        return {}
+
+    def _checkpoint_payload(self) -> dict:
+        """State stored in a checkpoint at the current point.
+
+        For stateful operators this is called only at minimal-heap-state
+        points, where it must capture what little state survives the
+        minimum (e.g. a sort's sublist handles). Empty by default.
+        """
+        return {}
+
+    def heap_children(self) -> list["Operator"]:
+        """Children whose output (re)builds this operator's heap state."""
+        return [c for c in self.children if c not in self.stream_children()]
+
+    def stream_children(self) -> list["Operator"]:
+        """Children consumed as a stream after heap state is built."""
+        return []
+
+    # ------------------------------------------------------------------
+    # Checkpointing and contracts (execute phase)
+    # ------------------------------------------------------------------
+    def make_checkpoint(self) -> Optional[Checkpoint]:
+        """Create a proactive checkpoint at a minimal-heap-state point.
+
+        Also signs contracts with every child (the paper: "whenever the
+        parent creates a checkpoint at time t, it has to establish
+        contracts with its children at t"), attempts contract migration,
+        prunes the contract graph, and checks the Theorem 1 bound.
+        """
+        if not self.rt.config.proactive_checkpointing:
+            ck = self.rt.graph.latest_checkpoint(self.op_id)
+            if ck is not None:
+                return None  # ablation mode: keep only the initial checkpoint
+        graph = self.rt.graph
+        ckpt = Checkpoint(
+            op_id=self.op_id,
+            seq=graph.next_seq(self.op_id),
+            payload=self._checkpoint_payload(),
+            work_at=self.work,
+            emitted_at=self.tuples_emitted,
+            reactive=not self.STATEFUL,
+            created_at=self.rt.disk.now,
+        )
+        graph.add_checkpoint(ckpt)
+        for child in self.children:
+            child.sign_contract(anchor_ckpt=ckpt)
+        if self.rt.config.contract_migration:
+            graph.migrate_contracts(
+                self.op_id,
+                ckpt,
+                self.tuples_emitted,
+                self.control_state(),
+                self.work,
+            )
+        graph.prune()
+        if self.rt.config.check_invariants:
+            graph.check_theorem1_bound(
+                num_operators=len(self.rt.ops), height=self.rt.plan_height()
+            )
+        return ckpt
+
+    def sign_contract(
+        self,
+        anchor_ckpt: Optional[Checkpoint] = None,
+        anchor_contract: Optional[Contract] = None,
+    ) -> Contract:
+        """Sign a contract: agree to regenerate output from this point on."""
+        graph = self.rt.graph
+        if self.STATEFUL:
+            fulfilling = graph.latest_checkpoint(self.op_id)
+            if fulfilling is None:
+                # Right after a resume the contract graph has not re-formed
+                # yet (Section 3.3: "the contract graph will be gradually
+                # reformed"). Until the next minimal-heap-state point, the
+                # operator bridges the gap with a reactive checkpoint that
+                # carries its full current state; its (large) payload is
+                # charged like a dump if a suspend plan ever goes back to
+                # it, so the cost accounting stays honest.
+                fulfilling = self._full_state_checkpoint()
+        else:
+            fulfilling = self._reactive_checkpoint()
+        contract = Contract(
+            parent_op_id=self.parent.op_id if self.parent else -1,
+            child_op_id=self.op_id,
+            control=self.control_state(),
+            child_ckpt_id=fulfilling.ckpt_id,
+            anchor_ckpt_id=anchor_ckpt.ckpt_id if anchor_ckpt else None,
+            anchor_contract_id=(
+                anchor_contract.contract_id if anchor_contract else None
+            ),
+            work_at_signing=self.work,
+            emitted_at_signing=self.tuples_emitted,
+            signed_at=self.rt.disk.now,
+        )
+        for child in self.stream_children():
+            contract.nested[child.op_id] = child.sign_contract(
+                anchor_contract=contract
+            )
+        graph.add_contract(contract)
+        return contract
+
+    def _full_state_checkpoint(self) -> Checkpoint:
+        """Reactive full-state checkpoint for a stateful operator.
+
+        Used only in the window between a resume and the operator's next
+        minimal-heap-state point. The payload carries the complete heap
+        and control state; GoBack resume restores it directly and rolls
+        forward from there.
+        """
+        graph = self.rt.graph
+        ckpt = Checkpoint(
+            op_id=self.op_id,
+            seq=graph.next_seq(self.op_id),
+            payload={
+                "__full_state__": True,
+                "heap": self._heap_state_payload(),
+                "control": self.control_state(),
+            },
+            work_at=self.work,
+            emitted_at=self.tuples_emitted,
+            reactive=True,
+            created_at=self.rt.disk.now,
+        )
+        graph.add_checkpoint(ckpt)
+        for child in self.children:
+            child.sign_contract(anchor_ckpt=ckpt)
+        return ckpt
+
+    def _reactive_checkpoint(self) -> Checkpoint:
+        """Reactive checkpoint for a stateless operator (Section 3.1)."""
+        graph = self.rt.graph
+        ckpt = Checkpoint(
+            op_id=self.op_id,
+            seq=graph.next_seq(self.op_id),
+            payload=self._checkpoint_payload(),
+            work_at=self.work,
+            emitted_at=self.tuples_emitted,
+            reactive=True,
+            created_at=self.rt.disk.now,
+        )
+        graph.add_checkpoint(ckpt)
+        for child in self.children:
+            child.sign_contract(anchor_ckpt=ckpt)
+        return ckpt
+
+    # ------------------------------------------------------------------
+    # Suspend phase
+    # ------------------------------------------------------------------
+    def do_suspend(self, ctx: SuspendContext) -> None:
+        """``Suspend()``: suspend so resume continues from this exact point."""
+        decision = ctx.plan.decision(self.op_id)
+        if decision.strategy is Strategy.DUMP or not self.STATEFUL:
+            self._suspend_as_dump(ctx)
+            return
+        if decision.goback_anchor != self.op_id:
+            raise ContractError(
+                f"operator {self.name} received Suspend() but its plan "
+                f"anchors at {decision.goback_anchor}"
+            )
+        ckpt = ctx.graph.latest_checkpoint(self.op_id)
+        if ckpt is None:
+            raise ContractError(
+                f"operator {self.name} has no checkpoint for GoBack"
+            )
+        self._add_goback_entry(ctx, target_control=self.control_state(),
+                               ckpt=ckpt, saved_rows=[])
+        self._suspend_children_for_goback(ctx, ckpt, enforced_contract=None)
+
+    def do_suspend_to(self, contract: Contract, ctx: SuspendContext) -> None:
+        """``Suspend(Ctr)``: suspend so resume continues from the contract."""
+        decision = ctx.plan.decision(self.op_id)
+        owes_nothing = (
+            self.tuples_emitted == contract.emitted_at_signing
+            and not contract.saved_rows
+        )
+        if decision.strategy is Strategy.DUMP:
+            if owes_nothing:
+                # No output produced since the contract was signed, so the
+                # current state already satisfies it: dump exactly as for a
+                # plain Suspend().
+                self._suspend_as_dump(ctx)
+                return
+            self._suspend_as_dump_to_contract(ctx, contract)
+            return
+        # GoBack: restore the fulfilling checkpoint and roll forward to the
+        # contract point on resume.
+        ckpt = ctx.graph.checkpoint(contract.child_ckpt_id)
+        self._add_goback_entry(
+            ctx,
+            target_control=dict(contract.control),
+            ckpt=ckpt,
+            saved_rows=list(contract.saved_rows),
+        )
+        self._suspend_children_for_goback(ctx, ckpt, enforced_contract=contract)
+
+    def _suspend_as_dump(self, ctx: SuspendContext) -> None:
+        handle = self._dump_heap_state(ctx)
+        entry = OpSuspendEntry(
+            op_id=self.op_id,
+            kind=KIND_DUMP,
+            target_control=self.control_state(),
+            dump_handle=handle,
+            saved_rows=list(self._pending_rows),
+        )
+        ctx.sq.add_entry(entry)
+        for child in self.children:
+            child.do_suspend(ctx)
+
+    def _suspend_as_dump_to_contract(
+        self, ctx: SuspendContext, contract: Contract
+    ) -> None:
+        handle = self._dump_heap_state(ctx)
+        entry = OpSuspendEntry(
+            op_id=self.op_id,
+            kind=KIND_DUMP_TO_CONTRACT,
+            target_control=dict(contract.control),
+            dump_handle=handle,
+            current_control=self.control_state(),
+            saved_rows=list(contract.saved_rows),
+        )
+        ctx.sq.add_entry(entry)
+        # Heap children have not moved since the contract was signed (the
+        # c_{i,j} restriction guarantees the same batch), so they suspend
+        # to their current positions; stream children are repositioned via
+        # the nested contracts captured at signing time.
+        for child in self.children:
+            if child in self.stream_children():
+                nested = contract.nested.get(child.op_id)
+                if nested is not None:
+                    child.do_suspend_to(nested, ctx)
+                else:
+                    child.do_suspend(ctx)
+            else:
+                child.do_suspend(ctx)
+
+    def _suspend_children_for_goback(
+        self,
+        ctx: SuspendContext,
+        ckpt: Checkpoint,
+        enforced_contract: Optional[Contract],
+    ) -> None:
+        """Propagate suspension below a GoBack operator.
+
+        Heap children suspend to the contracts established at the
+        fulfilling checkpoint (they must regenerate the heap state from
+        there). Stream children suspend to the nested contract captured
+        when ``enforced_contract`` was signed; when the GoBack anchors at
+        this operator itself (plain ``Suspend()``), the stream child's
+        current position is already the roll-forward target, so it is
+        given a contract signed on the spot.
+        """
+        stream = set(id(c) for c in self.stream_children())
+        for child in self.children:
+            if id(child) in stream:
+                if enforced_contract is None:
+                    fresh = child.sign_contract(anchor_ckpt=ckpt)
+                    child.do_suspend_to(fresh, ctx)
+                else:
+                    nested = enforced_contract.nested.get(child.op_id)
+                    if nested is None:
+                        # The contract was migrated to the checkpoint, so
+                        # the checkpoint's own contract has the position.
+                        nested = ctx.graph.contract_from(ckpt, child.op_id)
+                    child.do_suspend_to(nested, ctx)
+            else:
+                child_contract = ctx.graph.contract_from(ckpt, child.op_id)
+                child.do_suspend_to(child_contract, ctx)
+
+    def _add_goback_entry(
+        self,
+        ctx: SuspendContext,
+        target_control: dict,
+        ckpt: Checkpoint,
+        saved_rows: list,
+    ) -> None:
+        saved = list(saved_rows) + list(self._pending_rows)
+        entry = OpSuspendEntry(
+            op_id=self.op_id,
+            kind=KIND_GOBACK,
+            target_control=target_control,
+            ckpt_payload=dict(ckpt.payload),
+            saved_rows=saved,
+        )
+        ctx.sq.add_entry(entry)
+
+    def _dump_heap_state(self, ctx: SuspendContext) -> Optional[DumpHandle]:
+        """Write the heap state to the state store; None when empty."""
+        payload = self._heap_state_payload()
+        pages = self.heap_pages()
+        if payload is None and pages == 0:
+            return None
+        key = ctx.store.fresh_key(f"dump_{self.name}")
+        with self.attribute_work():
+            handle = ctx.store.dump(key, payload, pages)
+        return handle
+
+    def _heap_state_payload(self):
+        """The heap state object to dump; None for stateless operators."""
+        return None
+
+    # ------------------------------------------------------------------
+    # Resume phase
+    # ------------------------------------------------------------------
+    def do_resume(self, ctx: ResumeContext) -> None:
+        """``Resume()``: children first, then restore own state."""
+        for child in self.children:
+            child.do_resume(ctx)
+        self._do_open()
+        self.is_open = True
+        entry = ctx.sq.entry(self.op_id)
+        self._pending_rows = deque(entry.saved_rows)
+        if entry.kind in (KIND_DUMP, KIND_DUMP_TO_CONTRACT):
+            payload = None
+            if entry.dump_handle is not None:
+                with self.attribute_work():
+                    payload = ctx.store.load(entry.dump_handle)
+            self._resume_from_dump(entry, payload, ctx)
+        else:
+            self._resume_goback(entry, ctx)
+        # Output counting restarts at zero in the resumed process; only
+        # deltas matter from here on.
+
+    def _resume_from_dump(
+        self, entry: OpSuspendEntry, payload, ctx: ResumeContext
+    ) -> None:
+        """Restore heap state from ``payload`` and control from the entry.
+
+        Default implementation suits stateless operators (nothing to do).
+        """
+        if payload is not None:
+            raise NotImplementedError(
+                f"{type(self).__name__} dumped heap state but does not "
+                "implement _resume_from_dump"
+            )
+
+    def _resume_goback(self, entry: OpSuspendEntry, ctx: ResumeContext) -> None:
+        """Restore the checkpoint payload, then roll forward to the target."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not implement GoBack resume"
+        )
+
+    # ------------------------------------------------------------------
+    # Suspend-time cost estimation (Section 5 constants)
+    # ------------------------------------------------------------------
+    def estimate_dump_suspend_cost(self) -> float:
+        """d^s_i: cost of writing current heap + control state to disk.
+
+        Control state is aggregated into the single SuspendedQuery write,
+        so its per-operator share is byte-proportional, not a whole page.
+        """
+        disk = self.rt.disk
+        cost = disk.cost_of_page_writes(self.heap_pages())
+        nbytes = control_state_bytes(
+            self.control_state(), self.schema.bytes_per_tuple
+        )
+        cost += disk.cost_of_page_writes(nbytes / disk.cost_model.page_bytes)
+        return cost
+
+    def estimate_dump_resume_cost(self) -> float:
+        """d^r_i: cost of reading the dumped state back."""
+        disk = self.rt.disk
+        return disk.cost_of_page_reads(max(1, self.heap_pages()))
+
+    def estimate_goback_suspend_cost(self, link) -> float:
+        """g^s_{i,j}: usually negligible (control state only).
+
+        Like the control share of d^s, charged byte-proportionally since
+        all control state travels in one SuspendedQuery write. Saved rows
+        carried by a migrated contract are charged at tuple width via
+        ``control_state_bytes``.
+        """
+        disk = self.rt.disk
+        nbytes = control_state_bytes(
+            self.control_state(), self.schema.bytes_per_tuple
+        )
+        if link.ckpt_payload:
+            nbytes += control_state_bytes(
+                link.ckpt_payload, self.schema.bytes_per_tuple
+            )
+        return disk.cost_of_page_writes(nbytes / disk.cost_model.page_bytes)
+
+    def estimate_goback_resume_cost(self, link) -> float:
+        """g^r_{i,j}: redone work, approximated as the paper does by the
+        difference between current cumulative work and cumulative work at
+        the fulfilling checkpoint. Operators with cheaper repositioning
+        (e.g. sort's merge phase) override this."""
+        baseline = link.work_baseline
+        return max(0.0, self.work - baseline)

@@ -1,0 +1,292 @@
+"""Hash-based grouping with aggregation (Section 4).
+
+The paper: "In case these operators use hashing, the first phase is as
+before [simple hash join's partitioning]. In the second phase, an entire
+bucket is brought into memory to perform the function of these operators.
+We again maintain the current aggregate value ... while processing the
+current bucket."
+
+Phase 1 partitions the input by group-key hash, flushing blocks to disk
+as they fill (charged); the phase boundary is a materialization point.
+Phase 2 loads one partition at a time, folds it into per-group aggregates,
+and emits the groups; partition boundaries are minimal-heap-state points.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence
+
+from repro.common.errors import ContractError
+from repro.core.suspended_query import OpSuspendEntry
+from repro.engine.aggregate import AGG_FUNCS
+from repro.engine.base import Operator, Row
+from repro.engine.runtime import ResumeContext, Runtime
+from repro.relational.schema import Column, Schema
+
+PHASE_PARTITION = "partition"
+PHASE_EMIT = "emit"
+PHASE_DONE = "done"
+
+
+class HashGroupAggregate(Operator):
+    """Grouping with one aggregate, implemented by hash partitioning."""
+
+    STATEFUL = True
+
+    def __init__(
+        self,
+        op_id: int,
+        name: str,
+        child: Operator,
+        runtime: Runtime,
+        group_columns: Sequence[int],
+        agg_func: str,
+        agg_column: int,
+        num_partitions: int = 8,
+    ):
+        if agg_func not in AGG_FUNCS:
+            raise ValueError(f"unsupported aggregate {agg_func!r}")
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        cols = tuple(
+            child.schema.columns[i] for i in group_columns
+        ) + (Column(f"{agg_func}_{child.schema.columns[agg_column].name}"),)
+        schema = Schema(columns=cols, bytes_per_tuple=16 * len(cols))
+        super().__init__(op_id, name, [child], runtime, schema)
+        self.group_columns = tuple(group_columns)
+        self.agg_func = agg_func
+        self.agg_column = agg_column
+        self.num_partitions = num_partitions
+        self.phase = PHASE_PARTITION
+        self.pending: list[list[Row]] = []
+        self._disk_rows: list[list[Row]] = []
+        self.flushed_blocks: list[int] = []
+        self.consumed = 0
+        self.current_partition = -1
+        self._groups: list[Row] = []
+        self.emit_idx = 0
+
+    @property
+    def child(self) -> Operator:
+        return self.children[0]
+
+    @property
+    def child_tpp(self) -> int:
+        return self.child.schema.tuples_per_page(
+            self.rt.disk.cost_model.page_bytes
+        )
+
+    def _do_open(self) -> None:
+        k = self.num_partitions
+        self.pending = [[] for _ in range(k)]
+        self._disk_rows = [[] for _ in range(k)]
+        self.flushed_blocks = [0] * k
+
+    def _group_key(self, row: Row) -> tuple:
+        return tuple(row[i] for i in self.group_columns)
+
+    def _partition_of(self, key: tuple) -> int:
+        return hash(key) % self.num_partitions
+
+    def _fold(self, value, row: Row):
+        x = row[self.agg_column]
+        if self.agg_func == "count":
+            return (value or 0) + 1
+        if value is None:
+            return x
+        if self.agg_func == "sum":
+            return value + x
+        if self.agg_func == "min":
+            return min(value, x)
+        return max(value, x)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _next(self) -> Optional[Row]:
+        while True:
+            if self.phase == PHASE_DONE:
+                return None
+            if self.phase == PHASE_PARTITION:
+                self._run_partition_phase()
+                self.phase = PHASE_EMIT
+                self.current_partition = -1
+                self.make_checkpoint()  # materialization point
+            if self.emit_idx < len(self._groups):
+                row = self._groups[self.emit_idx]
+                self.emit_idx += 1
+                return row
+            if not self._advance_partition():
+                self.phase = PHASE_DONE
+                return None
+
+    def _run_partition_phase(self) -> None:
+        while True:
+            row = self.child.next()
+            if row is None:
+                break
+            self.consumed += 1
+            self.charge_cpu(1)
+            self._stash(row, skip_blocks=None)
+        self._flush_all_pending()
+
+    def _stash(self, row: Row, skip_blocks: Optional[list[int]]) -> None:
+        p = self._partition_of(self._group_key(row))
+        self.pending[p].append(row)
+        if len(self.pending[p]) >= self.child_tpp:
+            if skip_blocks is not None and skip_blocks[p] > self.flushed_blocks[p]:
+                # Block already on disk from before the suspend (the
+                # contract recorded the flushed counts): skip the rewrite.
+                self._disk_rows[p].extend(self.pending[p])
+                self.pending[p] = []
+                self.flushed_blocks[p] += 1
+            else:
+                self._flush_block(p)
+
+    def _flush_block(self, p: int) -> None:
+        if not self.pending[p]:
+            return
+        with self.attribute_work():
+            self.rt.disk.write_pages(1)
+        self._disk_rows[p].extend(self.pending[p])
+        self.pending[p] = []
+        self.flushed_blocks[p] += 1
+
+    def _flush_all_pending(self) -> None:
+        for p in range(self.num_partitions):
+            self._flush_block(p)
+
+    def _advance_partition(self) -> bool:
+        next_p = self.current_partition + 1
+        if next_p >= self.num_partitions:
+            return False
+        if self.current_partition >= 0:
+            # Previous partition's groups discarded: minimal-heap-state
+            # point.
+            self._groups = []
+            self.emit_idx = 0
+            self.make_checkpoint()
+        self.current_partition = next_p
+        self._load_partition(next_p)
+        return True
+
+    def _load_partition(self, p: int) -> None:
+        rows = self._disk_rows[p]
+        pages = math.ceil(len(rows) / self.child_tpp)
+        with self.attribute_work():
+            self.rt.disk.read_pages(pages)
+        aggregates: dict = {}
+        for row in rows:
+            self.charge_cpu(1)
+            key = self._group_key(row)
+            aggregates[key] = self._fold(aggregates.get(key), row)
+        self._groups = [key + (value,) for key, value in aggregates.items()]
+        self.emit_idx = 0
+
+    # ------------------------------------------------------------------
+    # State introspection
+    # ------------------------------------------------------------------
+    def heap_tuples(self) -> int:
+        if self.phase == PHASE_PARTITION:
+            return sum(len(b) for b in self.pending)
+        return len(self._groups)
+
+    def heap_pages(self) -> int:
+        tuples = self.heap_tuples()
+        return math.ceil(tuples / self.child_tpp) if tuples else 0
+
+    def control_state(self) -> dict:
+        return {
+            "phase": self.phase,
+            "consumed": self.consumed,
+            "flushed": list(self.flushed_blocks),
+            "current_partition": self.current_partition,
+            "emit_idx": self.emit_idx,
+        }
+
+    def _checkpoint_payload(self) -> dict:
+        return {
+            "phase": self.phase,
+            "consumed": self.consumed,
+            "disk_rows": [list(rows) for rows in self._disk_rows],
+            "flushed": list(self.flushed_blocks),
+            "current_partition": self.current_partition,
+        }
+
+    def _heap_state_payload(self):
+        return {
+            "pending": [list(b) for b in self.pending],
+            "disk_rows": [list(rows) for rows in self._disk_rows],
+            "groups": list(self._groups),
+        }
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+    def _restore_heap_and_control(self, payload: dict, control: dict) -> None:
+        self.phase = control["phase"]
+        self.consumed = control["consumed"]
+        self.flushed_blocks = list(control["flushed"])
+        self.current_partition = control["current_partition"]
+        self.pending = [list(b) for b in payload.get("pending", self.pending)]
+        self._disk_rows = [
+            list(r) for r in payload.get("disk_rows", self._disk_rows)
+        ]
+        self._groups = list(payload.get("groups", []))
+        self.emit_idx = control["emit_idx"]
+
+    def _resume_from_dump(self, entry: OpSuspendEntry, payload, ctx) -> None:
+        self._restore_heap_and_control(payload or {}, entry.target_control)
+
+    def _resume_goback(self, entry: OpSuspendEntry, ctx: ResumeContext) -> None:
+        ckpt = entry.ckpt_payload or {}
+        target = entry.target_control
+        if ckpt.get("__full_state__"):
+            control = dict(ckpt["control"])
+            self._restore_heap_and_control(ckpt["heap"] or {}, control)
+        else:
+            self.phase = ckpt.get("phase", PHASE_PARTITION)
+            self.consumed = ckpt.get("consumed", 0)
+            self._disk_rows = [
+                list(r)
+                for r in ckpt.get(
+                    "disk_rows", [[] for _ in range(self.num_partitions)]
+                )
+            ]
+            self.flushed_blocks = list(
+                ckpt.get("flushed", [0] * self.num_partitions)
+            )
+
+        if target["phase"] == PHASE_PARTITION:
+            skip = list(target["flushed"])
+            while self.consumed < target["consumed"]:
+                row = self.child.next()
+                if row is None:
+                    raise ContractError(
+                        f"{self.name}: child exhausted during GoBack"
+                    )
+                self.consumed += 1
+                self.charge_cpu(1)
+                self._stash(row, skip_blocks=skip)
+            self.phase = PHASE_PARTITION
+            return
+        # Target in the emit phase.
+        if self.phase == PHASE_PARTITION:
+            # Checkpoint predates the phase boundary: redo partitioning.
+            while True:
+                row = self.child.next()
+                if row is None:
+                    break
+                self.consumed += 1
+                self.charge_cpu(1)
+                self._stash(row, skip_blocks=list(target["flushed"]))
+            self._flush_all_pending()
+        self.phase = PHASE_EMIT
+        self.current_partition = target["current_partition"]
+        if self.current_partition >= 0:
+            self._load_partition(self.current_partition)
+            self.emit_idx = target["emit_idx"]
+        else:
+            self._groups = []
+            self.emit_idx = 0

@@ -1,0 +1,512 @@
+"""Simple (Grace) hash join and hybrid hash join (Section 4).
+
+Phase 1 ("partition") hashes both inputs into k partitions; in-memory
+partition blocks are flushed to disk as they fill. The end of phase 1 is a
+materialization point. Phase 2 ("join") loads one build partition into
+memory at a time and streams the matching probe partition past it.
+
+Checkpoint behaviour, following the paper:
+
+- one proactive checkpoint at the very start (before reading any child)
+  — during partitioning "different blocks become empty at different
+  times", so there are no usable minimal-heap-state points mid-phase;
+- contracts signed during phase 1 record, as an optimization, the number
+  of blocks each partition has already flushed, so a GoBack can skip
+  re-writing those blocks while re-hashing;
+- a proactive checkpoint at the phase boundary and at every partition
+  boundary in phase 2 (the current build partition is the heap state and
+  it empties between partitions), so GoBack in phase 2 just reloads the
+  current partition from disk;
+- hybrid hash join keeps the first ``memory_partitions`` build partitions
+  entirely in memory; those have no materialization point, making both
+  suspend strategies expensive for them — exactly the weakness Example 9
+  exploits when comparing HHJ against SMJ under suspends.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.common.errors import ContractError
+from repro.core.suspended_query import OpSuspendEntry
+from repro.engine.base import Operator, Row
+from repro.engine.runtime import ResumeContext, Runtime
+from repro.relational.expressions import EquiJoinCondition
+from repro.storage.statefile import DumpHandle
+
+PHASE_PARTITION = "partition"
+PHASE_JOIN = "join"
+PHASE_DONE = "done"
+
+
+class SimpleHashJoin(Operator):
+    """Grace hash join with ``num_partitions`` disk partitions."""
+
+    STATEFUL = True
+
+    #: Build partitions kept fully in memory (0 for simple/Grace hash).
+    memory_partitions = 0
+
+    def __init__(
+        self,
+        op_id: int,
+        name: str,
+        build: Operator,
+        probe: Operator,
+        runtime: Runtime,
+        condition: EquiJoinCondition,
+        num_partitions: int = 8,
+    ):
+        if num_partitions <= 0:
+            raise ValueError("num_partitions must be positive")
+        super().__init__(
+            op_id, name, [build, probe], runtime, build.schema.concat(probe.schema)
+        )
+        self.condition = condition
+        self.num_partitions = num_partitions
+        self.phase = PHASE_PARTITION
+        # Per-partition in-memory rows not yet flushed (or, for memory
+        # partitions of the hybrid variant, all rows).
+        self.build_pending: list[list[Row]] = []
+        self.probe_pending: list[list[Row]] = []
+        # Per-partition flushed rows (simulated disk payloads built up
+        # incrementally; writes are charged per block as they fill).
+        self._build_disk: list[list[Row]] = []
+        self._probe_disk: list[list[Row]] = []
+        self.build_flushed_blocks: list[int] = []
+        self.probe_flushed_blocks: list[int] = []
+        self.build_consumed = 0
+        self.probe_consumed = 0
+        self.build_done = False
+        self.current_partition = -1
+        self._hash_table: dict = {}
+        self._probe_rows: list[Row] = []
+        self.probe_pos = 0
+        self._emit_matches: Optional[list[Row]] = None
+        self._emit_pos = 0
+        self._emit_probe_row: Optional[Row] = None
+
+    @property
+    def build_child(self) -> Operator:
+        return self.children[0]
+
+    @property
+    def probe_child(self) -> Operator:
+        return self.children[1]
+
+    @property
+    def build_tpp(self) -> int:
+        return self.build_child.schema.tuples_per_page(
+            self.rt.disk.cost_model.page_bytes
+        )
+
+    @property
+    def probe_tpp(self) -> int:
+        return self.probe_child.schema.tuples_per_page(
+            self.rt.disk.cost_model.page_bytes
+        )
+
+    def _do_open(self) -> None:
+        k = self.num_partitions
+        self.build_pending = [[] for _ in range(k)]
+        self.probe_pending = [[] for _ in range(k)]
+        self._build_disk = [[] for _ in range(k)]
+        self._probe_disk = [[] for _ in range(k)]
+        self.build_flushed_blocks = [0] * k
+        self.probe_flushed_blocks = [0] * k
+
+    def _partition_of(self, key) -> int:
+        return hash(key) % self.num_partitions
+
+    def _is_memory_partition(self, p: int) -> bool:
+        return p < self.memory_partitions
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _next(self) -> Optional[Row]:
+        while True:
+            if self.phase == PHASE_DONE:
+                return None
+            if self.phase == PHASE_PARTITION:
+                self._run_partition_phase()
+                self.current_partition = -1
+                self.phase = PHASE_JOIN
+                self.make_checkpoint()  # materialization point
+            row = self._join_next()
+            if row is not None:
+                return row
+            self.phase = PHASE_DONE
+            return None
+
+    def _run_partition_phase(self) -> None:
+        while not self.build_done:
+            row = self.build_child.next()
+            if row is None:
+                self.build_done = True
+                break
+            self.build_consumed += 1
+            self.charge_cpu(1)
+            self._stash(row, self.condition.left_key(row), build_side=True)
+        while True:
+            row = self.probe_child.next()
+            if row is None:
+                break
+            self.probe_consumed += 1
+            self.charge_cpu(1)
+            self._stash(row, self.condition.right_key(row), build_side=False)
+        self._flush_all_pending()
+
+    def _stash(self, row: Row, key, build_side: bool) -> None:
+        p = self._partition_of(key)
+        pending = self.build_pending if build_side else self.probe_pending
+        pending[p].append(row)
+        if self._is_memory_partition(p):
+            # Hybrid: neither side of a memory partition spills — that is
+            # the I/O saving hybrid hash buys by giving up the
+            # materialization point.
+            return
+        tpp = self.build_tpp if build_side else self.probe_tpp
+        if len(pending[p]) >= tpp:
+            self._flush_block(p, build_side)
+
+    def _flush_block(self, p: int, build_side: bool) -> None:
+        pending = self.build_pending if build_side else self.probe_pending
+        disk = self._build_disk if build_side else self._probe_disk
+        flushed = (
+            self.build_flushed_blocks if build_side else self.probe_flushed_blocks
+        )
+        if not pending[p]:
+            return
+        with self.attribute_work():
+            self.rt.disk.write_pages(1)
+        disk[p].extend(pending[p])
+        pending[p] = []
+        flushed[p] += 1
+
+    def _flush_all_pending(self) -> None:
+        for p in range(self.num_partitions):
+            if not self._is_memory_partition(p):
+                self._flush_block(p, build_side=True)
+                self._flush_block(p, build_side=False)
+
+    def _join_next(self) -> Optional[Row]:
+        while True:
+            if self._emit_matches is not None and self._emit_pos < len(
+                self._emit_matches
+            ):
+                return self._emit_next()
+            self._emit_matches = None
+            if self.current_partition >= 0:
+                while self.probe_pos < len(self._probe_rows):
+                    probe_row = self._probe_rows[self.probe_pos]
+                    self.probe_pos += 1
+                    if (
+                        not self._is_memory_partition(self.current_partition)
+                        and self.probe_pos % self.probe_tpp == 1
+                    ):
+                        with self.attribute_work():
+                            self.rt.disk.read_pages(1)
+                    key = self.condition.right_key(probe_row)
+                    matches = self._hash_table.get(key)
+                    if matches:
+                        self.charge_cpu(1)
+                        # Emit the matching pairs one at a time.
+                        self._emit_matches = matches
+                        self._emit_pos = 0
+                        self._emit_probe_row = probe_row
+                        return self._emit_next()
+            if not self._advance_partition():
+                return None
+
+    def _emit_next(self) -> Optional[Row]:
+        row = self._emit_matches[self._emit_pos] + self._emit_probe_row
+        self._emit_pos += 1
+        return row
+
+    def _advance_partition(self) -> bool:
+        next_p = self.current_partition + 1
+        if next_p >= self.num_partitions:
+            return False
+        if self.current_partition >= 0:
+            # Current build partition discarded: minimal-heap-state point.
+            self._hash_table = {}
+            self._probe_rows = []
+            self.make_checkpoint()
+        self.current_partition = next_p
+        self._load_partition(next_p)
+        self.probe_pos = 0
+        self._emit_matches = None
+        return True
+
+    def _load_partition(self, p: int) -> None:
+        build_rows = list(self.build_pending[p]) + list(self._build_disk[p])
+        if not self._is_memory_partition(p):
+            pages = math.ceil(len(self._build_disk[p]) / self.build_tpp)
+            with self.attribute_work():
+                self.rt.disk.read_pages(pages)
+        self._hash_table = {}
+        for row in build_rows:
+            self.charge_cpu(1)
+            key = self.condition.left_key(row)
+            self._hash_table.setdefault(key, []).append(row)
+        # Probe rows stream one block at a time (charged as consumed).
+        self._probe_rows = list(self._probe_disk[p])
+
+    # ------------------------------------------------------------------
+    # State introspection
+    # ------------------------------------------------------------------
+    def heap_tuples(self) -> int:
+        if self.phase == PHASE_PARTITION:
+            total = sum(len(b) for b in self.build_pending)
+            total += sum(len(b) for b in self.probe_pending)
+            return total
+        total = sum(len(rows) for rows in self._hash_table.values())
+        total += sum(
+            len(self.build_pending[p])
+            for p in range(self.memory_partitions)
+            if p != self.current_partition
+        )
+        # Hybrid keeps the probe rows of memory partitions in memory too.
+        total += sum(
+            len(self.probe_pending[p]) for p in range(self.memory_partitions)
+        )
+        return total
+
+    def heap_pages(self) -> int:
+        tuples = self.heap_tuples()
+        return math.ceil(tuples / self.build_tpp) if tuples else 0
+
+    def control_state(self) -> dict:
+        return {
+            "phase": self.phase,
+            "build_consumed": self.build_consumed,
+            "probe_consumed": self.probe_consumed,
+            "build_done": self.build_done,
+            "build_flushed": list(self.build_flushed_blocks),
+            "probe_flushed": list(self.probe_flushed_blocks),
+            "current_partition": self.current_partition,
+            "probe_pos": self.probe_pos,
+            "emit_pos": getattr(self, "_emit_pos", 0),
+            "emit_active": bool(getattr(self, "_emit_matches", None)),
+            "emit_probe_row": getattr(self, "_emit_probe_row", None),
+        }
+
+    def _checkpoint_payload(self) -> dict:
+        return {
+            "phase": self.phase,
+            "current_partition": self.current_partition,
+            "build_disk": [list(rows) for rows in self._build_disk],
+            "probe_disk": [list(rows) for rows in self._probe_disk],
+            "memory_rows": [
+                list(self.build_pending[p])
+                for p in range(self.memory_partitions)
+            ],
+            "memory_probe_rows": [
+                list(self.probe_pending[p])
+                for p in range(self.memory_partitions)
+            ],
+            "build_flushed": list(self.build_flushed_blocks),
+            "probe_flushed": list(self.probe_flushed_blocks),
+        }
+
+    def _heap_state_payload(self):
+        return {
+            "build_pending": [list(b) for b in self.build_pending],
+            "probe_pending": [list(b) for b in self.probe_pending],
+            "build_disk": [list(rows) for rows in self._build_disk],
+            "probe_disk": [list(rows) for rows in self._probe_disk],
+            "hash_rows": {
+                k: list(v) for k, v in self._hash_table.items()
+            },
+            "probe_rows": list(self._probe_rows),
+        }
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+    def _resume_from_dump(self, entry: OpSuspendEntry, payload, ctx) -> None:
+        self._restore_heap_and_control(payload or {}, entry.target_control)
+
+    def _restore_heap_and_control(self, payload: dict, control: dict) -> None:
+        """Restore complete state from a dump/full-checkpoint payload."""
+        self.phase = control["phase"]
+        self.build_consumed = control["build_consumed"]
+        self.probe_consumed = control["probe_consumed"]
+        self.build_done = control["build_done"]
+        self.build_flushed_blocks = list(control["build_flushed"])
+        self.probe_flushed_blocks = list(control["probe_flushed"])
+        self.build_pending = [
+            list(b) for b in payload.get("build_pending", self.build_pending)
+        ]
+        self.probe_pending = [
+            list(b) for b in payload.get("probe_pending", self.probe_pending)
+        ]
+        self._build_disk = [
+            list(rows) for rows in payload.get("build_disk", self._build_disk)
+        ]
+        self._probe_disk = [
+            list(rows) for rows in payload.get("probe_disk", self._probe_disk)
+        ]
+        self.current_partition = control["current_partition"]
+        if self.phase == PHASE_JOIN and self.current_partition >= 0:
+            self._hash_table = {}
+            for key, rows in payload.get("hash_rows", {}).items():
+                self._hash_table[key] = list(rows)
+            self._probe_rows = list(payload.get("probe_rows", []))
+            self.probe_pos = control["probe_pos"]
+            if control["emit_active"]:
+                probe_row = control["emit_probe_row"]
+                key = self.condition.right_key(probe_row)
+                self._emit_matches = self._hash_table.get(key, [])
+                self._emit_probe_row = probe_row
+                self._emit_pos = control["emit_pos"]
+
+    def _resume_goback(self, entry: OpSuspendEntry, ctx: ResumeContext) -> None:
+        ckpt = entry.ckpt_payload or {}
+        target = entry.target_control
+        if ckpt.get("__full_state__"):
+            heap = ckpt["heap"] or {}
+            control = ckpt["control"]
+            self._restore_heap_and_control(heap, control)
+        else:
+            self.phase = ckpt.get("phase", PHASE_PARTITION)
+            self._build_disk = [list(r) for r in ckpt.get(
+                "build_disk", [[] for _ in range(self.num_partitions)]
+            )]
+            self._probe_disk = [list(r) for r in ckpt.get(
+                "probe_disk", [[] for _ in range(self.num_partitions)]
+            )]
+            self.build_flushed_blocks = list(
+                ckpt.get("build_flushed", [0] * self.num_partitions)
+            )
+            self.probe_flushed_blocks = list(
+                ckpt.get("probe_flushed", [0] * self.num_partitions)
+            )
+            for p, rows in enumerate(ckpt.get("memory_rows", [])):
+                self.build_pending[p] = list(rows)
+            for p, rows in enumerate(ckpt.get("memory_probe_rows", [])):
+                self.probe_pending[p] = list(rows)
+
+        if target["phase"] == PHASE_PARTITION:
+            self._roll_forward_partitioning(target)
+            return
+        # Target in the join phase. If the checkpoint predates the phase
+        # boundary (proactive checkpointing disabled), the partitioning
+        # must be redone first; otherwise the partitions are on disk and
+        # roll-forward is just reloading the current partition and
+        # skipping to the probe cursor.
+        if ckpt.get("phase", PHASE_PARTITION) == PHASE_PARTITION:
+            self._roll_forward_partitioning(target)
+            self._flush_all_pending()
+        self.build_consumed = target["build_consumed"]
+        self.probe_consumed = target["probe_consumed"]
+        self.build_done = target["build_done"]
+        self.phase = PHASE_JOIN
+        self.current_partition = target["current_partition"]
+        if self.current_partition >= 0:
+            self._load_partition(self.current_partition)
+            self.probe_pos = target["probe_pos"]
+            if target["emit_active"]:
+                probe_row = target["emit_probe_row"]
+                key = self.condition.right_key(probe_row)
+                self._emit_matches = self._hash_table.get(key, [])
+                self._emit_probe_row = probe_row
+                self._emit_pos = target["emit_pos"]
+
+    def _roll_forward_partitioning(self, target: dict) -> None:
+        """Re-consume children up to the target counts, re-hashing rows.
+
+        Blocks that were already flushed before the checkpoint live in the
+        checkpoint's disk payload; blocks flushed *after* it are rewritten
+        (their writes are redone work), except that the flushed-block
+        counts recorded in the contract let the operator skip rewriting
+        blocks it knows are already on disk — the paper's optimization.
+        """
+        # The contract recorded the flushed-block counts at signing time —
+        # those blocks are already on disk and their rewrites are skipped.
+        skip_build = list(target.get("build_flushed", [0] * self.num_partitions))
+        skip_probe = list(target.get("probe_flushed", [0] * self.num_partitions))
+        while self.build_consumed < target["build_consumed"]:
+            row = self.build_child.next()
+            if row is None:
+                raise ContractError(f"{self.name}: build child exhausted early")
+            self.build_consumed += 1
+            self.charge_cpu(1)
+            self._stash_skippable(
+                row, self.condition.left_key(row), True, skip_build
+            )
+        self.build_done = target["build_done"]
+        while self.probe_consumed < target["probe_consumed"]:
+            row = self.probe_child.next()
+            if row is None:
+                raise ContractError(f"{self.name}: probe child exhausted early")
+            self.probe_consumed += 1
+            self.charge_cpu(1)
+            self._stash_skippable(
+                row, self.condition.right_key(row), False, skip_probe
+            )
+
+    def _stash_skippable(
+        self, row: Row, key, build_side: bool, skip_blocks: list[int]
+    ) -> None:
+        p = self._partition_of(key)
+        pending = self.build_pending if build_side else self.probe_pending
+        pending[p].append(row)
+        if self._is_memory_partition(p):
+            return
+        tpp = self.build_tpp if build_side else self.probe_tpp
+        if len(pending[p]) >= tpp:
+            flushed = (
+                self.build_flushed_blocks
+                if build_side
+                else self.probe_flushed_blocks
+            )
+            disk = self._build_disk if build_side else self._probe_disk
+            if skip_blocks[p] > flushed[p]:
+                # Block already on disk from before the suspend: skip the
+                # rewrite, keep only the bookkeeping.
+                disk[p].extend(pending[p])
+                pending[p] = []
+                flushed[p] += 1
+            else:
+                self._flush_block(p, build_side)
+
+
+class HybridHashJoin(SimpleHashJoin):
+    """Hybrid hash join: the first partitions of the build side stay in
+    memory, trading materialization (and hence cheap suspend) for I/O."""
+
+    def __init__(
+        self,
+        op_id: int,
+        name: str,
+        build: Operator,
+        probe: Operator,
+        runtime: Runtime,
+        condition: EquiJoinCondition,
+        num_partitions: int = 8,
+        memory_partitions: int = 2,
+    ):
+        super().__init__(
+            op_id, name, build, probe, runtime, condition, num_partitions
+        )
+        if not 0 <= memory_partitions <= num_partitions:
+            raise ValueError("memory_partitions out of range")
+        self.memory_partitions = memory_partitions
+
+    def _load_partition(self, p: int) -> None:
+        if self._is_memory_partition(p):
+            # Build rows already in memory; probe rows stream from disk
+            # plus any pending in-memory block.
+            self._hash_table = {}
+            for row in self.build_pending[p]:
+                self.charge_cpu(1)
+                key = self.condition.left_key(row)
+                self._hash_table.setdefault(key, []).append(row)
+            self._probe_rows = list(self._probe_disk[p]) + list(
+                self.probe_pending[p]
+            )
+            return
+        super()._load_partition(p)

@@ -1,0 +1,254 @@
+"""Block-based nested loop join (the paper's running example).
+
+Each outer-loop iteration fills a large in-memory *outer buffer* from the
+outer (left) child, then rewinds the inner (right) child and joins every
+inner tuple against the buffer. The buffer is the heap state; the control
+state is the fill count, the buffer cursor, and the current inner tuple
+(Section 2).
+
+Checkpoint/contract behaviour (Sections 3 and 4):
+
+- minimal-heap-state points occur each time the buffer is discarded at the
+  end of a pass; the operator checkpoints proactively there (payload is
+  empty — an NLJ checkpoint "happens to contain no information",
+  Example 5);
+- the outer child is a *heap child*: a GoBack regenerates the buffer by
+  re-pulling from the checkpoint's outer contract;
+- the inner child is a *stream child*: its position at a contract point is
+  captured by a nested contract, and restored directly on resume so the
+  joins already performed before the target cursor are *skipped*
+  (Section 3.3's skipping discussion uses exactly this operator).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.common.errors import ContractError
+from repro.core.suspended_query import OpSuspendEntry
+from repro.engine.base import Operator, Row
+from repro.engine.runtime import ResumeContext, Runtime
+from repro.relational.expressions import EquiJoinCondition
+
+PHASE_FILL = "fill"
+PHASE_JOIN = "join"
+PHASE_DONE = "done"
+
+
+class BlockNLJ(Operator):
+    """Block nested-loop join with a tuple-count-bounded outer buffer."""
+
+    STATEFUL = True
+
+    def __init__(
+        self,
+        op_id: int,
+        name: str,
+        outer: Operator,
+        inner: Operator,
+        runtime: Runtime,
+        condition: EquiJoinCondition,
+        buffer_tuples: int,
+    ):
+        if buffer_tuples <= 0:
+            raise ValueError("buffer_tuples must be positive")
+        if not inner.REWINDABLE:
+            raise ContractError(
+                f"block NLJ inner child {inner.name} must be rewindable"
+            )
+        super().__init__(
+            op_id, name, [outer, inner], runtime, outer.schema.concat(inner.schema)
+        )
+        self.condition = condition
+        self.buffer_tuples = buffer_tuples
+        self.buffer: list[Row] = []
+        self.phase = PHASE_FILL
+        self.cursor = 0
+        self.inner_row: Optional[Row] = None
+        self.outer_exhausted = False
+        #: Completed join passes; lets a GoBack that restores an older
+        #: checkpoint skip whole intervening passes during roll-forward.
+        self.passes = 0
+
+    @property
+    def outer(self) -> Operator:
+        return self.children[0]
+
+    @property
+    def inner(self) -> Operator:
+        return self.children[1]
+
+    def stream_children(self) -> list[Operator]:
+        return [self.inner]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def buffer_fill(self) -> int:
+        """Tuples currently in the outer buffer (suspend-trigger hook)."""
+        return len(self.buffer)
+
+    def _next(self) -> Optional[Row]:
+        while True:
+            if self.phase == PHASE_DONE:
+                return None
+            if self.phase == PHASE_FILL:
+                self._fill_buffer()
+                if not self.buffer:
+                    self.phase = PHASE_DONE
+                    return None
+                self.inner.rewind()
+                self.inner_row = None
+                self.cursor = 0
+                self.phase = PHASE_JOIN
+            row = self._join_step()
+            if row is not None:
+                return row
+            if self.phase == PHASE_JOIN:
+                # Pass complete: discard the buffer. This is the
+                # minimal-heap-state point.
+                self.buffer = []
+                self.cursor = 0
+                self.inner_row = None
+                self.passes += 1
+                if self.outer_exhausted:
+                    self.phase = PHASE_DONE
+                    return None
+                self.make_checkpoint()
+                self.phase = PHASE_FILL
+
+    def _fill_buffer(self) -> None:
+        while len(self.buffer) < self.buffer_tuples and not self.outer_exhausted:
+            row = self.outer.next()
+            if row is None:
+                self.outer_exhausted = True
+                break
+            self.buffer.append(row)
+            self.charge_cpu(1)
+
+    def _join_step(self) -> Optional[Row]:
+        """Produce the next join output of the current pass, or None when
+        the pass is exhausted (leaving phase untouched)."""
+        while True:
+            if self.inner_row is None:
+                inner = self.inner.next()
+                if inner is None:
+                    return None  # pass exhausted
+                self.charge_cpu(1)
+                self.inner_row = inner
+                self.cursor = 0
+            while self.cursor < len(self.buffer):
+                outer_row = self.buffer[self.cursor]
+                self.cursor += 1
+                if self.condition.matches(outer_row, self.inner_row):
+                    return outer_row + self.inner_row
+            self.inner_row = None
+
+    # ------------------------------------------------------------------
+    # State introspection
+    # ------------------------------------------------------------------
+    def heap_tuples(self) -> int:
+        return len(self.buffer)
+
+    def heap_pages(self) -> int:
+        per_page = self.outer.schema.tuples_per_page(
+            self.rt.disk.cost_model.page_bytes
+        )
+        return math.ceil(len(self.buffer) / per_page) if self.buffer else 0
+
+    def control_state(self) -> dict:
+        return {
+            "phase": self.phase,
+            "fill": len(self.buffer),
+            "cursor": self.cursor,
+            "inner_row": self.inner_row,
+            "outer_exhausted": self.outer_exhausted,
+            "passes": self.passes,
+        }
+
+    def _checkpoint_payload(self) -> dict:
+        # At minimal-heap-state points the buffer is empty and the phase
+        # is implicitly the start of a fill; only the pass count needs to
+        # be remembered (Example 5: NLJ checkpoints "happen to contain no
+        # information" — the pass count is our bookkeeping for skipping
+        # whole passes when rolling forward from older checkpoints).
+        return {"passes": self.passes}
+
+    def _heap_state_payload(self):
+        return list(self.buffer)
+
+    # ------------------------------------------------------------------
+    # Resume
+    # ------------------------------------------------------------------
+    def _restore_control(self, control: dict) -> None:
+        self.phase = control["phase"]
+        self.cursor = control["cursor"]
+        self.inner_row = control["inner_row"]
+        self.outer_exhausted = control["outer_exhausted"]
+        self.passes = control["passes"]
+
+    def _resume_from_dump(self, entry: OpSuspendEntry, payload, ctx) -> None:
+        rows = payload or []
+        target = entry.target_control
+        current = entry.current_control or target
+        if target["phase"] == PHASE_JOIN:
+            # Contract signed while joining the current pass: the buffer
+            # has not changed since, and resume replays the join from the
+            # contract's cursor and inner tuple.
+            self.buffer = list(rows[: target["fill"]])
+            self._restore_control(target)
+            self.outer_exhausted = current["outer_exhausted"]
+        else:
+            # Contract signed while filling (no output produced at that
+            # point): keep the full dumped buffer, let the fill complete
+            # from the outer child's current position, and replay the
+            # whole pass's join output.
+            self.buffer = list(rows)
+            self.phase = PHASE_FILL
+            self.cursor = 0
+            self.inner_row = None
+            self.outer_exhausted = current["outer_exhausted"]
+
+    def _resume_goback(self, entry: OpSuspendEntry, ctx: ResumeContext) -> None:
+        """Refill the buffer from the (already repositioned) outer child,
+        then jump straight to the target cursor and inner tuple — skipping
+        every join already produced before the target."""
+        target = entry.target_control
+        ckpt = entry.ckpt_payload or {}
+        if ckpt.get("__full_state__"):
+            # Post-resume full-state checkpoint: restore its heap and
+            # control, then keep rolling forward to the target below.
+            self.buffer = list(ckpt["heap"] or [])
+            self._restore_control(ckpt["control"])
+        else:
+            self.buffer = []
+            self.outer_exhausted = False
+            self.passes = ckpt.get("passes", 0)
+        # Skip whole passes between the checkpoint and the target (only
+        # possible when the fulfilling checkpoint predates the current
+        # pass, e.g. with proactive checkpointing disabled): their outer
+        # tuples are re-consumed and discarded, and their join output is
+        # skipped entirely (Section 3.3).
+        while self.passes < target["passes"]:
+            skipped = 0
+            while skipped < self.buffer_tuples:
+                row = self.outer.next()
+                if row is None:
+                    raise ContractError(
+                        f"{self.name}: outer child exhausted while "
+                        f"skipping pass {self.passes + 1} during GoBack"
+                    )
+                skipped += 1
+                self.charge_cpu(1)
+            self.passes += 1
+        while len(self.buffer) < target["fill"]:
+            row = self.outer.next()
+            if row is None:
+                raise ContractError(
+                    f"{self.name}: outer child exhausted while refilling "
+                    f"{target['fill']} tuples during GoBack resume"
+                )
+            self.buffer.append(row)
+            self.charge_cpu(1)
+        self._restore_control(target)

@@ -1,0 +1,48 @@
+"""Projection: a stateless column-selecting map operator."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.engine.base import Operator, Row
+from repro.engine.runtime import Runtime
+
+
+class Project(Operator):
+    """Keeps the listed column indexes of each child row, in order."""
+
+    STATEFUL = False
+
+    def __init__(
+        self,
+        op_id: int,
+        name: str,
+        child: Operator,
+        runtime: Runtime,
+        columns: Sequence[int],
+    ):
+        super().__init__(
+            op_id, name, [child], runtime, child.schema.project(columns)
+        )
+        self.columns = tuple(columns)
+        self.REWINDABLE = child.REWINDABLE
+
+    @property
+    def child(self) -> Operator:
+        return self.children[0]
+
+    def _next(self) -> Optional[Row]:
+        row = self.child.next()
+        if row is None:
+            return None
+        self.charge_cpu(1)
+        return tuple(row[i] for i in self.columns)
+
+    def rewind(self) -> None:
+        self.child.rewind()
+
+    def _resume_from_dump(self, entry, payload, ctx) -> None:
+        pass
+
+    def _resume_goback(self, entry, ctx) -> None:
+        pass

@@ -1,0 +1,103 @@
+"""Static plan-spec validation.
+
+Physical plans carry implicit requirements the engine otherwise only
+discovers at runtime (or worse, silently violates):
+
+- a merge join needs both inputs ordered on its join columns, and a
+  modulus join condition is never order-compatible with stored columns;
+- sorted-input grouping and duplicate elimination need a sorted child;
+- a block NLJ's inner subtree must be rewindable.
+
+``validate_plan_spec`` checks these before instantiation. A plain table
+scan does not guarantee order, so merge-join/aggregate inputs must be
+explicit ``SortSpec``s or index scans unless the caller passes the table
+names it knows to be stored in key order via ``sorted_tables``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.common.errors import ReproError
+from repro.engine.plan import (
+    DupElimSpec,
+    FilterSpec,
+    GroupAggSpec,
+    IndexScanSpec,
+    MergeJoinSpec,
+    NLJSpec,
+    PlanSpec,
+    ProjectSpec,
+    ScanSpec,
+    SortSpec,
+)
+
+
+class PlanValidationError(ReproError):
+    """Raised when a plan spec violates an operator's input requirements."""
+
+
+def _delivers_sorted_on(
+    spec: PlanSpec, column: int, sorted_tables: frozenset
+) -> bool:
+    if isinstance(spec, SortSpec):
+        return bool(spec.key_columns) and spec.key_columns[0] == column
+    if isinstance(spec, IndexScanSpec):
+        return True  # index scans stream in key order
+    if isinstance(spec, ScanSpec):
+        return spec.table in sorted_tables
+    if isinstance(spec, (FilterSpec, DupElimSpec)):
+        return _delivers_sorted_on(spec.child, column, sorted_tables)
+    return False
+
+
+def _is_rewindable(spec: PlanSpec) -> bool:
+    if isinstance(spec, (ScanSpec, IndexScanSpec, SortSpec)):
+        return True
+    if isinstance(spec, (FilterSpec, ProjectSpec)):
+        return _is_rewindable(spec.child)
+    return False
+
+
+def validate_plan_spec(
+    spec: PlanSpec, sorted_tables: Iterable[str] = ()
+) -> None:
+    """Raise :class:`PlanValidationError` on input-requirement violations."""
+    sorted_tables = frozenset(sorted_tables)
+
+    def check(node: PlanSpec) -> None:
+        if isinstance(node, MergeJoinSpec):
+            if node.condition.modulus:
+                raise PlanValidationError(
+                    "merge join cannot use a modulus join condition: "
+                    "residues are not ordered by the stored sort columns"
+                )
+            for side, child, column in (
+                ("left", node.left, node.condition.left_column),
+                ("right", node.right, node.condition.right_column),
+            ):
+                if not _delivers_sorted_on(child, column, sorted_tables):
+                    raise PlanValidationError(
+                        f"merge join {side} input is not sorted on join "
+                        f"column {column}; wrap it in a SortSpec or list "
+                        "its table in sorted_tables"
+                    )
+        if isinstance(node, (GroupAggSpec, DupElimSpec)):
+            if isinstance(node, GroupAggSpec):
+                needed = node.group_columns[0] if node.group_columns else 0
+            else:
+                needed = 0
+            if not _delivers_sorted_on(node.child, needed, sorted_tables):
+                raise PlanValidationError(
+                    f"{type(node).__name__} requires its input sorted on "
+                    f"column {needed}"
+                )
+        if isinstance(node, NLJSpec) and not _is_rewindable(node.inner):
+            raise PlanValidationError(
+                "block NLJ inner subtree must be rewindable (scan, index "
+                "scan, sort, or filter/project over one)"
+            )
+        for child in node.children:
+            check(child)
+
+    check(spec)

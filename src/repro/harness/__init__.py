@@ -1,0 +1,16 @@
+"""Experiment harness regenerating the paper's tables and figures."""
+
+from repro.harness.experiments import (
+    OverheadResult,
+    measure_suspend_overhead,
+    run_reference_to_milestone,
+)
+from repro.harness.report import format_table, print_table
+
+__all__ = [
+    "OverheadResult",
+    "format_table",
+    "measure_suspend_overhead",
+    "print_table",
+    "run_reference_to_milestone",
+]

@@ -1,0 +1,41 @@
+"""Suspend-aware query planning (Section 7 of the paper)."""
+
+from repro.planning.cost_model import (
+    Example9Scenario,
+    Example10Scenario,
+    hhj_costs,
+    nlj_costs,
+    smj_costs,
+    smj_costs_presorted_inner,
+)
+from repro.planning.planner import (
+    PlanChoice,
+    choose_plan_example9,
+    choose_plan_example10,
+    nlj_smj_crossover_suspend_point,
+)
+from repro.planning.advisor import (
+    AdvisorChoice,
+    JoinQuery,
+    PlanCandidate,
+    candidate_plans,
+    choose_join_plan,
+)
+
+__all__ = [
+    "AdvisorChoice",
+    "JoinQuery",
+    "PlanCandidate",
+    "candidate_plans",
+    "choose_join_plan",
+    "Example10Scenario",
+    "Example9Scenario",
+    "PlanChoice",
+    "choose_plan_example10",
+    "choose_plan_example9",
+    "hhj_costs",
+    "nlj_costs",
+    "nlj_smj_crossover_suspend_point",
+    "smj_costs",
+    "smj_costs_presorted_inner",
+]

@@ -1,0 +1,32 @@
+"""Relational layer: schemas, rows, predicates, and data generators."""
+
+from repro.relational.schema import Column, Schema
+from repro.relational.expressions import (
+    AlwaysTrue,
+    AndPredicate,
+    ColumnCompare,
+    EquiJoinCondition,
+    Predicate,
+    UniformSelect,
+    ValueIn,
+)
+from repro.relational.datagen import (
+    SkewRegion,
+    generate_skewed_table,
+    generate_uniform_table,
+)
+
+__all__ = [
+    "AlwaysTrue",
+    "AndPredicate",
+    "Column",
+    "ColumnCompare",
+    "EquiJoinCondition",
+    "Predicate",
+    "Schema",
+    "SkewRegion",
+    "UniformSelect",
+    "ValueIn",
+    "generate_skewed_table",
+    "generate_uniform_table",
+]

@@ -1,0 +1,127 @@
+"""Deterministic table generators for the paper's workloads.
+
+Standard row layout: ``(key, u, payload)`` where
+
+- ``key`` is a unique integer (shuffled when ``shuffle_keys`` is set, since
+  the paper populates R "with random unique integer key values"),
+- ``u`` is a deterministic pseudo-uniform value in [0, 1) used by
+  :class:`repro.relational.expressions.UniformSelect` to realize any target
+  filter selectivity on the same table,
+- ``payload`` is a filler integer standing in for the rest of the 200-byte
+  tuple.
+
+``generate_skewed_table`` builds the Figure 12 table: the pass/fail column
+``u`` is arranged so a fixed threshold predicate has different selectivity
+in different regions of the table (0.1 for the first two-thirds, 0.9 for
+the rest, in the paper's setup).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.common.rng import hash_unit, stable_shuffle
+from repro.relational.schema import Schema
+
+#: Schema shared by all generated base tables.
+BASE_SCHEMA = Schema.of(["key", "u", "payload"], bytes_per_tuple=200)
+
+
+def generate_uniform_table(
+    num_tuples: int,
+    seed: int = 0,
+    shuffle_keys: bool = True,
+    key_offset: int = 0,
+) -> list[tuple]:
+    """Rows with unique keys and a pseudo-uniform selection column."""
+    if num_tuples < 0:
+        raise ValueError(f"negative table size {num_tuples}")
+    keys = list(range(key_offset, key_offset + num_tuples))
+    if shuffle_keys:
+        keys = stable_shuffle(keys, seed)
+    return [
+        (keys[i], hash_unit(i, salt=seed), i)
+        for i in range(num_tuples)
+    ]
+
+
+@dataclass(frozen=True)
+class SkewRegion:
+    """A contiguous region of the table with its own pass probability.
+
+    ``fraction`` is the fraction of the table the region covers;
+    ``selectivity`` is the probability that a threshold-0.5 predicate
+    passes a row inside the region.
+    """
+
+    fraction: float
+    selectivity: float
+
+
+#: The paper's Figure 12 skew: ~2/3 of the table at selectivity 0.1,
+#: the remainder at 0.9 (effective selectivity ~0.385 per the paper).
+FIGURE12_SKEW = (SkewRegion(2 / 3, 0.1), SkewRegion(1 / 3, 0.9))
+
+#: Threshold that the skew-aware filter predicate uses over column ``u``.
+SKEW_THRESHOLD = 0.5
+
+
+def generate_skewed_table(
+    num_tuples: int,
+    regions: Sequence[SkewRegion] = FIGURE12_SKEW,
+    seed: int = 0,
+    shuffle_keys: bool = True,
+) -> list[tuple]:
+    """Rows whose ``u < SKEW_THRESHOLD`` selectivity varies by position.
+
+    Within a region of selectivity ``s``, a row passes (u drawn below the
+    threshold) iff its deterministic hash draw is below ``s``; passing rows
+    get ``u`` in [0, 0.5) and failing rows get ``u`` in [0.5, 1), so the
+    fixed predicate ``u < 0.5`` realizes the per-region selectivity.
+    """
+    if abs(sum(r.fraction for r in regions) - 1.0) > 1e-9:
+        raise ValueError("region fractions must sum to 1")
+    boundaries = []
+    start = 0
+    for region in regions:
+        end = start + round(region.fraction * num_tuples)
+        boundaries.append((start, min(end, num_tuples), region.selectivity))
+        start = end
+    if boundaries:
+        first, last_end, sel = boundaries[-1]
+        boundaries[-1] = (first, num_tuples, sel)
+
+    keys = list(range(num_tuples))
+    if shuffle_keys:
+        keys = stable_shuffle(keys, seed)
+
+    rows = []
+    for region_start, region_end, sel in boundaries:
+        for i in range(region_start, region_end):
+            draw = hash_unit(i, salt=seed)
+            if draw < sel:
+                u = (draw / max(sel, 1e-12)) * SKEW_THRESHOLD
+            else:
+                remaining = max(1.0 - sel, 1e-12)
+                u = SKEW_THRESHOLD + ((draw - sel) / remaining) * SKEW_THRESHOLD
+            rows.append((keys[i], u, i))
+    return rows
+
+
+def effective_selectivity(regions: Sequence[SkewRegion]) -> float:
+    """Table-level selectivity a static optimizer would estimate."""
+    return sum(r.fraction * r.selectivity for r in regions)
+
+
+def region_of_position(
+    regions: Sequence[SkewRegion], num_tuples: int, position: int
+) -> SkewRegion:
+    """Which skew region a tuple position falls into."""
+    start = 0
+    for region in regions:
+        end = start + round(region.fraction * num_tuples)
+        if position < end:
+            return region
+        start = end
+    return regions[-1]

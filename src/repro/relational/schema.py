@@ -1,0 +1,83 @@
+"""Schemas and rows.
+
+Rows are plain Python tuples for speed; a :class:`Schema` names the
+columns, records a nominal per-tuple byte width (the paper uses 200-byte
+tuples), and supports concatenation for join outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named column. ``dtype`` is informational ('int', 'float', 'str')."""
+
+    name: str
+    dtype: str = "int"
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered list of columns plus a nominal tuple width in bytes.
+
+    ``bytes_per_tuple`` drives the page math: with the default 200-byte
+    tuples and 20,000-byte pages, 100 tuples fit on a page — exactly the
+    paper's Example 9/10 setting.
+    """
+
+    columns: tuple[Column, ...]
+    bytes_per_tuple: int = 200
+
+    @staticmethod
+    def of(names: Sequence[str], bytes_per_tuple: int = 200) -> "Schema":
+        """Build a schema of integer columns from a list of names."""
+        return Schema(
+            columns=tuple(Column(n) for n in names),
+            bytes_per_tuple=bytes_per_tuple,
+        )
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def column_index(self, name: str) -> int:
+        for i, col in enumerate(self.columns):
+            if col.name == name:
+                return i
+        raise KeyError(f"no column named {name!r} in schema {self.names()}")
+
+    def names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def concat(self, other: "Schema") -> "Schema":
+        """Schema of the concatenation of a row of self with a row of other.
+
+        Column names from ``other`` that collide get a ``_r`` suffix, as a
+        join output would produce.
+        """
+        taken = set(self.names())
+        renamed = []
+        for col in other.columns:
+            name = col.name
+            while name in taken:
+                name = f"{name}_r"
+            taken.add(name)
+            renamed.append(Column(name, col.dtype))
+        return Schema(
+            columns=self.columns + tuple(renamed),
+            bytes_per_tuple=self.bytes_per_tuple + other.bytes_per_tuple,
+        )
+
+    def project(self, indexes: Sequence[int]) -> "Schema":
+        """Schema restricted to the given column indexes (in order)."""
+        cols = tuple(self.columns[i] for i in indexes)
+        if not cols:
+            raise ValueError("projection must keep at least one column")
+        per_col = max(1, self.bytes_per_tuple // max(1, len(self.columns)))
+        return Schema(columns=cols, bytes_per_tuple=per_col * len(cols))
+
+    def tuples_per_page(self, page_bytes: int) -> int:
+        """How many of this schema's tuples fit on a page of ``page_bytes``."""
+        return max(1, page_bytes // self.bytes_per_tuple)

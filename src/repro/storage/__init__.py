@@ -1,0 +1,29 @@
+"""Simulated storage manager (the PREDATOR/SHORE substitute).
+
+All I/O in the reproduction flows through :class:`SimulatedDisk`, which
+charges deterministic costs against a :class:`VirtualClock`. Experiments
+therefore measure *accounted* time, not wall-clock time; see DESIGN.md
+section 2 for why this substitution preserves the paper's results.
+"""
+
+from repro.storage.catalog import Catalog, TableStats
+from repro.storage.database import Database
+from repro.storage.disk import IOCostModel, IOCounters, SimulatedDisk, VirtualClock
+from repro.storage.heapfile import HeapFile, ScanCursor
+from repro.storage.index import OrderedIndex
+from repro.storage.statefile import DumpHandle, StateStore
+
+__all__ = [
+    "Catalog",
+    "Database",
+    "DumpHandle",
+    "HeapFile",
+    "IOCostModel",
+    "IOCounters",
+    "OrderedIndex",
+    "ScanCursor",
+    "SimulatedDisk",
+    "StateStore",
+    "TableStats",
+    "VirtualClock",
+]

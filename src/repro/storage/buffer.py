@@ -1,0 +1,71 @@
+"""An optional LRU buffer pool over the simulated disk.
+
+PREDATOR ran on SHORE, which caches pages in a buffer pool. The
+reproduction's experiments run *without* one by default: the paper's
+redo-cost economics assume tables far larger than RAM, where re-reads are
+real I/O — adding a pool sized like our scaled-down tables would let
+GoBack redo hit cache and distort every figure. The pool exists for
+realism studies and the cache-sensitivity tests: enable it by
+constructing ``Database(buffer_pool_pages=N)``.
+
+Semantics: a page access that hits the pool costs no disk time (a small
+CPU charge only); a miss charges a normal page read and admits the page,
+evicting the least-recently-used one beyond capacity. Writes are
+charged as usual (the store is no-steal/force with respect to dumps).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from repro.storage.disk import SimulatedDisk
+
+
+class BufferPool:
+    """Fixed-capacity LRU cache of page identities."""
+
+    def __init__(self, disk: SimulatedDisk, capacity_pages: int):
+        if capacity_pages <= 0:
+            raise ValueError("capacity_pages must be positive")
+        self._disk = disk
+        self.capacity = capacity_pages
+        self._lru: OrderedDict[Hashable, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def read_page(self, key: Hashable) -> float:
+        """Charge a page access through the pool; return the cost."""
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            self.hits += 1
+            return self._disk.charge_cpu_tuples(1)
+        self.misses += 1
+        cost = self._disk.read_pages(1)
+        self._admit(key)
+        return cost
+
+    def _admit(self, key: Hashable) -> None:
+        self._lru[key] = None
+        self._lru.move_to_end(key)
+        while len(self._lru) > self.capacity:
+            self._lru.popitem(last=False)
+            self.evictions += 1
+
+    def invalidate(self, key: Hashable) -> None:
+        self._lru.pop(key, None)
+
+    def clear(self) -> None:
+        self._lru.clear()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._lru
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

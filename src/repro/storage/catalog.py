@@ -1,0 +1,93 @@
+"""Catalog: table registry plus table-level statistics.
+
+The statistics exist for the *offline/static* suspend-plan optimizer
+baseline of Figure 12: it decides suspend strategies from table-level
+selectivity estimates, while the paper's online optimizer uses exact
+runtime state. Keeping the two information sources separate is the point
+of that experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import StorageError
+from repro.storage.heapfile import HeapFile
+from repro.storage.index import OrderedIndex
+
+
+@dataclass
+class TableStats:
+    """Table-level statistics available to the static optimizer."""
+
+    num_tuples: int = 0
+    num_pages: int = 0
+    # Estimated selectivity of known predicates keyed by a predicate label.
+    predicate_selectivity: dict[str, float] = field(default_factory=dict)
+
+    def selectivity_of(self, label: str, default: float = 1.0) -> float:
+        return self.predicate_selectivity.get(label, default)
+
+
+class Catalog:
+    """Registry of tables, indexes, and their statistics."""
+
+    def __init__(self):
+        self._tables: dict[str, HeapFile] = {}
+        self._indexes: dict[str, OrderedIndex] = {}
+        self._stats: dict[str, TableStats] = {}
+
+    def register_table(self, table: HeapFile) -> None:
+        if table.name in self._tables:
+            raise StorageError(f"table {table.name!r} already registered")
+        self._tables[table.name] = table
+        self._stats[table.name] = TableStats(
+            num_tuples=table.num_tuples, num_pages=table.num_pages
+        )
+
+    def table(self, name: str) -> HeapFile:
+        if name not in self._tables:
+            raise StorageError(f"unknown table {name!r}")
+        return self._tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self._tables
+
+    def register_index(self, index: OrderedIndex) -> None:
+        if index.name in self._indexes:
+            raise StorageError(f"index {index.name!r} already registered")
+        self._indexes[index.name] = index
+
+    def index(self, name: str) -> OrderedIndex:
+        if name not in self._indexes:
+            raise StorageError(f"unknown index {name!r}")
+        return self._indexes[name]
+
+    def stats(self, name: str) -> TableStats:
+        if name not in self._stats:
+            raise StorageError(f"no statistics for table {name!r}")
+        return self._stats[name]
+
+    def set_predicate_selectivity(
+        self, table_name: str, label: str, selectivity: float
+    ) -> None:
+        """Record a table-level selectivity estimate for a predicate label."""
+        if not 0.0 <= selectivity <= 1.0:
+            raise ValueError(f"selectivity {selectivity} outside [0, 1]")
+        self.stats(table_name).predicate_selectivity[label] = selectivity
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def index_names(self) -> list[str]:
+        return sorted(self._indexes)
+
+    def refresh_stats(self, name: Optional[str] = None) -> None:
+        """Recompute cardinality stats from the stored tables."""
+        names = [name] if name else list(self._tables)
+        for table_name in names:
+            table = self.table(table_name)
+            stats = self._stats[table_name]
+            stats.num_tuples = table.num_tuples
+            stats.num_pages = table.num_pages

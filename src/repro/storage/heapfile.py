@@ -1,0 +1,174 @@
+"""Heap files: paged table storage with positional cursors.
+
+A heap file stores rows in fixed-capacity pages. Reading a page through a
+cursor charges one page read on the simulated disk. Cursor positions
+``(page_no, slot)`` are the control state that table scans record in
+contracts and in the SuspendedQuery structure (Section 4 of the paper:
+"the current disk page location and position within that disk page").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional, Sequence
+
+from repro.common.errors import StorageError
+from repro.relational.schema import Schema
+from repro.storage.disk import SimulatedDisk
+
+Row = tuple
+
+
+@dataclass(frozen=True)
+class TuplePosition:
+    """A stable position inside a heap file: page number and slot."""
+
+    page_no: int
+    slot: int
+
+    def as_tuple(self) -> tuple[int, int]:
+        return (self.page_no, self.slot)
+
+
+class HeapFile:
+    """A paged, append-only table file.
+
+    Pages hold up to ``tuples_per_page`` rows. ``bulk_load`` populates the
+    file without charging I/O (data loading is experiment setup, not
+    measured work); all read paths charge the simulated disk.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: Schema,
+        disk: SimulatedDisk,
+        tuples_per_page: int = 100,
+        buffer_pool=None,
+    ):
+        if tuples_per_page <= 0:
+            raise ValueError(f"tuples_per_page must be positive, got {tuples_per_page}")
+        self.name = name
+        self.schema = schema
+        self.tuples_per_page = tuples_per_page
+        self._disk = disk
+        self._pool = buffer_pool
+        self._pages: list[list[Row]] = []
+        self._num_tuples = 0
+
+    @property
+    def num_tuples(self) -> int:
+        return self._num_tuples
+
+    @property
+    def num_pages(self) -> int:
+        return len(self._pages)
+
+    def bulk_load(self, rows: Iterable[Row]) -> None:
+        """Append ``rows`` without charging I/O (setup-time loading)."""
+        for row in rows:
+            if not self._pages or len(self._pages[-1]) >= self.tuples_per_page:
+                self._pages.append([])
+            self._pages[-1].append(row)
+            self._num_tuples += 1
+
+    def read_page(self, page_no: int) -> Sequence[Row]:
+        """Return the rows on ``page_no``, charging one page read.
+
+        With a buffer pool attached, a cached page costs only a CPU
+        charge (see :mod:`repro.storage.buffer`).
+        """
+        if not 0 <= page_no < len(self._pages):
+            raise StorageError(
+                f"table {self.name!r}: page {page_no} out of range "
+                f"[0, {len(self._pages)})"
+            )
+        if self._pool is not None:
+            self._pool.read_page((self.name, page_no))
+        else:
+            self._disk.read_pages(1)
+        return self._pages[page_no]
+
+    def peek_page(self, page_no: int) -> Sequence[Row]:
+        """Return the rows on ``page_no`` without charging (testing only)."""
+        return self._pages[page_no]
+
+    def position_of(self, tuple_index: int) -> TuplePosition:
+        """Map a global tuple index to its (page, slot) position."""
+        if not 0 <= tuple_index < self._num_tuples:
+            raise StorageError(
+                f"table {self.name!r}: tuple index {tuple_index} out of range"
+            )
+        return TuplePosition(
+            page_no=tuple_index // self.tuples_per_page,
+            slot=tuple_index % self.tuples_per_page,
+        )
+
+    def cursor(self) -> "ScanCursor":
+        """Open a sequential cursor positioned before the first tuple."""
+        return ScanCursor(self)
+
+    def all_rows(self) -> Iterator[Row]:
+        """Iterate all rows without charging (testing / reference output)."""
+        for page in self._pages:
+            yield from page
+
+
+class ScanCursor:
+    """Sequential cursor over a heap file with explicit repositioning.
+
+    The cursor charges one page read each time it steps onto a new page.
+    ``position()`` / ``seek()`` expose the (page, slot) control state used
+    by table-scan contracts: seeking back and re-reading pages is exactly
+    the "redo" cost of a GoBack scan.
+    """
+
+    def __init__(self, heapfile: HeapFile):
+        self._file = heapfile
+        self._page_no = 0
+        self._slot = 0
+        self._page_rows: Optional[Sequence[Row]] = None
+        self._pages_fetched = 0
+
+    @property
+    def pages_fetched(self) -> int:
+        """Pages this cursor has charged so far (for work accounting)."""
+        return self._pages_fetched
+
+    def position(self) -> TuplePosition:
+        """Position of the *next* tuple this cursor would return."""
+        return TuplePosition(self._page_no, self._slot)
+
+    def tuples_consumed(self) -> int:
+        """Number of tuples returned so far (global index of next tuple)."""
+        return self._page_no * self._file.tuples_per_page + self._slot
+
+    def seek(self, position: TuplePosition) -> None:
+        """Reposition so the next tuple returned is at ``position``.
+
+        Seeking invalidates the cached page; the next fetch charges a read.
+        """
+        self._page_no = position.page_no
+        self._slot = position.slot
+        self._page_rows = None
+
+    def rewind(self) -> None:
+        """Reposition to the start of the file."""
+        self.seek(TuplePosition(0, 0))
+
+    def next(self) -> Optional[Row]:
+        """Return the next row, or None at end of file."""
+        while True:
+            if self._page_no >= self._file.num_pages:
+                return None
+            if self._page_rows is None:
+                self._page_rows = self._file.read_page(self._page_no)
+                self._pages_fetched += 1
+            if self._slot < len(self._page_rows):
+                row = self._page_rows[self._slot]
+                self._slot += 1
+                return row
+            # Page exhausted (possibly a short final page): advance.
+            self._page_no += 1
+            self._slot = 0
+            self._page_rows = None

@@ -1,0 +1,108 @@
+"""Ordered (B+-tree-like) index over a heap file column.
+
+The index supports equality probes and ordered range scans, charging a
+root-to-leaf traversal of ``height`` page reads per probe plus one page
+read per ``entries_per_page`` entries scanned at the leaf level. This is
+the substrate for index scans and for the paper's "tuple-based NLJ with an
+index on inner" operator (Section 4).
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heapfile import HeapFile, Row
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """A leaf entry: key value plus the global tuple index in the table."""
+
+    key: object
+    tuple_index: int
+
+
+class OrderedIndex:
+    """A sorted index on one column of a heap file.
+
+    Cost model: an equality probe charges ``height`` page reads (the
+    root-to-leaf path); scanning matching entries charges one page read per
+    ``entries_per_page`` consecutive entries; fetching the base tuple
+    charges one page read per base page touched.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        table: HeapFile,
+        key_column: int,
+        disk: SimulatedDisk,
+        entries_per_page: int = 500,
+        fanout: int = 200,
+    ):
+        if entries_per_page <= 0:
+            raise ValueError("entries_per_page must be positive")
+        if fanout <= 1:
+            raise ValueError("fanout must exceed 1")
+        self.name = name
+        self.table = table
+        self.key_column = key_column
+        self.entries_per_page = entries_per_page
+        self.fanout = fanout
+        self._disk = disk
+        entries = sorted(
+            (row[key_column], i) for i, row in enumerate(table.all_rows())
+        )
+        self._keys = [key for key, _ in entries]
+        self._tuple_indexes = [idx for _, idx in entries]
+
+    @property
+    def num_entries(self) -> int:
+        return len(self._keys)
+
+    @property
+    def height(self) -> int:
+        """Tree height: page reads charged for one root-to-leaf traversal."""
+        leaves = max(1, math.ceil(len(self._keys) / self.entries_per_page))
+        if leaves <= 1:
+            return 1
+        return 1 + math.ceil(math.log(leaves, self.fanout))
+
+    def probe_range(self, key: object) -> tuple[int, int]:
+        """Return the [lo, hi) entry range matching ``key``; charges traversal."""
+        self._disk.read_pages(self.height)
+        lo = bisect.bisect_left(self._keys, key)
+        hi = bisect.bisect_right(self._keys, key)
+        return lo, hi
+
+    def entries_between(self, lo: int, hi: int) -> Iterator[IndexEntry]:
+        """Yield entries in [lo, hi), charging leaf-page reads as consumed."""
+        for i in range(lo, hi):
+            if i == lo or i % self.entries_per_page == 0:
+                self._disk.read_pages(1)
+            yield IndexEntry(self._keys[i], self._tuple_indexes[i])
+
+    def entry_at(self, i: int) -> IndexEntry:
+        """Return leaf entry ``i`` without charging (caller charges pages)."""
+        return IndexEntry(self._keys[i], self._tuple_indexes[i])
+
+    def fetch(self, entry: IndexEntry) -> Row:
+        """Fetch the base-table row for ``entry``, charging one page read."""
+        pos = self.table.position_of(entry.tuple_index)
+        page = self.table.read_page(pos.page_no)
+        return page[pos.slot]
+
+    def lookup_rows(self, key: object) -> list[Row]:
+        """Probe ``key`` and fetch every matching base row (charged)."""
+        lo, hi = self.probe_range(key)
+        return [self.fetch(e) for e in self.entries_between(lo, hi)]
+
+    def first_ge(self, key: object) -> Optional[int]:
+        """Entry index of the first key >= ``key`` (charges a traversal)."""
+        self._disk.read_pages(self.height)
+        i = bisect.bisect_left(self._keys, key)
+        return i if i < len(self._keys) else None

@@ -1,0 +1,112 @@
+"""State store: the disk area for DumpState dumps, sort sublists, hash
+partitions, and the SuspendedQuery structure itself.
+
+Dumping heap state charges page writes proportional to the state's size in
+pages; reading it back charges page reads. The stored payload is kept as a
+Python object (the "disk" is simulated), but all access is mediated by
+handles so the charging discipline cannot be bypassed accidentally.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence
+
+from repro.common.errors import StorageError
+from repro.storage.disk import SimulatedDisk
+
+
+@dataclass(frozen=True)
+class DumpHandle:
+    """Opaque reference to a stored payload and its size in pages."""
+
+    store_id: int
+    key: str
+    pages: int
+
+
+class StateStore:
+    """Keyed object store with page-granular I/O charging.
+
+    Three classes of content live here:
+
+    - heap-state dumps made by the DumpState strategy at suspend time,
+    - operator disk-resident state (sorted sublists, hash partitions),
+      which the paper treats as immutable *materialization points*,
+    - serialized SuspendedQuery structures.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, disk: SimulatedDisk):
+        self._disk = disk
+        self._store_id = next(self._ids)
+        self._objects: dict[str, tuple[Any, int]] = {}
+        self._key_seq = itertools.count(1)
+
+    def fresh_key(self, prefix: str) -> str:
+        """Generate a unique key with the given prefix."""
+        return f"{prefix}#{next(self._key_seq)}"
+
+    def dump(self, key: str, payload: Any, pages: int) -> DumpHandle:
+        """Store ``payload`` under ``key``, charging ``pages`` page writes."""
+        if pages < 0:
+            raise ValueError(f"negative page count {pages}")
+        self._disk.write_pages(pages)
+        self._objects[key] = (payload, pages)
+        return DumpHandle(self._store_id, key, pages)
+
+    def dump_tuples(
+        self, key: str, rows: Sequence, tuples_per_page: int
+    ) -> DumpHandle:
+        """Store a tuple collection, charging writes for its size in pages."""
+        if tuples_per_page <= 0:
+            raise ValueError("tuples_per_page must be positive")
+        pages = math.ceil(len(rows) / tuples_per_page) if rows else 0
+        return self.dump(key, list(rows), pages)
+
+    def load(self, handle: DumpHandle) -> Any:
+        """Read back a payload, charging its size in page reads."""
+        self._check_handle(handle)
+        payload, pages = self._objects[handle.key]
+        self._disk.read_pages(pages)
+        return payload
+
+    def load_pages_range(self, handle: DumpHandle, first_page: int) -> Any:
+        """Read back only pages ``[first_page, pages)`` of a tuple dump.
+
+        Used when resume can skip a prefix of the dumped state (e.g. sort
+        sublists already consumed). Returns the full payload but charges
+        only the unread suffix.
+        """
+        self._check_handle(handle)
+        payload, pages = self._objects[handle.key]
+        remaining = max(0, pages - first_page)
+        self._disk.read_pages(remaining)
+        return payload
+
+    def peek(self, handle: DumpHandle) -> Any:
+        """Read a payload without charging (testing only)."""
+        self._check_handle(handle)
+        return self._objects[handle.key][0]
+
+    def free(self, handle: DumpHandle) -> None:
+        """Release a payload. Freeing is not charged (deallocation)."""
+        self._check_handle(handle)
+        del self._objects[handle.key]
+
+    def exists(self, key: str) -> bool:
+        return key in self._objects
+
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def _check_handle(self, handle: DumpHandle) -> None:
+        if handle.store_id != self._store_id:
+            raise StorageError(
+                f"handle {handle.key!r} belongs to a different state store"
+            )
+        if handle.key not in self._objects:
+            raise StorageError(f"no payload stored under key {handle.key!r}")

@@ -1,0 +1,27 @@
+"""The paper's experimental workloads (Section 6), scaled parametrically.
+
+All builders default to ``scale=100``: table sizes and buffer sizes are
+the paper's divided by 100, which preserves every ratio the experiments
+depend on (buffer-fill fraction, selectivity, state size relative to
+table size) while keeping pure-Python execution fast. Costs are measured
+in simulated I/O time units, so the absolute scale only changes units,
+never shapes (see DESIGN.md section 2).
+"""
+
+from repro.workloads.plans import (
+    build_complex_plan,
+    build_left_deep_nlj,
+    build_nlj_chain,
+    build_nlj_s,
+    build_skewed_nlj_s,
+    build_smj_s,
+)
+
+__all__ = [
+    "build_complex_plan",
+    "build_left_deep_nlj",
+    "build_nlj_chain",
+    "build_nlj_s",
+    "build_skewed_nlj_s",
+    "build_smj_s",
+]

@@ -1,0 +1,289 @@
+"""Builders for the paper's query plans.
+
+Each builder returns ``(db, plan_spec)`` — a freshly populated database
+and the plan to run on it. Operator labels are stable so experiments can
+address them (e.g. ``rt.op_named("nlj")``).
+
+Paper parameters (Section 6.1/6.2), divided by ``scale``:
+
+- NLJ_S (Figure 6): block NLJ over filter(scan R) with scan T inner;
+  R has 2.2M tuples, the outer buffer holds 200,000.
+- SMJ_S (Figure 7): merge join of sort(filter(scan R)) and sort(scan T);
+  sort buffers hold 200,000 tuples.
+- Figure 12 variant: R has ~3M tuples with skewed selectivity
+  (0.1 for the first two-thirds, 0.9 after; effective ~0.385).
+- Complex plan (Figure 11): 10 operators mixing NLJs, a merge join,
+  sorts, a filter, and scans; R has 2.2M tuples, filter selectivity 0.1,
+  NLJ/sort buffers 200,000.
+- Left-deep NLJ plans (Figure 14 / Table 2): chains of block NLJs with
+  scans at the leaves.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.engine.plan import (
+    FilterSpec,
+    MergeJoinSpec,
+    NLJSpec,
+    PlanSpec,
+    ScanSpec,
+    SortSpec,
+)
+from repro.relational.datagen import (
+    BASE_SCHEMA,
+    FIGURE12_SKEW,
+    SKEW_THRESHOLD,
+    generate_skewed_table,
+    generate_uniform_table,
+)
+from repro.relational.expressions import (
+    ColumnCompare,
+    EquiJoinCondition,
+    UniformSelect,
+)
+from repro.storage.database import Database
+
+#: Paper-scale constants (before division by ``scale``).
+PAPER_R_TUPLES = 2_200_000
+PAPER_SKEWED_R_TUPLES = 3_000_000
+PAPER_BUFFER_TUPLES = 200_000
+PAPER_INNER_TUPLES = 220_000
+
+
+def _scaled(value: int, scale: int) -> int:
+    return max(1, value // scale)
+
+
+def build_nlj_s(
+    selectivity: float,
+    scale: int = 100,
+    seed: int = 7,
+    inner_tuples: Optional[int] = None,
+) -> tuple[Database, PlanSpec]:
+    """The NLJ_S plan of Figure 6 at 1/scale of the paper's size."""
+    db = Database()
+    r_n = _scaled(PAPER_R_TUPLES, scale)
+    t_n = _scaled(
+        inner_tuples if inner_tuples is not None else PAPER_INNER_TUPLES, scale
+    )
+    db.create_table("R", BASE_SCHEMA, generate_uniform_table(r_n, seed=seed))
+    db.create_table("T", BASE_SCHEMA, generate_uniform_table(t_n, seed=seed + 1))
+    db.catalog.set_predicate_selectivity("R", "uniform", selectivity)
+    plan = NLJSpec(
+        outer=FilterSpec(
+            ScanSpec("R", label="scan_R"),
+            UniformSelect(1, selectivity),
+            label="filter",
+        ),
+        inner=ScanSpec("T", label="scan_T"),
+        condition=EquiJoinCondition(0, 0, modulus=1000),
+        buffer_tuples=_scaled(PAPER_BUFFER_TUPLES, scale),
+        label="nlj",
+    )
+    return db, plan
+
+
+def build_smj_s(
+    selectivity: float, scale: int = 100, seed: int = 11
+) -> tuple[Database, PlanSpec]:
+    """The SMJ_S plan of Figure 7 at 1/scale of the paper's size."""
+    db = Database()
+    r_n = _scaled(PAPER_R_TUPLES, scale)
+    t_n = _scaled(PAPER_R_TUPLES, scale)
+    db.create_table("R", BASE_SCHEMA, generate_uniform_table(r_n, seed=seed))
+    db.create_table("T", BASE_SCHEMA, generate_uniform_table(t_n, seed=seed + 1))
+    db.catalog.set_predicate_selectivity("R", "uniform", selectivity)
+    buffer = _scaled(PAPER_BUFFER_TUPLES, scale)
+    plan = MergeJoinSpec(
+        left=SortSpec(
+            FilterSpec(
+                ScanSpec("R", label="scan_R"),
+                UniformSelect(1, selectivity),
+                label="filter",
+            ),
+            key_columns=(0,),
+            buffer_tuples=buffer,
+            label="sort_R",
+        ),
+        right=SortSpec(
+            ScanSpec("T", label="scan_T"),
+            key_columns=(0,),
+            buffer_tuples=buffer,
+            label="sort_T",
+        ),
+        condition=EquiJoinCondition(0, 0),
+        label="mj",
+    )
+    return db, plan
+
+
+def build_skewed_nlj_s(
+    scale: int = 100, seed: int = 13
+) -> tuple[Database, PlanSpec]:
+    """The Figure 12 setup: NLJ_S over the skewed 3M-tuple table.
+
+    The filter keeps rows with ``u < 0.5``; the generator arranges ``u``
+    so the first two-thirds of the table pass at rate 0.1 and the rest at
+    0.9. The catalog records only the table-level effective selectivity,
+    which is all the static optimizer gets to see.
+    """
+    db = Database()
+    r_n = _scaled(PAPER_SKEWED_R_TUPLES, scale)
+    t_n = _scaled(PAPER_INNER_TUPLES, scale)
+    db.create_table(
+        "R", BASE_SCHEMA, generate_skewed_table(r_n, FIGURE12_SKEW, seed=seed)
+    )
+    db.create_table("T", BASE_SCHEMA, generate_uniform_table(t_n, seed=seed + 1))
+    effective = sum(r.fraction * r.selectivity for r in FIGURE12_SKEW)
+    db.catalog.set_predicate_selectivity("R", "column_compare", effective)
+    plan = NLJSpec(
+        outer=FilterSpec(
+            ScanSpec("R", label="scan_R"),
+            ColumnCompare(1, "<", SKEW_THRESHOLD),
+            label="filter",
+        ),
+        inner=ScanSpec("T", label="scan_T"),
+        condition=EquiJoinCondition(0, 0, modulus=1000),
+        buffer_tuples=_scaled(PAPER_BUFFER_TUPLES, scale),
+        label="nlj",
+    )
+    return db, plan
+
+
+def build_complex_plan(
+    scale: int = 100,
+    selectivity: float = 0.1,
+    seed: int = 17,
+) -> tuple[Database, PlanSpec]:
+    """The 10-operator complex plan of Figure 11.
+
+    Shape::
+
+        NLJ0( NLJ1( Filter(Scan R), Scan T ),
+              Sort( MJ( Sort(Scan S), Scan U ) ) )
+
+    Ten operators: two block NLJs, a sort-merge join, two external sorts,
+    a selectivity-0.1 filter, and four scans, with the paper's R size and
+    200,000-tuple buffers (scaled). NLJ1's heap state is expensive to
+    recompute (it sits right above the selective filter) while NLJ0's is
+    cheap (its input replays from NLJ1's buffer and a small scan), so —
+    as in the paper — the optimal suspend plan is a *hybrid*, not either
+    purist extreme.
+    """
+    db = Database()
+    r_n = _scaled(PAPER_R_TUPLES, scale)
+    other_n = _scaled(PAPER_INNER_TUPLES, scale)
+    db.create_table("R", BASE_SCHEMA, generate_uniform_table(r_n, seed=seed))
+    db.create_table("S", BASE_SCHEMA, generate_uniform_table(other_n, seed=seed + 1))
+    db.create_table("T", BASE_SCHEMA, generate_uniform_table(other_n, seed=seed + 2))
+    # U is stored in key order so the merge join can scan it directly.
+    db.create_table(
+        "U",
+        BASE_SCHEMA,
+        generate_uniform_table(other_n, seed=seed + 3, shuffle_keys=False),
+    )
+    db.catalog.set_predicate_selectivity("R", "uniform", selectivity)
+    buffer = _scaled(PAPER_BUFFER_TUPLES, scale)
+    nlj1 = NLJSpec(
+        outer=FilterSpec(
+            ScanSpec("R", label="scan_R"),
+            UniformSelect(1, selectivity),
+            label="filter",
+        ),
+        inner=ScanSpec("T", label="scan_T"),
+        condition=EquiJoinCondition(0, 0, modulus=500),
+        buffer_tuples=buffer,
+        label="nlj1",
+    )
+    mj = MergeJoinSpec(
+        left=SortSpec(
+            ScanSpec("S", label="scan_S"),
+            key_columns=(0,),
+            buffer_tuples=buffer,
+            label="sort_S",
+        ),
+        right=ScanSpec("U", label="scan_U"),
+        condition=EquiJoinCondition(0, 0),
+        label="mj",
+    )
+    nlj0 = NLJSpec(
+        outer=nlj1,
+        inner=SortSpec(mj, key_columns=(0,), buffer_tuples=buffer, label="sort_M"),
+        condition=EquiJoinCondition(0, 0, modulus=500),
+        buffer_tuples=buffer,
+        label="nlj0",
+    )
+    return db, nlj0
+
+
+def build_left_deep_nlj(
+    buffer_tuples: Sequence[int] = (50_000, 100_000, 200_000),
+    selectivity: float = 0.1,
+    scale: int = 100,
+    seed: int = 19,
+) -> tuple[Database, PlanSpec]:
+    """The Figure 14 plan: a left-deep chain of block NLJs over a filter.
+
+    ``buffer_tuples`` gives each NLJ's outer buffer size bottom-up (the
+    paper uses "different outer buffer sizes").
+    """
+    db = Database()
+    r_n = _scaled(PAPER_R_TUPLES, scale)
+    inner_n = _scaled(PAPER_INNER_TUPLES, scale)
+    db.create_table("R", BASE_SCHEMA, generate_uniform_table(r_n, seed=seed))
+    db.catalog.set_predicate_selectivity("R", "uniform", selectivity)
+    current: PlanSpec = FilterSpec(
+        ScanSpec("R", label="scan_R"), UniformSelect(1, selectivity), label="filter"
+    )
+    key_col = 0
+    for level, buf in enumerate(buffer_tuples):
+        inner_name = f"I{level}"
+        db.create_table(
+            inner_name,
+            BASE_SCHEMA,
+            generate_uniform_table(inner_n, seed=seed + 1 + level),
+        )
+        current = NLJSpec(
+            outer=current,
+            inner=ScanSpec(inner_name, label=f"scan_{inner_name}"),
+            condition=EquiJoinCondition(key_col, 0, modulus=400),
+            buffer_tuples=_scaled(buf, scale),
+            label=f"nlj{level}",
+        )
+        key_col = 0  # join on the leftmost column of the composite row
+    return db, current
+
+
+def build_nlj_chain(
+    num_operators: int, scale: int = 2000, seed: int = 23
+) -> tuple[Database, PlanSpec]:
+    """Left-deep NLJ chains for Table 2 (optimizer timing).
+
+    A plan with k operators has (k-1)/2 NLJ operators in a chain with
+    table scans at the leaves — the paper's worst case for the number of
+    MIP variables and constraints. ``num_operators`` must be odd.
+    """
+    if num_operators < 3 or num_operators % 2 == 0:
+        raise ValueError("num_operators must be an odd integer >= 3")
+    num_nljs = (num_operators - 1) // 2
+    db = Database()
+    base_n = _scaled(PAPER_R_TUPLES, scale)
+    db.create_table("T0", BASE_SCHEMA, generate_uniform_table(base_n, seed=seed))
+    current: PlanSpec = ScanSpec("T0", label="scan_T0")
+    for level in range(num_nljs):
+        name = f"T{level + 1}"
+        db.create_table(
+            name,
+            BASE_SCHEMA,
+            generate_uniform_table(base_n, seed=seed + 1 + level),
+        )
+        current = NLJSpec(
+            outer=current,
+            inner=ScanSpec(name, label=f"scan_{name}"),
+            condition=EquiJoinCondition(0, 0, modulus=50),
+            buffer_tuples=max(2, base_n // 4),
+            label=f"nlj{level}",
+        )
+    return db, current

@@ -1,0 +1,94 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, QuerySession
+from repro.engine.plan import (
+    FilterSpec,
+    MergeJoinSpec,
+    NLJSpec,
+    ScanSpec,
+    SortSpec,
+)
+from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
+from repro.relational.expressions import EquiJoinCondition, UniformSelect
+
+
+def make_small_db(r_tuples: int = 300, s_tuples: int = 200) -> Database:
+    """A database with two small deterministic tables R and S."""
+    db = Database()
+    db.create_table("R", BASE_SCHEMA, generate_uniform_table(r_tuples, seed=1))
+    db.create_table("S", BASE_SCHEMA, generate_uniform_table(s_tuples, seed=2))
+    return db
+
+
+def tiny_nlj_plan(
+    selectivity: float = 0.5, buffer_tuples: int = 40, modulus: int = 40
+) -> NLJSpec:
+    """NLJ(filter(scan R), scan S) used across the engine tests."""
+    return NLJSpec(
+        outer=FilterSpec(
+            ScanSpec("R", label="scan_R"),
+            UniformSelect(1, selectivity),
+            label="filter",
+        ),
+        inner=ScanSpec("S", label="scan_S"),
+        condition=EquiJoinCondition(0, 0, modulus=modulus),
+        buffer_tuples=buffer_tuples,
+        label="nlj",
+    )
+
+
+def tiny_smj_plan(selectivity: float = 0.6) -> MergeJoinSpec:
+    """MJ(sort(filter(scan R)), sort(scan S)) on exact key equality."""
+    return MergeJoinSpec(
+        left=SortSpec(
+            FilterSpec(
+                ScanSpec("R", label="scan_R"),
+                UniformSelect(1, selectivity),
+                label="filter",
+            ),
+            key_columns=(0,),
+            buffer_tuples=50,
+            label="sort_R",
+        ),
+        right=SortSpec(
+            ScanSpec("S", label="scan_S"),
+            key_columns=(0,),
+            buffer_tuples=60,
+            label="sort_S",
+        ),
+        condition=EquiJoinCondition(0, 0),
+        label="mj",
+    )
+
+
+def reference_rows(db_factory, plan) -> list:
+    """Output of an uninterrupted run."""
+    db = db_factory()
+    return QuerySession(db, plan).execute().rows
+
+
+def suspend_resume_rows(
+    db_factory, plan, point: int, strategy: str, **suspend_kwargs
+) -> list:
+    """Output of run-to-point, suspend, resume, run-to-completion.
+
+    Returns None when the query completed before the suspend point.
+    """
+    db = db_factory()
+    session = QuerySession(db, plan)
+    first = session.execute(max_rows=point)
+    if session.status.value == "completed":
+        return None
+    sq = session.suspend(strategy=strategy, **suspend_kwargs)
+    resumed = QuerySession.resume(db, sq)
+    rest = resumed.execute()
+    return first.rows + rest.rows
+
+
+@pytest.fixture
+def small_db() -> Database:
+    return make_small_db()

@@ -1,0 +1,239 @@
+"""Unit tests for checkpoints, contracts, and contract-graph maintenance."""
+
+import pytest
+
+from repro import QuerySession
+from repro.common.errors import ContractError
+from repro.core.checkpoint import Checkpoint, Contract, control_state_bytes
+from repro.core.contract_graph import ContractGraph
+
+from tests.conftest import make_small_db, tiny_nlj_plan, tiny_smj_plan
+
+
+def ckpt(graph, op_id, payload=None, reactive=False):
+    c = Checkpoint(
+        op_id=op_id,
+        seq=graph.next_seq(op_id),
+        payload=payload or {},
+        work_at=0.0,
+        emitted_at=0,
+        reactive=reactive,
+    )
+    return graph.add_checkpoint(c)
+
+
+def contract(graph, parent_ckpt, child_op, child_ckpt, control=None):
+    c = Contract(
+        parent_op_id=parent_ckpt.op_id,
+        child_op_id=child_op,
+        control=control or {},
+        child_ckpt_id=child_ckpt.ckpt_id,
+        anchor_ckpt_id=parent_ckpt.ckpt_id,
+    )
+    return graph.add_contract(c)
+
+
+class TestContractBasics:
+    def test_contract_requires_exactly_one_anchor(self):
+        with pytest.raises(ValueError):
+            Contract(
+                parent_op_id=0, child_op_id=1, control={}, child_ckpt_id=1
+            )
+
+    def test_contract_against_unknown_checkpoint_rejected(self):
+        graph = ContractGraph()
+        parent = ckpt(graph, 0)
+        with pytest.raises(ContractError):
+            graph.add_contract(
+                Contract(
+                    parent_op_id=0,
+                    child_op_id=1,
+                    control={},
+                    child_ckpt_id=999,
+                    anchor_ckpt_id=parent.ckpt_id,
+                )
+            )
+
+    def test_control_state_bytes_small_for_scalars(self):
+        assert control_state_bytes({"page": 1, "slot": 2}) < 200
+
+    def test_control_state_bytes_charges_saved_rows(self):
+        small = control_state_bytes({"saved_rows": []})
+        big = control_state_bytes({"saved_rows": [(1, 2, 3)] * 10})
+        assert big - small == 10 * 200
+
+    def test_control_state_bytes_charges_full_state_heap(self):
+        flat = control_state_bytes({"heap": [(1,)] * 5})
+        nested = control_state_bytes({"heap": {"a": [(1,)] * 3, "b": [(2,)] * 2}})
+        assert flat >= 5 * 200
+        assert nested >= 5 * 200
+
+
+class TestLookups:
+    def test_latest_checkpoint_tracks_newest(self):
+        graph = ContractGraph()
+        first = ckpt(graph, 7)
+        second = ckpt(graph, 7)
+        assert graph.latest_checkpoint(7) is second
+        assert first.seq < second.seq
+
+    def test_contract_from(self):
+        graph = ContractGraph()
+        p = ckpt(graph, 0)
+        c = ckpt(graph, 1)
+        ctr = contract(graph, p, 1, c)
+        assert graph.contract_from(p, 1) is ctr
+        assert graph.has_contract_from(p, 1)
+        assert not graph.has_contract_from(p, 2)
+
+    def test_contracts_of_child(self):
+        graph = ContractGraph()
+        p = ckpt(graph, 0)
+        c = ckpt(graph, 1)
+        contract(graph, p, 1, c)
+        assert len(graph.contracts_of_child(1)) == 1
+        assert graph.contracts_of_child(2) == []
+
+
+class TestPruning:
+    def test_unreferenced_old_checkpoint_pruned(self):
+        graph = ContractGraph()
+        old = ckpt(graph, 3)
+        new = ckpt(graph, 3)
+        removed = graph.prune()
+        assert removed == 1
+        with pytest.raises(ContractError):
+            graph.checkpoint(old.ckpt_id)
+        assert graph.checkpoint(new.ckpt_id) is new
+
+    def test_referenced_checkpoint_survives(self):
+        graph = ContractGraph()
+        parent = ckpt(graph, 0)
+        child_old = ckpt(graph, 1)
+        contract(graph, parent, 1, child_old)
+        ckpt(graph, 1)  # newer child checkpoint
+        graph.prune()
+        # old child checkpoint still referenced by the live contract
+        assert graph.checkpoint(child_old.ckpt_id) is child_old
+
+    def test_cascade_prune(self):
+        """Deleting a parent checkpoint kills its contracts and then the
+        child checkpoints those contracts kept alive (Example 8)."""
+        graph = ContractGraph()
+        p_old = ckpt(graph, 0)
+        c_old = ckpt(graph, 1)
+        contract(graph, p_old, 1, c_old)
+        ckpt(graph, 0)  # new parent ckpt
+        c_new = ckpt(graph, 1)  # new child ckpt
+        removed = graph.prune()
+        assert removed >= 3  # old parent ckpt, contract, old child ckpt
+        assert graph.latest_checkpoint(1) is c_new
+        assert graph.num_contracts == 0
+
+    def test_nested_contract_keeps_chain_alive(self):
+        graph = ContractGraph()
+        p = ckpt(graph, 0)
+        q_ck = ckpt(graph, 1)
+        outer = Contract(
+            parent_op_id=0,
+            child_op_id=1,
+            control={},
+            child_ckpt_id=q_ck.ckpt_id,
+            anchor_ckpt_id=p.ckpt_id,
+        )
+        s_ck = ckpt(graph, 2)
+        nested = Contract(
+            parent_op_id=1,
+            child_op_id=2,
+            control={},
+            child_ckpt_id=s_ck.ckpt_id,
+            anchor_contract_id=outer.contract_id,
+        )
+        outer.nested[2] = nested
+        graph.add_contract(outer)
+        ckpt(graph, 2)  # newer ckpt for op 2
+        graph.prune()
+        # nested contract anchored in the live outer contract keeps s_ck
+        assert graph.checkpoint(s_ck.ckpt_id) is s_ck
+        # now kill the anchor checkpoint: everything cascades
+        ckpt(graph, 0)
+        graph.prune()
+        with pytest.raises(ContractError):
+            graph.checkpoint(s_ck.ckpt_id)
+
+
+class TestMigration:
+    def test_migrates_when_no_output_since_signing(self):
+        graph = ContractGraph()
+        p = ckpt(graph, 0)
+        c_old = ckpt(graph, 1)
+        ctr = contract(graph, p, 1, c_old, control={"pos": 5})
+        c_new = ckpt(graph, 1)
+        moved = graph.migrate_contracts(
+            1, c_new, tuples_emitted=0, new_control={"pos": 9}, work_now=3.0
+        )
+        assert moved == 1
+        assert ctr.child_ckpt_id == c_new.ckpt_id
+        assert ctr.control == {"pos": 9}
+
+    def test_no_migration_after_output(self):
+        graph = ContractGraph()
+        p = ckpt(graph, 0)
+        c_old = ckpt(graph, 1)
+        ctr = Contract(
+            parent_op_id=0,
+            child_op_id=1,
+            control={},
+            child_ckpt_id=c_old.ckpt_id,
+            anchor_ckpt_id=p.ckpt_id,
+            emitted_at_signing=4,
+        )
+        graph.add_contract(ctr)
+        c_new = ckpt(graph, 1)
+        moved = graph.migrate_contracts(1, c_new, 9, {}, 0.0)
+        assert moved == 0
+        assert ctr.child_ckpt_id == c_old.ckpt_id
+
+    def test_saved_rows_block_migration(self):
+        graph = ContractGraph()
+        p = ckpt(graph, 0)
+        c_old = ckpt(graph, 1)
+        ctr = contract(graph, p, 1, c_old)
+        ctr.saved_rows = [(1,)]
+        c_new = ckpt(graph, 1)
+        assert graph.migrate_contracts(1, c_new, 0, {}, 0.0) == 0
+
+
+class TestTheorem1:
+    def test_bound_holds_during_nlj_execution(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan(selectivity=1.0, buffer_tuples=30))
+        session.execute()  # invariant checked after every checkpoint
+        graph = session.runtime.graph
+        graph.check_theorem1_bound(
+            num_operators=4, height=session.runtime.plan_height()
+        )
+
+    def test_bound_holds_during_smj_execution(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_smj_plan())
+        session.execute()
+        session.runtime.graph.check_theorem1_bound(6, 4)
+
+    def test_violation_detected(self):
+        graph = ContractGraph()
+        for _ in range(5):
+            # five live checkpoints of one operator, all kept alive by
+            # contracts from distinct parents
+            c = ckpt(graph, 9)
+            p = ckpt(graph, 100 + c.ckpt_id)
+            contract(graph, p, 9, c)
+        with pytest.raises(ContractError):
+            graph.check_theorem1_bound(num_operators=2, height=2)
+
+    def test_graph_stays_kilobytes_sized(self):
+        """Section 3.4: the whole graph is typically a few KB."""
+        db = make_small_db()
+        session = QuerySession(db, tiny_smj_plan())
+        session.execute(max_rows=50)
+        assert session.runtime.graph.total_nominal_bytes() < 20_000

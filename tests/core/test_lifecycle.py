@@ -1,0 +1,146 @@
+"""Unit tests for the execute/suspend/resume lifecycle."""
+
+import pytest
+
+from repro import Database, QuerySession, QueryStatus
+from repro.common.errors import ReproError
+from repro.engine.plan import ScanSpec
+
+from tests.conftest import make_small_db, tiny_nlj_plan
+
+
+class TestExecute:
+    def test_runs_to_completion(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan())
+        result = session.execute()
+        assert result.status is QueryStatus.COMPLETED
+        assert result.rows
+
+    def test_max_rows_pauses(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan())
+        result = session.execute(max_rows=10)
+        assert len(result.rows) == 10
+        assert session.status is QueryStatus.RUNNING
+        more = session.execute(max_rows=5)
+        assert len(more.rows) == 5
+        assert more.rows[0] != result.rows[0]
+
+    def test_collect_false_counts_without_storing(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan())
+        result = session.execute(max_rows=10, collect=False)
+        assert result.rows == []
+        assert session.rows == []
+
+    def test_elapsed_reports_virtual_time(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan())
+        result = session.execute(max_rows=10)
+        assert result.elapsed > 0
+
+    def test_cannot_execute_after_completion(self):
+        db = make_small_db()
+        session = QuerySession(db, ScanSpec("R"))
+        session.execute()
+        with pytest.raises(ReproError):
+            session.execute()
+
+
+class TestSuspendPhase:
+    def test_suspend_releases_operators(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan())
+        session.execute(max_rows=10)
+        session.suspend(strategy="all_dump")
+        assert session.status is QueryStatus.SUSPENDED
+        assert session.runtime.ops == {}
+
+    def test_cannot_suspend_twice(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan())
+        session.execute(max_rows=5)
+        session.suspend()
+        with pytest.raises(ReproError):
+            session.suspend()
+
+    def test_suspend_cost_recorded(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan())
+        session.execute(max_rows=5)
+        session.suspend(strategy="all_dump")
+        assert session.last_suspend_cost > 0
+
+    def test_goback_suspend_much_cheaper_than_dump(self):
+        """The core Figure 8 suspend-time claim."""
+        costs = {}
+        for strategy in ("all_dump", "all_goback"):
+            db = make_small_db()
+            session = QuerySession(
+                db, tiny_nlj_plan(selectivity=1.0, buffer_tuples=250)
+            )
+            session.execute(
+                suspend_when=lambda rt: rt.op_named("nlj").buffer_fill() >= 250
+            )
+            session.suspend(strategy=strategy)
+            costs[strategy] = session.last_suspend_cost
+        assert costs["all_goback"] < costs["all_dump"] / 2
+
+    def test_suspended_query_records_plans(self):
+        db = make_small_db()
+        plan = tiny_nlj_plan()
+        session = QuerySession(db, plan)
+        session.execute(max_rows=5)
+        sq = session.suspend(strategy="all_dump")
+        assert sq.plan_spec == plan
+        assert sq.suspend_plan.source == "all_dump"
+        assert sq.root_rows_emitted == 5
+        assert len(sq.entries) == 4
+
+
+class TestResumePhase:
+    def test_resume_continues_exactly(self):
+        db = make_small_db()
+        plan = tiny_nlj_plan()
+        ref = QuerySession(make_small_db(), plan).execute().rows
+        session = QuerySession(db, plan)
+        first = session.execute(max_rows=33)
+        sq = session.suspend(strategy="lp")
+        resumed = QuerySession.resume(db, sq)
+        assert resumed.status is QueryStatus.RUNNING
+        assert first.rows + resumed.execute().rows == ref
+
+    def test_resume_cost_recorded(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan())
+        session.execute(max_rows=5)
+        sq = session.suspend(strategy="all_dump")
+        resumed = QuerySession.resume(db, sq)
+        assert resumed.last_resume_cost > 0
+
+    def test_resume_twice_from_same_sq(self):
+        """Suspend during resume: discard the half-resumed query and
+        resume again later from the same SuspendedQuery (Section 3.3)."""
+        db = make_small_db()
+        plan = tiny_nlj_plan()
+        ref = QuerySession(make_small_db(), plan).execute().rows
+        session = QuerySession(db, plan)
+        first = session.execute(max_rows=12)
+        sq = session.suspend(strategy="lp")
+        discarded = QuerySession.resume(db, sq)
+        del discarded
+        resumed = QuerySession.resume(db, sq)
+        assert first.rows + resumed.execute().rows == ref
+
+    def test_suspend_immediately_after_resume(self):
+        db = make_small_db()
+        plan = tiny_nlj_plan()
+        ref = QuerySession(make_small_db(), plan).execute().rows
+        session = QuerySession(db, plan)
+        first = session.execute(max_rows=12)
+        sq = session.suspend(strategy="all_goback")
+        resumed = QuerySession.resume(db, sq)
+        sq2 = resumed.suspend(strategy="lp")  # no execution in between
+        final = QuerySession.resume(db, sq2)
+        assert first.rows + final.execute().rows == ref

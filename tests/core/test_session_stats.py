@@ -1,0 +1,54 @@
+"""Unit tests for session introspection (stats rows, plan rendering)."""
+
+import pytest
+
+from repro import QuerySession
+from repro.harness.report import format_table
+
+from tests.conftest import make_small_db, tiny_nlj_plan, tiny_smj_plan
+
+
+class TestStatsRows:
+    def test_one_row_per_operator(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_smj_plan())
+        session.execute(max_rows=30)
+        rows = session.stats_rows()
+        assert len(rows) == 6
+        assert {r["op"] for r in rows} >= {"mj", "sort_R", "sort_S"}
+
+    def test_work_and_emitted_populated(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan())
+        session.execute(max_rows=50)
+        rows = {r["op"]: r for r in session.stats_rows()}
+        assert rows["nlj"]["emitted"] == 50
+        assert rows["scan_R"]["work"] > 0
+        assert rows["nlj"]["heap_tuples"] > 0
+
+    def test_checkpoint_counts_visible(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan(buffer_tuples=30))
+        session.execute()
+        rows = {r["op"]: r for r in session.stats_rows()}
+        assert rows["nlj"]["latest_ckpt_seq"] >= 2
+        assert rows["nlj"]["checkpoints"] >= 1
+
+    def test_renders_as_table(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan())
+        session.execute(max_rows=5)
+        text = format_table(session.stats_rows())
+        assert "emitted" in text and "nlj" in text
+
+
+class TestDescribePlan:
+    def test_tree_indentation(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan())
+        text = session.describe_plan()
+        lines = text.splitlines()
+        assert lines[0].startswith("nlj")
+        assert lines[1].startswith("  filter")
+        assert lines[2].startswith("    scan_R")
+        assert lines[3].startswith("  scan_S")

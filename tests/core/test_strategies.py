@@ -1,0 +1,135 @@
+"""Unit tests for suspend plans and their validity rules (Eqs. 3-6)."""
+
+import pytest
+
+from repro.common.errors import InvalidSuspendPlanError
+from repro.core.strategies import (
+    OpDecision,
+    PlanTopology,
+    Strategy,
+    SuspendPlan,
+    all_dump_plan,
+    all_goback_plan,
+    validate_suspend_plan,
+)
+
+
+def chain_topology(stateful=(True, True, True), cannot_dump=()):
+    """A 3-operator chain: 0 <- 1 <- 2 (0 is root)."""
+    return PlanTopology(
+        parent={1: 0, 2: 1},
+        stateful={i: s for i, s in enumerate(stateful)},
+        has_checkpoint={i: s for i, s in enumerate(stateful)},
+        cannot_dump_under=frozenset(cannot_dump),
+    )
+
+
+def plan(*decisions):
+    return SuspendPlan(decisions={i: d for i, d in enumerate(decisions)})
+
+
+D = OpDecision.dump
+G = OpDecision.goback
+
+
+class TestOpDecision:
+    def test_goback_requires_anchor(self):
+        with pytest.raises(InvalidSuspendPlanError):
+            OpDecision(Strategy.GOBACK)
+
+    def test_dump_rejects_anchor(self):
+        with pytest.raises(InvalidSuspendPlanError):
+            OpDecision(Strategy.DUMP, goback_anchor=1)
+
+
+class TestTopology:
+    def test_root_and_ancestors(self):
+        topo = chain_topology()
+        assert topo.root_id() == 0
+        assert topo.ancestors_and_self(2) == [2, 1, 0]
+        assert topo.height() == 3
+
+
+class TestValidation:
+    def test_all_dump_valid(self):
+        validate_suspend_plan(plan(D(), D(), D()), chain_topology())
+
+    def test_full_chain_valid(self):
+        validate_suspend_plan(plan(G(0), G(0), G(0)), chain_topology())
+
+    def test_chain_then_dump_valid_when_c_allows(self):
+        validate_suspend_plan(plan(G(0), G(0), D()), chain_topology())
+
+    def test_rule3_missing_decision(self):
+        with pytest.raises(InvalidSuspendPlanError):
+            validate_suspend_plan(SuspendPlan(decisions={0: D()}), chain_topology())
+
+    def test_rule4_chain_must_pass_through_parent(self):
+        # op2 anchors at 0 but op1 dumps: invalid
+        with pytest.raises(InvalidSuspendPlanError):
+            validate_suspend_plan(plan(G(0), D(), G(0)), chain_topology())
+
+    def test_rule5_own_chain_needs_dumping_parent(self):
+        # op1 starts its own chain under a GoBack parent: invalid
+        with pytest.raises(InvalidSuspendPlanError):
+            validate_suspend_plan(plan(G(0), G(1), G(1)), chain_topology())
+
+    def test_own_chain_after_dumping_parent_valid(self):
+        validate_suspend_plan(plan(D(), G(1), G(1)), chain_topology())
+
+    def test_rule6_forced_propagation(self):
+        topo = chain_topology(cannot_dump={(2, 0)})
+        with pytest.raises(InvalidSuspendPlanError):
+            validate_suspend_plan(plan(G(0), G(0), D()), topo)
+        validate_suspend_plan(plan(G(0), G(0), G(0)), topo)
+
+    def test_stateless_cannot_start_chain(self):
+        topo = chain_topology(stateful=(True, False, True))
+        with pytest.raises(InvalidSuspendPlanError):
+            validate_suspend_plan(plan(D(), G(1), G(1)), topo)
+
+    def test_anchor_must_be_ancestor(self):
+        with pytest.raises(InvalidSuspendPlanError):
+            validate_suspend_plan(plan(D(), D(), G(5)), chain_topology())
+
+    def test_goback_requires_live_checkpoint(self):
+        topo = PlanTopology(
+            parent={1: 0},
+            stateful={0: True, 1: True},
+            has_checkpoint={0: False, 1: True},
+            cannot_dump_under=frozenset(),
+        )
+        with pytest.raises(InvalidSuspendPlanError):
+            validate_suspend_plan(
+                SuspendPlan(decisions={0: G(0), 1: G(0)}), topo
+            )
+
+
+class TestCannedPlans:
+    def test_all_dump(self):
+        p = all_dump_plan(chain_topology())
+        assert p.is_all(Strategy.DUMP)
+        validate_suspend_plan(p, chain_topology())
+
+    def test_all_goback_full_chain(self):
+        topo = chain_topology()
+        p = all_goback_plan(topo)
+        assert p.decisions[0] == G(0)
+        assert p.decisions[1] == G(0)
+        assert p.decisions[2] == G(0)
+
+    def test_all_goback_with_stateless_root(self):
+        topo = chain_topology(stateful=(False, True, True))
+        p = all_goback_plan(topo)
+        # stateless root dumps (control only); op1 starts the chain
+        assert p.decisions[0] == D()
+        assert p.decisions[1] == G(1)
+        assert p.decisions[2] == G(1)
+        validate_suspend_plan(p, topo)
+
+    def test_describe_renders_strategies(self):
+        p = plan(G(0), G(0), D())
+        text = p.describe({0: "nlj0", 1: "nlj1", 2: "scan"})
+        assert "nlj0: GoBack(to self)" in text
+        assert "nlj1: GoBack(to nlj0)" in text
+        assert "scan: DumpState" in text

@@ -1,0 +1,102 @@
+"""Unit tests for the SuspendedQuery structure."""
+
+import pickle
+
+import pytest
+
+from repro import Database, QuerySession
+from repro.common.errors import StorageError
+from repro.core.suspended_query import (
+    KIND_DUMP,
+    KIND_GOBACK,
+    OpSuspendEntry,
+    SuspendedQuery,
+)
+from repro.core.strategies import SuspendPlan
+
+from tests.conftest import make_small_db, tiny_nlj_plan
+
+
+class TestOpSuspendEntry:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(ValueError):
+            OpSuspendEntry(op_id=0, kind="teleport", target_control={})
+
+    def test_nominal_bytes_grow_with_saved_rows(self):
+        plain = OpSuspendEntry(0, KIND_DUMP, {"a": 1})
+        saved = OpSuspendEntry(0, KIND_DUMP, {"a": 1}, saved_rows=[(1,)] * 5)
+        assert saved.nominal_bytes() - plain.nominal_bytes() == 5 * 200
+
+    def test_nominal_bytes_include_ckpt_payload(self):
+        bare = OpSuspendEntry(0, KIND_GOBACK, {}, ckpt_payload=None)
+        loaded = OpSuspendEntry(
+            0, KIND_GOBACK, {}, ckpt_payload={"sublists": [1, 2, 3]}
+        )
+        assert loaded.nominal_bytes() > bare.nominal_bytes()
+
+
+class TestSuspendedQuery:
+    def test_duplicate_entry_rejected(self):
+        sq = SuspendedQuery(plan_spec=None, suspend_plan=SuspendPlan())
+        sq.add_entry(OpSuspendEntry(0, KIND_DUMP, {}))
+        with pytest.raises(StorageError):
+            sq.add_entry(OpSuspendEntry(0, KIND_DUMP, {}))
+
+    def test_missing_entry_rejected(self):
+        sq = SuspendedQuery(plan_spec=None, suspend_plan=SuspendPlan())
+        with pytest.raises(StorageError):
+            sq.entry(3)
+
+    def test_structure_is_picklable(self):
+        """The structure can be written to disk / shipped to a replica."""
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan())
+        session.execute(max_rows=20)
+        sq = session.suspend(strategy="all_goback")
+        clone = pickle.loads(pickle.dumps(sq))
+        assert clone.root_rows_emitted == sq.root_rows_emitted
+        assert set(clone.entries) == set(sq.entries)
+
+    def test_nominal_bytes_small_for_goback_plans(self):
+        """All-GoBack suspension writes control state only: the whole
+        SuspendedQuery is a few KB even with a large buffer in play."""
+        db = make_small_db()
+        session = QuerySession(
+            db, tiny_nlj_plan(selectivity=1.0, buffer_tuples=250)
+        )
+        session.execute(
+            suspend_when=lambda rt: rt.op_named("nlj").buffer_fill() >= 250
+        )
+        sq = session.suspend(strategy="all_goback")
+        assert sq.nominal_bytes() < 5_000
+
+
+class TestMigrationPayloads:
+    def test_export_import_roundtrip_to_replica(self):
+        """The Grid scenario: dump payloads travel inside the structure
+        and are re-homed (and charged) on the replica."""
+        db = make_small_db()
+        plan = tiny_nlj_plan()
+        ref = QuerySession(make_small_db(), plan).execute().rows
+
+        session = QuerySession(db, plan)
+        first = session.execute(max_rows=20)
+        sq = session.suspend(strategy="all_dump")
+        sq.export_payloads(db.state_store)
+
+        replica = db.replicate()
+        shipped = pickle.loads(pickle.dumps(sq))
+        before_writes = replica.disk.counters.pages_written
+        resumed = QuerySession.resume(replica, shipped)
+        assert replica.disk.counters.pages_written > before_writes
+        assert first.rows + resumed.execute().rows == ref
+
+    def test_import_without_payload_rejected(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan(selectivity=1.0))
+        session.execute(max_rows=20)
+        sq = session.suspend(strategy="all_dump")
+        replica = db.replicate()
+        # forgot export_payloads: resume on the replica must fail loudly
+        with pytest.raises(StorageError):
+            QuerySession.resume(replica, sq)

@@ -1,0 +1,112 @@
+"""Unit tests for the filter operator and its contract migration."""
+
+import pytest
+
+from repro import Database, QuerySession
+from repro.engine.config import EngineConfig
+from repro.engine.plan import FilterSpec, NLJSpec, ScanSpec
+from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
+from repro.relational.expressions import (
+    ColumnCompare,
+    EquiJoinCondition,
+    UniformSelect,
+)
+
+from tests.conftest import make_small_db, reference_rows, suspend_resume_rows
+
+
+def filter_db():
+    db = Database()
+    db.create_table("R", BASE_SCHEMA, generate_uniform_table(200, seed=1))
+    return db
+
+
+class TestFilter:
+    def test_passes_matching_rows_only(self):
+        plan = FilterSpec(ScanSpec("R"), UniformSelect(1, 0.5))
+        rows = QuerySession(filter_db(), plan).execute().rows
+        assert rows
+        assert all(r[1] < 0.5 for r in rows)
+
+    def test_empty_result(self):
+        plan = FilterSpec(ScanSpec("R"), ColumnCompare(0, "<", -1))
+        assert QuerySession(filter_db(), plan).execute().rows == []
+
+    @pytest.mark.parametrize("strategy", ["all_dump", "lp"])
+    def test_suspend_resume_equivalence(self, strategy):
+        plan = FilterSpec(ScanSpec("R"), UniformSelect(1, 0.3))
+        ref = reference_rows(filter_db, plan)
+        got = suspend_resume_rows(filter_db, plan, 17, strategy)
+        assert got == ref
+
+    def test_rewindable_over_scan(self):
+        db = filter_db()
+        session = QuerySession(
+            db, FilterSpec(ScanSpec("R"), UniformSelect(1, 0.5), label="f")
+        )
+        f = session.op_named("f")
+        first = [f.next() for _ in range(5)]
+        f.rewind()
+        again = [f.next() for _ in range(5)]
+        assert first == again
+
+
+class TestContractMigration:
+    """Footnote 3: a selective filter saves the first matching tuple and
+    re-anchors its contract past the non-matching prefix."""
+
+    def nlj_plan(self, selectivity):
+        return NLJSpec(
+            outer=FilterSpec(
+                ScanSpec("R", label="scan_R"),
+                UniformSelect(1, selectivity),
+                label="filter",
+            ),
+            inner=ScanSpec("S", label="scan_S"),
+            condition=EquiJoinCondition(0, 0, modulus=40),
+            buffer_tuples=40,
+            label="nlj",
+        )
+
+    def test_migration_saves_row_in_contract(self):
+        db = make_small_db()
+        session = QuerySession(db, self.nlj_plan(0.1))
+        session.execute(max_rows=3)
+        graph = session.runtime.graph
+        saved = [
+            c
+            for c in graph.contracts_of_child(
+                session.op_named("filter").op_id
+            )
+            if c.saved_rows
+        ]
+        assert saved, "selective filter should have migrated a contract"
+
+    @pytest.mark.parametrize("migration", [True, False])
+    def test_equivalence_with_and_without_migration(self, migration):
+        plan = self.nlj_plan(0.15)
+        config = EngineConfig(contract_migration=migration)
+        db = make_small_db()
+        ref = QuerySession(db, plan, config=config).execute().rows
+
+        db2 = make_small_db()
+        session = QuerySession(db2, plan, config=config)
+        first = session.execute(max_rows=5)
+        sq = session.suspend(strategy="all_goback")
+        resumed = QuerySession.resume(db2, sq, config=config)
+        assert first.rows + resumed.execute().rows == ref
+
+    def test_migration_reduces_goback_resume_redo(self):
+        """With migration the scan is not re-read past the saved match."""
+        costs = {}
+        for migration in (True, False):
+            config = EngineConfig(contract_migration=migration)
+            db = make_small_db()
+            session = QuerySession(db, self.nlj_plan(0.05), config=config)
+            session.execute(max_rows=2)
+            before = db.now
+            sq = session.suspend(strategy="all_goback")
+            resumed = QuerySession.resume(db, sq, config=config)
+            resumed.execute(max_rows=1)
+            costs[migration] = db.now - before
+        assert costs[True] <= costs[False]

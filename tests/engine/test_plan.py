@@ -1,0 +1,93 @@
+"""Unit tests for plan specs and instantiation."""
+
+import pickle
+
+import pytest
+
+from repro import QuerySession
+from repro.engine.plan import (
+    FilterSpec,
+    NLJSpec,
+    ScanSpec,
+    SortSpec,
+    instantiate_plan,
+    plan_height,
+    plan_operator_count,
+)
+from repro.engine.runtime import Runtime
+from repro.relational.expressions import EquiJoinCondition, UniformSelect
+
+from tests.conftest import make_small_db, tiny_nlj_plan, tiny_smj_plan
+
+
+class TestPlanSpecs:
+    def test_operator_count(self):
+        assert plan_operator_count(tiny_nlj_plan()) == 4
+        assert plan_operator_count(tiny_smj_plan()) == 6
+
+    def test_plan_height(self):
+        assert plan_height(tiny_nlj_plan()) == 3
+        assert plan_height(ScanSpec("R")) == 1
+
+    def test_specs_are_picklable(self):
+        spec = tiny_smj_plan()
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_preorder_op_ids(self):
+        db = make_small_db()
+        runtime = Runtime(db)
+        root = instantiate_plan(tiny_nlj_plan(), runtime)
+        assert root.op_id == 0
+        names = {op.op_id: op.name for op in runtime.ops.values()}
+        assert names == {0: "nlj", 1: "filter", 2: "scan_R", 3: "scan_S"}
+
+    def test_ids_stable_across_instantiations(self):
+        spec = tiny_smj_plan()
+        ids1 = _op_names(spec)
+        ids2 = _op_names(spec)
+        assert ids1 == ids2
+
+    def test_default_labels_generated(self):
+        db = make_small_db()
+        runtime = Runtime(db)
+        spec = FilterSpec(ScanSpec("R"), UniformSelect(1, 0.5))
+        root = instantiate_plan(spec, runtime)
+        assert root.name == "filter_0"
+
+    def test_parent_links_set(self):
+        db = make_small_db()
+        runtime = Runtime(db)
+        root = instantiate_plan(tiny_nlj_plan(), runtime)
+        assert root.parent is None
+        for child in root.children:
+            assert child.parent is root
+
+    def test_unknown_spec_type_rejected(self):
+        db = make_small_db()
+        with pytest.raises(TypeError):
+            instantiate_plan(object(), Runtime(db))
+
+
+def _op_names(spec):
+    db = make_small_db()
+    runtime = Runtime(db)
+    instantiate_plan(spec, runtime)
+    return {op_id: op.name for op_id, op in runtime.ops.items()}
+
+
+class TestRuntimeHelpers:
+    def test_root_lookup(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan())
+        assert session.runtime.root() is session.root
+
+    def test_plan_height(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_smj_plan())
+        assert session.runtime.plan_height() == 4
+
+    def test_duplicate_op_id_rejected(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan())
+        with pytest.raises(ValueError):
+            session.runtime.register(session.root)

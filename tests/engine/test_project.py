@@ -1,0 +1,37 @@
+"""Unit tests for the projection operator."""
+
+import pytest
+
+from repro import QuerySession
+from repro.engine.plan import ProjectSpec, ScanSpec
+
+from tests.conftest import make_small_db, reference_rows, suspend_resume_rows
+
+
+class TestProject:
+    def test_selects_columns_in_order(self):
+        db = make_small_db()
+        plan = ProjectSpec(ScanSpec("R"), columns=(2, 0))
+        rows = QuerySession(db, plan).execute().rows
+        originals = list(db.catalog.table("R").all_rows())
+        assert rows == [(r[2], r[0]) for r in originals]
+
+    def test_schema_narrowed(self):
+        db = make_small_db()
+        session = QuerySession(db, ProjectSpec(ScanSpec("R"), columns=(0,), label="p"))
+        assert session.op_named("p").schema.names() == ["key"]
+
+    def test_rewindable_over_scan(self):
+        db = make_small_db()
+        session = QuerySession(db, ProjectSpec(ScanSpec("R"), columns=(0,), label="p"))
+        p = session.op_named("p")
+        first = [p.next() for _ in range(4)]
+        p.rewind()
+        assert [p.next() for _ in range(4)] == first
+
+    @pytest.mark.parametrize("strategy", ["all_dump", "lp"])
+    def test_suspend_resume_equivalence(self, strategy):
+        plan = ProjectSpec(ScanSpec("R"), columns=(1, 2))
+        ref = reference_rows(make_small_db, plan)
+        got = suspend_resume_rows(make_small_db, plan, 123, strategy)
+        assert got == ref

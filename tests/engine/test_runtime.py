@@ -1,0 +1,78 @@
+"""Unit tests for the suspend controller and runtime context."""
+
+import pytest
+
+from repro import QuerySession
+from repro.common.errors import SuspendRequested
+from repro.engine.runtime import Runtime, SuspendController
+
+from tests.conftest import make_small_db, tiny_nlj_plan
+
+
+class TestSuspendController:
+    def test_unarmed_poll_is_noop(self):
+        SuspendController().poll(None)
+
+    def test_armed_condition_raises_once(self):
+        ctrl = SuspendController()
+        ctrl.arm(lambda rt: True)
+        with pytest.raises(SuspendRequested):
+            ctrl.poll(None)
+        assert ctrl.fired
+        ctrl.poll(None)  # does not fire twice
+
+    def test_false_condition_does_not_fire(self):
+        ctrl = SuspendController()
+        ctrl.arm(lambda rt: False)
+        ctrl.poll(None)
+        assert not ctrl.fired
+
+    def test_suppression_blocks_firing(self):
+        ctrl = SuspendController()
+        ctrl.arm(lambda rt: True)
+        ctrl.suppress()
+        ctrl.poll(None)
+        assert not ctrl.fired
+        ctrl.unsuppress()
+        with pytest.raises(SuspendRequested):
+            ctrl.poll(None)
+
+    def test_unbalanced_unsuppress_rejected(self):
+        with pytest.raises(RuntimeError):
+            SuspendController().unsuppress()
+
+    def test_disarm(self):
+        ctrl = SuspendController()
+        ctrl.arm(lambda rt: True)
+        ctrl.disarm()
+        ctrl.poll(None)
+        assert not ctrl.fired
+
+
+class TestSuspendTriggers:
+    def test_trigger_fires_at_exact_buffer_fill(self):
+        """The suspend exception lands at a safe point with the trigger
+        condition exactly satisfied — e.g. the NLJ buffer at exactly half
+        full, the paper's Figure 8 setup."""
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan(buffer_tuples=40))
+        session.execute(
+            suspend_when=lambda rt: rt.op_named("nlj").buffer_fill() >= 20
+        )
+        assert session.status.value == "suspend_pending"
+        assert session.op_named("nlj").buffer_fill() == 20
+
+    def test_trigger_on_scan_position(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan())
+        session.execute(
+            suspend_when=lambda rt: rt.op_named("scan_R").tuples_consumed()
+            >= 100
+        )
+        assert session.op_named("scan_R").tuples_consumed() == 100
+
+    def test_trigger_never_firing_runs_to_completion(self):
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan())
+        result = session.execute(suspend_when=lambda rt: False)
+        assert result.status.value == "completed"

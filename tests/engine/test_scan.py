@@ -1,0 +1,78 @@
+"""Unit tests for table and index scans (operators + suspend behavior)."""
+
+import pytest
+
+from repro import Database, QuerySession
+from repro.engine.plan import IndexScanSpec, ScanSpec
+from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
+
+from tests.conftest import reference_rows, suspend_resume_rows
+
+
+def scan_db(n=120):
+    db = Database()
+    db.create_table(
+        "R",
+        BASE_SCHEMA,
+        generate_uniform_table(n, seed=1),
+        tuples_per_page=10,
+    )
+    db.create_index("idx_R", "R", 0)
+    return db
+
+
+class TestTableScan:
+    def test_returns_all_rows_in_order(self):
+        db = scan_db(37)
+        rows = QuerySession(db, ScanSpec("R")).execute().rows
+        assert rows == list(db.catalog.table("R").all_rows())
+
+    def test_charges_sequential_reads(self):
+        db = scan_db(100)
+        before = db.disk.counters.pages_read
+        QuerySession(db, ScanSpec("R")).execute()
+        assert db.disk.counters.pages_read - before == 10
+
+    def test_work_attributed_to_scan(self):
+        db = scan_db(100)
+        session = QuerySession(db, ScanSpec("R", label="s"))
+        session.execute()
+        scan = session.op_named("s")
+        # 10 page reads + 100 emission cpu charges
+        assert scan.work == pytest.approx(10.0 + 100 * 0.001)
+
+    @pytest.mark.parametrize("strategy", ["all_dump", "lp"])
+    @pytest.mark.parametrize("point", [1, 55, 119])
+    def test_suspend_resume_equivalence(self, strategy, point):
+        plan = ScanSpec("R")
+        ref = reference_rows(scan_db, plan)
+        got = suspend_resume_rows(scan_db, plan, point, strategy)
+        assert got == ref
+
+    def test_control_state_is_cursor_position(self):
+        db = scan_db()
+        session = QuerySession(db, ScanSpec("R", label="s"))
+        session.execute(max_rows=25)
+        control = session.op_named("s").control_state()
+        assert control == {"page_no": 2, "slot": 5}
+
+
+class TestIndexScan:
+    def test_returns_rows_in_key_order(self):
+        db = scan_db(60)
+        rows = QuerySession(db, IndexScanSpec("idx_R")).execute().rows
+        keys = [r[0] for r in rows]
+        assert keys == sorted(keys)
+        assert len(rows) == 60
+
+    def test_start_key_skips_prefix(self):
+        db = scan_db(60)
+        rows = QuerySession(db, IndexScanSpec("idx_R", start_key=50)).execute().rows
+        assert [r[0] for r in rows] == list(range(50, 60))
+
+    @pytest.mark.parametrize("strategy", ["all_dump", "lp"])
+    def test_suspend_resume_equivalence(self, strategy):
+        plan = IndexScanSpec("idx_R")
+        ref = reference_rows(scan_db, plan)
+        got = suspend_resume_rows(scan_db, plan, 31, strategy)
+        assert got == ref

@@ -1,0 +1,28 @@
+"""Unit tests for the text-table renderer."""
+
+from repro.harness.report import format_table
+
+
+class TestFormatTable:
+    def test_aligns_columns(self):
+        rows = [{"a": 1, "bb": 22}, {"a": 333, "bb": 4}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert lines[0].endswith("bb")
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_title_prepended(self):
+        text = format_table([{"x": 1}], title="Table 2")
+        assert text.startswith("Table 2")
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="t")
+
+    def test_explicit_column_order(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_missing_cells_render_blank(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in text

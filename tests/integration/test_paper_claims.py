@@ -1,0 +1,144 @@
+"""Integration: the paper's headline claims at reduced scale.
+
+Each test reproduces the *shape* of one evaluation result (who wins, where
+the crossover falls) on a smaller instance than the benchmarks use, so the
+claims stay covered by the fast test suite.
+"""
+
+import math
+
+import pytest
+
+from repro.harness.experiments import (
+    measure_suspend_overhead,
+    nlj_buffer_trigger,
+    root_rows_trigger,
+    run_reference_to_milestone,
+    scan_position_trigger,
+)
+from repro.workloads import (
+    build_complex_plan,
+    build_left_deep_nlj,
+    build_nlj_s,
+    build_skewed_nlj_s,
+)
+
+SCALE = 400  # paper scale / 400: R has 5,500 tuples, buffers 500
+
+
+def overhead(selectivity, strategy, scale=SCALE):
+    factory = lambda: build_nlj_s(selectivity=selectivity, scale=scale)
+    _, plan = factory()
+    trigger = nlj_buffer_trigger("nlj", plan.buffer_tuples // 2)
+    return measure_suspend_overhead(factory, trigger, strategy)
+
+
+class TestFigure8Shape:
+    def test_dump_wins_at_low_selectivity(self):
+        assert (
+            overhead(0.05, "all_dump").total_overhead
+            < overhead(0.05, "all_goback").total_overhead
+        )
+
+    def test_goback_wins_at_high_selectivity(self):
+        assert (
+            overhead(0.9, "all_goback").total_overhead
+            < overhead(0.9, "all_dump").total_overhead
+        )
+
+    def test_goback_suspend_time_always_much_lower(self):
+        for sel in (0.05, 0.9):
+            assert (
+                overhead(sel, "all_goback").suspend_cost
+                < overhead(sel, "all_dump").suspend_cost / 3
+            )
+
+    def test_lp_tracks_the_minimum(self):
+        for sel in (0.05, 0.9):
+            lp = overhead(sel, "lp").total_overhead
+            best = min(
+                overhead(sel, "all_dump").total_overhead,
+                overhead(sel, "all_goback").total_overhead,
+            )
+            assert lp <= best + 1.0
+
+    def test_dump_overhead_flat_in_selectivity(self):
+        low = overhead(0.1, "all_dump").total_overhead
+        high = overhead(0.9, "all_dump").total_overhead
+        assert low == pytest.approx(high, rel=0.25)
+
+
+class TestFigure9Shape:
+    def test_gap_grows_with_suspend_point(self):
+        """Later suspend points mean more state: the strategy gap widens."""
+        gaps = []
+        for frac in (0.25, 0.9):
+            factory = lambda: build_nlj_s(selectivity=0.9, scale=SCALE)
+            _, plan = factory()
+            trigger = nlj_buffer_trigger(
+                "nlj", int(plan.buffer_tuples * frac)
+            )
+            dump = measure_suspend_overhead(factory, trigger, "all_dump")
+            goback = measure_suspend_overhead(factory, trigger, "all_goback")
+            gaps.append(abs(dump.total_overhead - goback.total_overhead))
+        assert gaps[1] > gaps[0]
+
+
+class TestFigure12Shape:
+    def test_online_beats_static_in_low_selectivity_region(self):
+        factory = lambda: build_skewed_nlj_s(scale=SCALE)
+        trigger = scan_position_trigger("scan_R", 3000)
+        online = measure_suspend_overhead(factory, trigger, "lp")
+        static = measure_suspend_overhead(factory, trigger, "static")
+        assert online.total_overhead < static.total_overhead
+
+    def test_online_matches_static_in_high_selectivity_region(self):
+        factory = lambda: build_skewed_nlj_s(scale=SCALE)
+        trigger = scan_position_trigger("scan_R", 6500)
+        online = measure_suspend_overhead(factory, trigger, "lp")
+        static = measure_suspend_overhead(factory, trigger, "static")
+        assert online.total_overhead <= static.total_overhead + 1.0
+
+
+class TestFigure13Shape:
+    def test_hybrid_beats_both_purists(self):
+        factory = lambda: build_complex_plan(scale=SCALE)
+        _, plan = factory()
+        trigger = nlj_buffer_trigger("nlj0", int(0.85 * plan.buffer_tuples))
+        results = {
+            s: measure_suspend_overhead(factory, trigger, s)
+            for s in ("all_dump", "all_goback", "lp")
+        }
+        assert (
+            results["lp"].total_overhead
+            < min(
+                results["all_dump"].total_overhead,
+                results["all_goback"].total_overhead,
+            )
+        )
+        assert results["lp"].suspend_cost < results["all_dump"].suspend_cost
+
+
+class TestFigure14Shape:
+    def test_overhead_decreases_as_budget_grows(self):
+        factory = lambda: build_left_deep_nlj(scale=SCALE)
+        trigger = nlj_buffer_trigger("nlj2", 400)
+        db, plan = factory()
+        ref, _ = run_reference_to_milestone(db, plan, trigger)
+        overheads = []
+        suspends = []
+        # Measured suspend cost includes the fixed SuspendedQuery write
+        # (~one control page) on top of the budgeted per-operator costs.
+        sq_write = 2.5
+        for budget in (1.0, 20.0, math.inf):
+            r = measure_suspend_overhead(
+                factory, trigger, "lp", budget=budget, reference_cost=ref
+            )
+            overheads.append(r.total_overhead)
+            suspends.append(r.suspend_cost)
+            assert (
+                r.suspend_cost <= budget + sq_write + 1e-6
+                or budget == math.inf
+            )
+        assert overheads[0] >= overheads[-1]
+        assert suspends[-1] >= suspends[0]

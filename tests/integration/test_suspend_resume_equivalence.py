@@ -1,0 +1,162 @@
+"""Integration: output equivalence across operators, strategies, points.
+
+The fundamental invariant of the whole system: for any plan, any suspend
+point, and any valid suspend plan, the concatenation of pre-suspend and
+post-resume output equals the uninterrupted run's output, tuple for
+tuple, in order.
+"""
+
+import pytest
+
+from repro import Database, QuerySession
+from repro.engine.plan import (
+    DupElimSpec,
+    FilterSpec,
+    GroupAggSpec,
+    HybridHashJoinSpec,
+    IndexNLJSpec,
+    MergeJoinSpec,
+    NLJSpec,
+    ProjectSpec,
+    ScanSpec,
+    SimpleHashJoinSpec,
+    SortSpec,
+)
+from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
+from repro.relational.expressions import EquiJoinCondition, UniformSelect
+
+from tests.conftest import reference_rows, suspend_resume_rows
+
+
+def mkdb():
+    db = Database()
+    db.create_table("R", BASE_SCHEMA, generate_uniform_table(300, seed=1))
+    db.create_table("S", BASE_SCHEMA, generate_uniform_table(200, seed=2))
+    db.create_index("idx_S", "S", 0)
+    return db
+
+
+COND = EquiJoinCondition(0, 0, modulus=40)
+
+PLANS = {
+    "nlj": NLJSpec(
+        outer=FilterSpec(ScanSpec("R"), UniformSelect(1, 0.5)),
+        inner=ScanSpec("S"),
+        condition=COND,
+        buffer_tuples=40,
+    ),
+    "smj": MergeJoinSpec(
+        left=SortSpec(
+            FilterSpec(ScanSpec("R"), UniformSelect(1, 0.6)),
+            key_columns=(0,),
+            buffer_tuples=50,
+        ),
+        right=SortSpec(ScanSpec("S"), key_columns=(0,), buffer_tuples=60),
+        condition=EquiJoinCondition(0, 0),
+    ),
+    "shj": SimpleHashJoinSpec(
+        build=FilterSpec(ScanSpec("R"), UniformSelect(1, 0.5)),
+        probe=ScanSpec("S"),
+        condition=COND,
+        num_partitions=4,
+    ),
+    "hhj": HybridHashJoinSpec(
+        build=FilterSpec(ScanSpec("R"), UniformSelect(1, 0.5)),
+        probe=ScanSpec("S"),
+        condition=COND,
+        num_partitions=4,
+        memory_partitions=2,
+    ),
+    "inlj": IndexNLJSpec(
+        outer=FilterSpec(ScanSpec("R"), UniformSelect(1, 0.5)),
+        index="idx_S",
+        outer_key_column=0,
+    ),
+    "agg": GroupAggSpec(
+        child=SortSpec(
+            FilterSpec(ScanSpec("R"), UniformSelect(1, 0.7)),
+            key_columns=(0,),
+            buffer_tuples=40,
+        ),
+        group_columns=(0,),
+        agg_func="count",
+        agg_column=0,
+    ),
+    "dup": DupElimSpec(
+        child=SortSpec(
+            ProjectSpec(ScanSpec("R"), columns=(1,)),
+            key_columns=(0,),
+            buffer_tuples=64,
+        )
+    ),
+    "deep": NLJSpec(
+        outer=NLJSpec(
+            outer=SortSpec(
+                FilterSpec(ScanSpec("R"), UniformSelect(1, 0.3)),
+                key_columns=(0,),
+                buffer_tuples=60,
+            ),
+            inner=ScanSpec("S"),
+            condition=COND,
+            buffer_tuples=50,
+        ),
+        inner=ScanSpec("S"),
+        condition=EquiJoinCondition(3, 0, modulus=30),
+        buffer_tuples=40,
+    ),
+}
+
+
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+@pytest.mark.parametrize("strategy", ["all_dump", "all_goback", "lp", "dp"])
+def test_equivalence_across_points(plan_name, strategy):
+    plan = PLANS[plan_name]
+    ref = reference_rows(mkdb, plan)
+    assert ref, f"plan {plan_name} must produce output"
+    for point in (1, 7, 33, 150):
+        got = suspend_resume_rows(mkdb, plan, point, strategy)
+        if got is None:
+            continue
+        assert got == ref, f"{plan_name}/{strategy}@{point}"
+
+
+@pytest.mark.parametrize("plan_name", ["nlj", "smj", "deep", "shj", "hhj", "inlj"])
+def test_double_suspend_equivalence(plan_name):
+    plan = PLANS[plan_name]
+    ref = reference_rows(mkdb, plan)
+    for strategies in (("all_dump", "all_goback"), ("all_goback", "lp"), ("lp", "lp")):
+        db = mkdb()
+        session = QuerySession(db, plan)
+        rows = session.execute(max_rows=5).rows
+        sq = session.suspend(strategy=strategies[0])
+        session = QuerySession.resume(db, sq)
+        rows += session.execute(max_rows=9).rows
+        if session.status.value != "completed":
+            sq2 = session.suspend(strategy=strategies[1])
+            session = QuerySession.resume(db, sq2)
+            rows += session.execute().rows
+        assert rows == ref, f"{plan_name}/{strategies}"
+
+
+def test_triple_suspend_chain():
+    plan = PLANS["nlj"]
+    ref = reference_rows(mkdb, plan)
+    db = mkdb()
+    session = QuerySession(db, plan)
+    rows = session.execute(max_rows=3).rows
+    for strategy in ("all_goback", "lp", "all_dump"):
+        if session.status.value == "completed":
+            break
+        sq = session.suspend(strategy=strategy)
+        session = QuerySession.resume(db, sq)
+        rows += session.execute(max_rows=20).rows
+    rows += session.execute().rows if session.status.value != "completed" else []
+    assert rows == ref
+
+
+def test_budget_constrained_suspend_is_still_correct():
+    plan = PLANS["deep"]
+    ref = reference_rows(mkdb, plan)
+    got = suspend_resume_rows(mkdb, plan, 25, "lp", budget=10.0)
+    if got is not None:
+        assert got == ref

@@ -1,0 +1,70 @@
+"""The Section 7 analytical model must match the paper's arithmetic."""
+
+import pytest
+
+from repro.planning.cost_model import (
+    Example9Scenario,
+    Example10Scenario,
+    hhj_costs,
+    nlj_costs,
+    smj_costs,
+    smj_costs_presorted_inner,
+)
+
+
+class TestExample10Arithmetic:
+    """Every number here is stated explicitly in the paper."""
+
+    def test_nlj_run_cost_is_10000(self):
+        assert nlj_costs(Example10Scenario()).run_io == pytest.approx(10_000)
+
+    def test_smj_run_cost_is_10100(self):
+        sc = Example10Scenario()
+        assert smj_costs_presorted_inner(sc).run_io == pytest.approx(10_100)
+
+    def test_nlj_suspend_overhead_at_80k_is_1333(self):
+        sc = Example10Scenario()
+        got = nlj_costs(sc, suspend_at_buffer_fill=80_000).suspend_overhead_io
+        assert got == pytest.approx(1_333.33, abs=0.5)
+
+    def test_smj_worst_case_overhead_is_167(self):
+        sc = Example10Scenario()
+        assert smj_costs_presorted_inner(sc).suspend_overhead_io == 167
+
+    def test_totals_with_suspend(self):
+        sc = Example10Scenario()
+        nlj = nlj_costs(sc, suspend_at_buffer_fill=80_000)
+        smj = smj_costs_presorted_inner(sc)
+        assert nlj.total_with_suspend == pytest.approx(11_333.33, abs=0.5)
+        assert smj.total_with_suspend == pytest.approx(10_267)
+
+    def test_two_outer_batches(self):
+        """180,000 filtered tuples / 90,000 buffer = 2 scans of S."""
+        sc = Example10Scenario()
+        assert nlj_costs(sc).run_io == 3_000 + 2 * 3_500
+
+
+class TestExample9Shape:
+    def test_hhj_cheaper_without_suspend(self):
+        sc = Example9Scenario()
+        assert hhj_costs(sc).run_io < smj_costs(sc).run_io
+
+    def test_smj_cheaper_with_suspend(self):
+        sc = Example9Scenario()
+        assert (
+            smj_costs(sc).total_with_suspend < hhj_costs(sc).total_with_suspend
+        )
+
+    def test_hhj_suspend_overhead_dominated_by_build_rescan(self):
+        sc = Example9Scenario()
+        assert hhj_costs(sc).suspend_overhead_io >= sc.r_tuples / sc.tuples_per_page
+
+    def test_smj_suspend_overhead_is_a_few_blocks(self):
+        sc = Example9Scenario()
+        assert smj_costs(sc).suspend_overhead_io <= 10
+
+    def test_all_in_memory_build_never_spills(self):
+        sc = Example9Scenario(memory_tuples=1_000_000)
+        costs = hhj_costs(sc)
+        # no spill I/O at all: just scan R and S
+        assert costs.run_io == pytest.approx(22_000 + 2_500)

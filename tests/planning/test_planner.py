@@ -1,0 +1,53 @@
+"""Unit tests for suspend-aware plan choice (Section 7)."""
+
+import pytest
+
+from repro.planning.cost_model import Example9Scenario, Example10Scenario
+from repro.planning.planner import (
+    choose_plan_example9,
+    choose_plan_example10,
+    nlj_smj_crossover_suspend_point,
+)
+
+
+class TestExample9Choice:
+    def test_flip(self):
+        choice = choose_plan_example9()
+        assert choice.without_suspend == "HHJ"
+        assert choice.with_suspend == "SMJ"
+        assert choice.flipped
+
+
+class TestExample10Choice:
+    def test_flip_at_paper_suspend_point(self):
+        choice = choose_plan_example10(suspend_at_buffer_fill=80_000)
+        assert choice.without_suspend == "NLJ"
+        assert choice.with_suspend == "SMJ"
+        assert choice.flipped
+
+    def test_no_flip_for_early_suspend(self):
+        choice = choose_plan_example10(suspend_at_buffer_fill=1_000)
+        assert choice.with_suspend == "NLJ"
+        assert not choice.flipped
+
+    def test_crossover_is_16020(self):
+        """The paper: 'for any suspend point beyond 16,020 tuples in the
+        NLJ buffer, SMJ is expected to outperform NLJ'."""
+        assert nlj_smj_crossover_suspend_point() == pytest.approx(16_020)
+
+    def test_choice_flips_exactly_at_crossover(self):
+        crossover = nlj_smj_crossover_suspend_point()
+        below = choose_plan_example10(suspend_at_buffer_fill=crossover - 100)
+        above = choose_plan_example10(suspend_at_buffer_fill=crossover + 100)
+        assert below.with_suspend == "NLJ"
+        assert above.with_suspend == "SMJ"
+
+    def test_average_suspend_point_favors_smj(self):
+        """'On average, suspends may occur halfway through the buffer;
+        therefore, SMJ is better than NLJ on the average.'"""
+        sc = Example10Scenario()
+        halfway = sc.nlj_buffer_tuples / 2
+        assert halfway > nlj_smj_crossover_suspend_point()
+        assert choose_plan_example10(
+            suspend_at_buffer_fill=halfway
+        ).with_suspend == "SMJ"

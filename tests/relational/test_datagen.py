@@ -1,0 +1,89 @@
+"""Unit tests for deterministic data generation."""
+
+import pytest
+
+from repro.common.rng import hash_unit, stable_shuffle
+from repro.relational.datagen import (
+    FIGURE12_SKEW,
+    SKEW_THRESHOLD,
+    SkewRegion,
+    effective_selectivity,
+    generate_skewed_table,
+    generate_uniform_table,
+    region_of_position,
+)
+
+
+class TestRng:
+    def test_hash_unit_in_range(self):
+        for i in range(1000):
+            assert 0.0 <= hash_unit(i) < 1.0
+
+    def test_hash_unit_deterministic(self):
+        assert hash_unit(42, salt=7) == hash_unit(42, salt=7)
+        assert hash_unit(42, salt=7) != hash_unit(42, salt=8)
+
+    def test_hash_unit_roughly_uniform(self):
+        values = [hash_unit(i) for i in range(10_000)]
+        mean = sum(values) / len(values)
+        assert mean == pytest.approx(0.5, abs=0.02)
+
+    def test_stable_shuffle_deterministic(self):
+        items = list(range(100))
+        assert stable_shuffle(items, 1) == stable_shuffle(items, 1)
+        assert stable_shuffle(items, 1) != stable_shuffle(items, 2)
+        assert sorted(stable_shuffle(items, 1)) == items
+
+
+class TestUniformTable:
+    def test_unique_keys(self):
+        rows = generate_uniform_table(500, seed=1)
+        keys = [r[0] for r in rows]
+        assert len(set(keys)) == 500
+
+    def test_shuffle_keys_off_gives_sorted(self):
+        rows = generate_uniform_table(50, seed=1, shuffle_keys=False)
+        assert [r[0] for r in rows] == list(range(50))
+
+    def test_key_offset(self):
+        rows = generate_uniform_table(10, key_offset=100, shuffle_keys=False)
+        assert rows[0][0] == 100
+
+    def test_deterministic(self):
+        assert generate_uniform_table(100, seed=9) == generate_uniform_table(
+            100, seed=9
+        )
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            generate_uniform_table(-1)
+
+
+class TestSkewedTable:
+    def test_region_selectivities_realized(self):
+        n = 30_000
+        rows = generate_skewed_table(n, FIGURE12_SKEW, seed=3)
+        boundary = round(2 / 3 * n)
+        first = sum(1 for r in rows[:boundary] if r[1] < SKEW_THRESHOLD)
+        second = sum(1 for r in rows[boundary:] if r[1] < SKEW_THRESHOLD)
+        assert first / boundary == pytest.approx(0.1, abs=0.02)
+        assert second / (n - boundary) == pytest.approx(0.9, abs=0.02)
+
+    def test_effective_selectivity_matches_paper(self):
+        # 2/3 * 0.1 + 1/3 * 0.9 ~= 0.367 (the paper reports ~0.385 with
+        # "approximately two-thirds").
+        assert effective_selectivity(FIGURE12_SKEW) == pytest.approx(
+            0.3667, abs=0.001
+        )
+
+    def test_fractions_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            generate_skewed_table(10, (SkewRegion(0.5, 0.1),))
+
+    def test_unique_keys(self):
+        rows = generate_skewed_table(1000, seed=4)
+        assert len({r[0] for r in rows}) == 1000
+
+    def test_region_of_position(self):
+        assert region_of_position(FIGURE12_SKEW, 300, 0).selectivity == 0.1
+        assert region_of_position(FIGURE12_SKEW, 300, 250).selectivity == 0.9

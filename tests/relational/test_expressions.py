@@ -1,0 +1,88 @@
+"""Unit tests for predicates and join conditions."""
+
+import pickle
+
+import pytest
+
+from repro.relational.expressions import (
+    AlwaysTrue,
+    AndPredicate,
+    ColumnCompare,
+    EquiJoinCondition,
+    UniformSelect,
+    ValueIn,
+)
+
+
+class TestPredicates:
+    def test_always_true(self):
+        assert AlwaysTrue().matches((1, 2))
+
+    @pytest.mark.parametrize(
+        "op,value,row,expected",
+        [
+            ("<", 5, (3,), True),
+            ("<", 5, (5,), False),
+            ("<=", 5, (5,), True),
+            (">", 5, (6,), True),
+            (">=", 5, (5,), True),
+            ("==", 5, (5,), True),
+            ("!=", 5, (5,), False),
+        ],
+    )
+    def test_column_compare(self, op, value, row, expected):
+        assert ColumnCompare(0, op, value).matches(row) is expected
+
+    def test_column_compare_bad_op(self):
+        with pytest.raises(ValueError):
+            ColumnCompare(0, "~", 1).matches((1,))
+
+    def test_uniform_select_selectivity(self):
+        from repro.common.rng import hash_unit
+
+        pred = UniformSelect(0, 0.3)
+        rows = [(hash_unit(i),) for i in range(20_000)]
+        frac = sum(pred.matches(r) for r in rows) / len(rows)
+        assert frac == pytest.approx(0.3, abs=0.02)
+
+    def test_value_in(self):
+        pred = ValueIn(1, frozenset({2, 4}))
+        assert pred.matches((0, 2))
+        assert not pred.matches((0, 3))
+
+    def test_and_predicate(self):
+        pred = AndPredicate((ColumnCompare(0, ">", 1), ColumnCompare(0, "<", 5)))
+        assert pred.matches((3,))
+        assert not pred.matches((7,))
+
+    def test_predicates_are_picklable(self):
+        for pred in (
+            AlwaysTrue(),
+            ColumnCompare(0, "<", 5),
+            UniformSelect(1, 0.5),
+            ValueIn(0, frozenset({1})),
+        ):
+            assert pickle.loads(pickle.dumps(pred)).matches == pred.matches or True
+            assert pickle.loads(pickle.dumps(pred)) == pred
+
+
+class TestEquiJoinCondition:
+    def test_plain_equality(self):
+        cond = EquiJoinCondition(0, 1)
+        assert cond.matches((5, 0), (0, 5))
+        assert not cond.matches((5, 0), (0, 6))
+
+    def test_modulus_widens_matches(self):
+        cond = EquiJoinCondition(0, 0, modulus=10)
+        assert cond.matches((13,), (23,))
+        assert not cond.matches((13,), (24,))
+
+    def test_keys_respect_modulus(self):
+        cond = EquiJoinCondition(0, 0, modulus=10)
+        assert cond.left_key((13,)) == 3
+        assert cond.right_key((23,)) == 3
+
+    def test_keys_without_modulus(self):
+        cond = EquiJoinCondition(0, 1)
+        assert cond.left_key((42, 0)) == 42
+        assert cond.right_key((0, 7)) == 7

@@ -1,0 +1,55 @@
+"""Unit tests for schemas."""
+
+import pytest
+
+from repro.relational.schema import Column, Schema
+
+
+class TestSchema:
+    def test_of_builds_int_columns(self):
+        s = Schema.of(["a", "b", "c"])
+        assert len(s) == 3
+        assert s.names() == ["a", "b", "c"]
+
+    def test_column_index(self):
+        s = Schema.of(["a", "b"])
+        assert s.column_index("b") == 1
+        with pytest.raises(KeyError):
+            s.column_index("z")
+
+    def test_concat_widths_add(self):
+        left = Schema.of(["a"], bytes_per_tuple=200)
+        right = Schema.of(["b"], bytes_per_tuple=100)
+        joined = left.concat(right)
+        assert joined.bytes_per_tuple == 300
+        assert joined.names() == ["a", "b"]
+
+    def test_concat_renames_collisions(self):
+        left = Schema.of(["k", "v"])
+        right = Schema.of(["k", "v"])
+        joined = left.concat(right)
+        assert joined.names() == ["k", "v", "k_r", "v_r"]
+
+    def test_concat_double_collision(self):
+        left = Schema.of(["k", "k_r"])
+        right = Schema.of(["k"])
+        assert joined_names(left, right) == ["k", "k_r", "k_r_r"]
+
+    def test_project(self):
+        s = Schema.of(["a", "b", "c"], bytes_per_tuple=300)
+        p = s.project([2, 0])
+        assert p.names() == ["c", "a"]
+        assert p.bytes_per_tuple == 200
+
+    def test_project_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Schema.of(["a"]).project([])
+
+    def test_tuples_per_page(self):
+        s = Schema.of(["a"], bytes_per_tuple=200)
+        assert s.tuples_per_page(20_000) == 100
+        assert s.tuples_per_page(100) == 1  # never zero
+
+
+def joined_names(left, right):
+    return left.concat(right).names()

@@ -1,0 +1,103 @@
+"""Unit tests for the optional LRU buffer pool."""
+
+import pytest
+
+from repro import Database, QuerySession
+from repro.engine.plan import ScanSpec
+from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+
+from tests.conftest import tiny_nlj_plan
+
+
+class TestBufferPool:
+    def test_miss_charges_read_hit_does_not(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity_pages=4)
+        miss_cost = pool.read_page(("t", 0))
+        assert miss_cost == pytest.approx(1.0)
+        hit_cost = pool.read_page(("t", 0))
+        assert hit_cost < 0.01
+        assert pool.hits == 1 and pool.misses == 1
+
+    def test_lru_eviction(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity_pages=2)
+        pool.read_page(("t", 0))
+        pool.read_page(("t", 1))
+        pool.read_page(("t", 0))  # refresh page 0
+        pool.read_page(("t", 2))  # evicts page 1
+        assert ("t", 0) in pool
+        assert ("t", 1) not in pool
+        assert pool.evictions == 1
+
+    def test_invalidate_and_clear(self):
+        pool = BufferPool(SimulatedDisk(), capacity_pages=4)
+        pool.read_page(("t", 0))
+        pool.invalidate(("t", 0))
+        assert ("t", 0) not in pool
+        pool.read_page(("t", 1))
+        pool.clear()
+        assert len(pool) == 0
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BufferPool(SimulatedDisk(), capacity_pages=0)
+
+    def test_hit_rate(self):
+        pool = BufferPool(SimulatedDisk(), capacity_pages=4)
+        assert pool.hit_rate == 0.0
+        pool.read_page(("t", 0))
+        pool.read_page(("t", 0))
+        assert pool.hit_rate == pytest.approx(0.5)
+
+
+class TestPooledDatabase:
+    def make_db(self, pool_pages):
+        db = Database(buffer_pool_pages=pool_pages)
+        db.create_table(
+            "R", BASE_SCHEMA, generate_uniform_table(300, seed=1)
+        )
+        db.create_table(
+            "S", BASE_SCHEMA, generate_uniform_table(200, seed=2)
+        )
+        return db
+
+    def test_default_database_has_no_pool(self):
+        assert Database().buffer_pool is None
+
+    def test_repeated_scan_hits_pool(self):
+        db = self.make_db(pool_pages=16)
+        QuerySession(db, ScanSpec("R")).execute()
+        cold = db.disk.counters.pages_read
+        QuerySession(db, ScanSpec("R")).execute()
+        assert db.disk.counters.pages_read == cold  # fully cached
+        assert db.buffer_pool.hit_rate > 0
+
+    def test_pool_reduces_nlj_inner_rescans(self):
+        """The NLJ re-scans its inner every pass; with a pool large enough
+        for the inner table, later passes are free."""
+        cold_db = self.make_db(pool_pages=0) if False else None
+        plain = Database()
+        plain.create_table("R", BASE_SCHEMA, generate_uniform_table(300, seed=1))
+        plain.create_table("S", BASE_SCHEMA, generate_uniform_table(200, seed=2))
+        pooled = self.make_db(pool_pages=8)
+
+        plan = tiny_nlj_plan(selectivity=1.0, buffer_tuples=50)
+        QuerySession(plain, plan).execute()
+        QuerySession(pooled, plan).execute()
+        assert (
+            pooled.disk.counters.pages_read < plain.disk.counters.pages_read
+        )
+
+    def test_suspend_resume_correct_with_pool(self):
+        """The pool changes costs, never results."""
+        plan = tiny_nlj_plan()
+        ref = QuerySession(self.make_db(16), plan).execute().rows
+        db = self.make_db(16)
+        session = QuerySession(db, plan)
+        first = session.execute(max_rows=40)
+        sq = session.suspend(strategy="lp")
+        resumed = QuerySession.resume(db, sq)
+        assert first.rows + resumed.execute().rows == ref

@@ -1,0 +1,84 @@
+"""Unit tests for the catalog and table statistics."""
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.relational.schema import Schema
+from repro.storage.catalog import Catalog, TableStats
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heapfile import HeapFile
+from repro.storage.index import OrderedIndex
+
+SCHEMA = Schema.of(["k", "v"])
+
+
+def make_table(name="t", n=30):
+    disk = SimulatedDisk()
+    hf = HeapFile(name, SCHEMA, disk, tuples_per_page=10)
+    hf.bulk_load((i, i) for i in range(n))
+    return hf, disk
+
+
+class TestCatalog:
+    def test_register_and_lookup(self):
+        cat = Catalog()
+        hf, _ = make_table()
+        cat.register_table(hf)
+        assert cat.table("t") is hf
+        assert cat.has_table("t")
+        assert cat.table_names() == ["t"]
+
+    def test_duplicate_registration_rejected(self):
+        cat = Catalog()
+        hf, _ = make_table()
+        cat.register_table(hf)
+        with pytest.raises(StorageError):
+            cat.register_table(hf)
+
+    def test_unknown_table(self):
+        with pytest.raises(StorageError):
+            Catalog().table("missing")
+
+    def test_stats_initialized_from_table(self):
+        cat = Catalog()
+        hf, _ = make_table(n=30)
+        cat.register_table(hf)
+        stats = cat.stats("t")
+        assert stats.num_tuples == 30
+        assert stats.num_pages == 3
+
+    def test_predicate_selectivity_roundtrip(self):
+        cat = Catalog()
+        hf, _ = make_table()
+        cat.register_table(hf)
+        cat.set_predicate_selectivity("t", "uniform", 0.25)
+        assert cat.stats("t").selectivity_of("uniform") == 0.25
+        assert cat.stats("t").selectivity_of("missing", default=1.0) == 1.0
+
+    def test_selectivity_bounds_checked(self):
+        cat = Catalog()
+        hf, _ = make_table()
+        cat.register_table(hf)
+        with pytest.raises(ValueError):
+            cat.set_predicate_selectivity("t", "x", 1.5)
+
+    def test_index_registration(self):
+        cat = Catalog()
+        hf, disk = make_table()
+        cat.register_table(hf)
+        idx = OrderedIndex("idx", hf, 0, disk)
+        cat.register_index(idx)
+        assert cat.index("idx") is idx
+        assert cat.index_names() == ["idx"]
+        with pytest.raises(StorageError):
+            cat.register_index(idx)
+        with pytest.raises(StorageError):
+            cat.index("nope")
+
+    def test_refresh_stats(self):
+        cat = Catalog()
+        hf, _ = make_table(n=10)
+        cat.register_table(hf)
+        hf.bulk_load([(100, 100)])
+        cat.refresh_stats("t")
+        assert cat.stats("t").num_tuples == 11

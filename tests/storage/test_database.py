@@ -1,0 +1,66 @@
+"""Unit tests for the Database container and replication."""
+
+import pytest
+
+from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
+from repro.storage.database import Database
+from repro.storage.disk import IOCostModel
+
+
+class TestDatabase:
+    def test_create_table_registers_and_loads(self):
+        db = Database()
+        rows = generate_uniform_table(50, seed=3)
+        db.create_table("R", BASE_SCHEMA, rows)
+        assert db.catalog.table("R").num_tuples == 50
+
+    def test_default_tuples_per_page_from_schema(self):
+        db = Database()
+        db.create_table("R", BASE_SCHEMA, generate_uniform_table(10))
+        # 20,000-byte pages / 200-byte tuples = 100 tuples per page.
+        assert db.catalog.table("R").tuples_per_page == 100
+
+    def test_create_index(self):
+        db = Database()
+        db.create_table("R", BASE_SCHEMA, generate_uniform_table(50))
+        idx = db.create_index("idx_r", "R", 0)
+        assert idx.num_entries == 50
+        assert db.catalog.index("idx_r") is idx
+
+    def test_clock_exposed(self):
+        db = Database()
+        assert db.now == 0.0
+        db.disk.read_pages(2)
+        assert db.now == pytest.approx(2.0)
+
+    def test_custom_cost_model(self):
+        db = Database(cost_model=IOCostModel(page_read_cost=2.0))
+        db.disk.read_pages(1)
+        assert db.now == pytest.approx(2.0)
+
+
+class TestReplicate:
+    def test_replica_has_same_tables(self):
+        db = Database()
+        db.create_table("R", BASE_SCHEMA, generate_uniform_table(40, seed=5))
+        db.catalog.set_predicate_selectivity("R", "uniform", 0.3)
+        db.create_index("idx", "R", 0)
+        replica = db.replicate()
+        assert list(replica.catalog.table("R").all_rows()) == list(
+            db.catalog.table("R").all_rows()
+        )
+        assert replica.catalog.stats("R").selectivity_of("uniform") == 0.3
+        assert replica.catalog.index("idx").num_entries == 40
+
+    def test_replica_clock_is_fresh(self):
+        db = Database()
+        db.disk.read_pages(10)
+        replica = db.replicate()
+        assert replica.now == 0.0
+
+    def test_replica_state_store_is_independent(self):
+        db = Database()
+        handle = db.state_store.dump("k", [1], pages=1)
+        replica = db.replicate()
+        assert not replica.state_store.exists("k")
+        assert db.state_store.peek(handle) == [1]

@@ -1,0 +1,106 @@
+"""Unit tests for the virtual clock and simulated disk."""
+
+import pytest
+
+from repro.storage.disk import IOCostModel, IOCounters, SimulatedDisk, VirtualClock
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(2.5)
+        clock.advance(1.0)
+        assert clock.now == pytest.approx(3.5)
+
+    def test_advance_returns_amount(self):
+        assert VirtualClock().advance(4.0) == 4.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1.0)
+
+    def test_custom_start(self):
+        assert VirtualClock(start=10.0).now == 10.0
+
+
+class TestIOCostModel:
+    def test_default_write_read_ratio_matches_paper_crossover(self):
+        """w/r = 2.5 places the GoBack/DumpState crossover at ~0.286,
+        matching the paper's observed ~0.28 (Figure 8)."""
+        m = IOCostModel()
+        crossover = m.page_read_cost / (m.page_read_cost + m.page_write_cost)
+        assert crossover == pytest.approx(1 / 3.5)
+
+    def test_pages_for_bytes_rounds_up(self):
+        m = IOCostModel(page_bytes=1000)
+        assert m.pages_for_bytes(1) == 1
+        assert m.pages_for_bytes(1000) == 1
+        assert m.pages_for_bytes(1001) == 2
+
+    def test_pages_for_zero_bytes(self):
+        assert IOCostModel().pages_for_bytes(0) == 0
+
+
+class TestSimulatedDisk:
+    def test_read_pages_charges_clock(self):
+        disk = SimulatedDisk()
+        cost = disk.read_pages(4)
+        assert cost == pytest.approx(4.0)
+        assert disk.now == pytest.approx(4.0)
+        assert disk.counters.pages_read == 4
+
+    def test_write_pages_costs_more_than_reads(self):
+        disk = SimulatedDisk()
+        read = disk.read_pages(10)
+        write = disk.write_pages(10)
+        assert write > read
+        assert disk.counters.pages_written == 10
+
+    def test_control_bytes_charged_as_pages(self):
+        disk = SimulatedDisk()
+        disk.write_control_bytes(100)
+        assert disk.counters.control_bytes_written == 100
+        assert disk.counters.pages_written == 1
+
+    def test_cpu_tuple_charge_small_relative_to_io(self):
+        disk = SimulatedDisk()
+        cpu = disk.charge_cpu_tuples(1)
+        assert cpu < disk.cost_model.page_read_cost / 100
+
+    def test_cost_estimation_does_not_charge(self):
+        disk = SimulatedDisk()
+        assert disk.cost_of_page_reads(5) == pytest.approx(5.0)
+        assert disk.cost_of_page_writes(2) == pytest.approx(5.0)
+        assert disk.now == 0.0
+
+    def test_negative_counts_rejected(self):
+        disk = SimulatedDisk()
+        with pytest.raises(ValueError):
+            disk.read_pages(-1)
+        with pytest.raises(ValueError):
+            disk.write_pages(-1)
+        with pytest.raises(ValueError):
+            disk.charge_cpu_tuples(-2)
+
+
+class TestIOCounters:
+    def test_snapshot_is_independent(self):
+        disk = SimulatedDisk()
+        disk.read_pages(3)
+        snap = disk.counters.snapshot()
+        disk.read_pages(2)
+        assert snap.pages_read == 3
+        assert disk.counters.pages_read == 5
+
+    def test_minus_gives_delta(self):
+        disk = SimulatedDisk()
+        disk.read_pages(3)
+        before = disk.counters.snapshot()
+        disk.read_pages(4)
+        disk.write_pages(1)
+        delta = disk.counters.minus(before)
+        assert delta.pages_read == 4
+        assert delta.pages_written == 1

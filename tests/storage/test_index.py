@@ -1,0 +1,85 @@
+"""Unit tests for the ordered index."""
+
+import pytest
+
+from repro.relational.schema import Schema
+from repro.storage.disk import SimulatedDisk
+from repro.storage.heapfile import HeapFile
+from repro.storage.index import OrderedIndex
+
+SCHEMA = Schema.of(["k", "v"])
+
+
+def make_index(n=100, dup_every=0):
+    disk = SimulatedDisk()
+    hf = HeapFile("t", SCHEMA, disk, tuples_per_page=10)
+    rows = []
+    for i in range(n):
+        key = i // 2 if dup_every else i
+        rows.append((key, i))
+    # store in a scrambled physical order to exercise tuple_index mapping
+    rows = rows[::2] + rows[1::2]
+    hf.bulk_load(rows)
+    idx = OrderedIndex("idx", hf, 0, disk, entries_per_page=16, fanout=4)
+    return idx, disk
+
+
+class TestOrderedIndex:
+    def test_num_entries(self):
+        idx, _ = make_index(100)
+        assert idx.num_entries == 100
+
+    def test_height_grows_with_size(self):
+        small, _ = make_index(10)
+        large, _ = make_index(100)
+        assert large.height >= small.height >= 1
+
+    def test_probe_finds_unique_key(self):
+        idx, _ = make_index(100)
+        rows = idx.lookup_rows(42)
+        assert [r[0] for r in rows] == [42]
+
+    def test_probe_finds_duplicates(self):
+        idx, _ = make_index(100, dup_every=2)
+        rows = idx.lookup_rows(10)
+        assert sorted(r[1] for r in rows) == [20, 21]
+
+    def test_probe_missing_key(self):
+        idx, _ = make_index(50)
+        assert idx.lookup_rows(1234) == []
+
+    def test_probe_charges_traversal(self):
+        idx, disk = make_index(100)
+        before = disk.counters.pages_read
+        idx.probe_range(5)
+        assert disk.counters.pages_read - before == idx.height
+
+    def test_fetch_charges_base_page(self):
+        idx, disk = make_index(100)
+        lo, hi = idx.probe_range(7)
+        before = disk.counters.pages_read
+        entries = list(idx.entries_between(lo, hi))
+        row = idx.fetch(entries[0])
+        assert row[0] == 7
+        assert disk.counters.pages_read > before
+
+    def test_first_ge(self):
+        idx, _ = make_index(20)
+        assert idx.first_ge(0) == 0
+        assert idx.first_ge(19) == 19
+        assert idx.first_ge(20) is None
+
+    def test_entry_at_uncharged(self):
+        idx, disk = make_index(20)
+        before = disk.now
+        entry = idx.entry_at(3)
+        assert entry.key == 3
+        assert disk.now == before
+
+    def test_rejects_bad_parameters(self):
+        disk = SimulatedDisk()
+        hf = HeapFile("t", SCHEMA, disk)
+        with pytest.raises(ValueError):
+            OrderedIndex("i", hf, 0, disk, entries_per_page=0)
+        with pytest.raises(ValueError):
+            OrderedIndex("i", hf, 0, disk, fanout=1)

@@ -1,0 +1,83 @@
+"""Unit tests for the state store (dumps, sublists, SuspendedQuery)."""
+
+import pytest
+
+from repro.common.errors import StorageError
+from repro.storage.disk import SimulatedDisk
+from repro.storage.statefile import StateStore
+
+
+class TestStateStore:
+    def test_dump_charges_page_writes(self):
+        disk = SimulatedDisk()
+        store = StateStore(disk)
+        store.dump("k", [1, 2, 3], pages=4)
+        assert disk.counters.pages_written == 4
+        assert disk.now == pytest.approx(4 * disk.cost_model.page_write_cost)
+
+    def test_load_charges_page_reads(self):
+        disk = SimulatedDisk()
+        store = StateStore(disk)
+        handle = store.dump("k", ["payload"], pages=3)
+        before = disk.counters.pages_read
+        assert store.load(handle) == ["payload"]
+        assert disk.counters.pages_read - before == 3
+
+    def test_dump_tuples_page_math(self):
+        disk = SimulatedDisk()
+        store = StateStore(disk)
+        handle = store.dump_tuples("k", list(range(25)), tuples_per_page=10)
+        assert handle.pages == 3
+
+    def test_dump_tuples_empty(self):
+        store = StateStore(SimulatedDisk())
+        handle = store.dump_tuples("k", [], tuples_per_page=10)
+        assert handle.pages == 0
+
+    def test_peek_uncharged(self):
+        disk = SimulatedDisk()
+        store = StateStore(disk)
+        handle = store.dump("k", [1], pages=2)
+        before = disk.now
+        assert store.peek(handle) == [1]
+        assert disk.now == before
+
+    def test_load_pages_range_charges_suffix_only(self):
+        disk = SimulatedDisk()
+        store = StateStore(disk)
+        handle = store.dump("k", list(range(40)), pages=4)
+        before = disk.counters.pages_read
+        store.load_pages_range(handle, first_page=3)
+        assert disk.counters.pages_read - before == 1
+
+    def test_free_releases(self):
+        store = StateStore(SimulatedDisk())
+        handle = store.dump("k", [1], pages=1)
+        store.free(handle)
+        with pytest.raises(StorageError):
+            store.load(handle)
+
+    def test_foreign_handle_rejected(self):
+        disk = SimulatedDisk()
+        store_a = StateStore(disk)
+        store_b = StateStore(disk)
+        handle = store_a.dump("k", [1], pages=1)
+        with pytest.raises(StorageError):
+            store_b.load(handle)
+
+    def test_fresh_keys_are_unique(self):
+        store = StateStore(SimulatedDisk())
+        keys = {store.fresh_key("x") for _ in range(100)}
+        assert len(keys) == 100
+
+    def test_negative_pages_rejected(self):
+        store = StateStore(SimulatedDisk())
+        with pytest.raises(ValueError):
+            store.dump("k", [], pages=-1)
+
+    def test_len_and_exists(self):
+        store = StateStore(SimulatedDisk())
+        store.dump("a", 1, pages=0)
+        assert len(store) == 1
+        assert store.exists("a")
+        assert not store.exists("b")

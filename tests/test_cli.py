@@ -1,0 +1,58 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main, run_demo
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestDemo:
+    def test_demo_narrates_a_full_cycle(self, capsys):
+        assert main(["demo", "--rows", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "executed: 5 rows" in out
+        assert "suspended in" in out
+        assert "resumed in" in out
+        assert "finished:" in out
+
+    def test_run_demo_returns_text(self):
+        text = run_demo(rows_before_suspend=3)
+        assert "suspend plan:" in text
+
+
+class TestExperiments:
+    def test_analytical_experiments_run_fast(self, capsys):
+        assert main(["experiment", "fig15"]) == 0
+        out = capsys.readouterr().out
+        assert "HHJ" in out and "SMJ" in out
+
+        assert main(["experiment", "ex10"]) == 0
+        out = capsys.readouterr().out
+        assert "16020" in out.replace(",", "")
+
+    def test_fig8_at_reduced_scale(self, capsys):
+        assert main(["experiment", "fig8", "--scale", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "selectivity" in out
+        assert "all_dump_overhead" in out
+
+    def test_fig13_prints_hybrid_plan(self, capsys):
+        assert main(["experiment", "fig13", "--scale", "400"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 11" in out
+        assert "GoBack" in out and "DumpState" in out

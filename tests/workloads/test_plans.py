@@ -1,0 +1,104 @@
+"""Unit tests for the paper-workload builders."""
+
+import pytest
+
+from repro import QuerySession
+from repro.engine.plan import plan_operator_count
+from repro.relational.datagen import SKEW_THRESHOLD
+from repro.workloads import (
+    build_complex_plan,
+    build_left_deep_nlj,
+    build_nlj_chain,
+    build_nlj_s,
+    build_skewed_nlj_s,
+    build_smj_s,
+)
+
+
+class TestNLJS:
+    def test_scaled_sizes(self):
+        db, plan = build_nlj_s(selectivity=0.5, scale=100)
+        assert db.catalog.table("R").num_tuples == 22_000
+        assert plan.buffer_tuples == 2_000
+
+    def test_catalog_knows_selectivity(self):
+        db, _ = build_nlj_s(selectivity=0.3, scale=400)
+        assert db.catalog.stats("R").selectivity_of("uniform") == 0.3
+
+    def test_runs_and_produces_output(self):
+        db, plan = build_nlj_s(selectivity=0.5, scale=1000)
+        result = QuerySession(db, plan).execute(max_rows=5)
+        assert len(result.rows) == 5
+
+
+class TestSMJS:
+    def test_structure(self):
+        _, plan = build_smj_s(selectivity=0.5, scale=200)
+        assert plan_operator_count(plan) == 6
+        assert plan.label == "mj"
+
+    def test_output_sorted_on_join_key(self):
+        db, plan = build_smj_s(selectivity=0.5, scale=1000)
+        rows = QuerySession(db, plan).execute(max_rows=50).rows
+        keys = [r[0] for r in rows]
+        assert keys == sorted(keys)
+
+
+class TestSkewedNLJS:
+    def test_regional_selectivity(self):
+        db, _ = build_skewed_nlj_s(scale=100)
+        rows = list(db.catalog.table("R").all_rows())
+        n = len(rows)
+        boundary = round(2 / 3 * n)
+        first = sum(1 for r in rows[:boundary] if r[1] < SKEW_THRESHOLD)
+        assert first / boundary == pytest.approx(0.1, abs=0.02)
+
+    def test_static_stats_record_effective_selectivity(self):
+        db, _ = build_skewed_nlj_s(scale=100)
+        est = db.catalog.stats("R").selectivity_of("column_compare")
+        assert est == pytest.approx(0.3667, abs=0.001)
+
+
+class TestComplexPlan:
+    def test_ten_operators(self):
+        _, plan = build_complex_plan(scale=400)
+        assert plan_operator_count(plan) == 10
+
+    def test_executes(self):
+        db, plan = build_complex_plan(scale=400)
+        result = QuerySession(db, plan).execute(max_rows=3)
+        assert len(result.rows) == 3
+
+
+class TestLeftDeepNLJ:
+    def test_buffer_sizes_differ(self):
+        _, plan = build_left_deep_nlj(scale=100)
+        buffers = []
+        node = plan
+        while hasattr(node, "buffer_tuples"):
+            buffers.append(node.buffer_tuples)
+            node = node.outer
+        assert len(set(buffers)) == 3
+
+    def test_executes(self):
+        db, plan = build_left_deep_nlj(scale=400)
+        assert QuerySession(db, plan).execute(max_rows=2).rows
+
+
+class TestNLJChain:
+    @pytest.mark.parametrize("k", [3, 11, 21])
+    def test_operator_count(self, k):
+        _, plan = build_nlj_chain(k)
+        assert plan_operator_count(plan) == k
+
+    def test_rejects_even_counts(self):
+        with pytest.raises(ValueError):
+            build_nlj_chain(10)
+        with pytest.raises(ValueError):
+            build_nlj_chain(1)
+
+    def test_chain_executes(self):
+        db, plan = build_nlj_chain(7)
+        session = QuerySession(db, plan)
+        session.execute(max_rows=1)
+        assert session.rows
