@@ -12,8 +12,16 @@ Run:  python examples/grid_migration.py
 
 import pickle
 
-from repro import Database, QuerySession
-from repro.engine.plan import FilterSpec, MergeJoinSpec, ScanSpec, SortSpec
+from repro import (
+    Database,
+    FilterSpec,
+    MergeJoinSpec,
+    QuerySession,
+    ScanSpec,
+    SortSpec,
+    SuspendOptions,
+    SuspendStrategy,
+)
 from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
 from repro.relational.expressions import EquiJoinCondition, UniformSelect
 
@@ -55,7 +63,9 @@ def main():
 
     # Suspend under a tight budget (migration must be quick) and export
     # the dumped payloads into the structure so it is self-contained.
-    sq = session.suspend(strategy="lp", budget=20.0)
+    sq = session.suspend(
+        SuspendOptions(strategy=SuspendStrategy.LP, budget=20.0)
+    )
     sq.export_payloads(node_a.state_store)
     wire = pickle.dumps(sq)
     print(

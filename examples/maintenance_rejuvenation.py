@@ -16,13 +16,16 @@ Run:  python examples/maintenance_rejuvenation.py
 
 import pickle
 
-from repro import Database, QuerySession
-from repro.engine.plan import (
+from repro import (
+    Database,
     FilterSpec,
     GroupAggSpec,
     NLJSpec,
+    QuerySession,
     ScanSpec,
     SortSpec,
+    SuspendOptions,
+    SuspendStrategy,
 )
 from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
 from repro.relational.expressions import EquiJoinCondition, UniformSelect
@@ -87,7 +90,9 @@ def main():
     wire = {}
     deadline_budget = 40.0
     for name, session in sessions.items():
-        sq = session.suspend(strategy="lp", budget=deadline_budget)
+        sq = session.suspend(
+            SuspendOptions(strategy=SuspendStrategy.LP, budget=deadline_budget)
+        )
         sq.export_payloads(db.state_store)
         wire[name] = pickle.dumps(sq)
         print(

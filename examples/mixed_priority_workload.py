@@ -2,124 +2,51 @@
 
 The paper's motivating scenario (Section 1): a long-running analytical
 query Q_lo occupies a large amount of memory when a high-priority query
-Q_hi arrives. Three policies are compared on simulated time:
+Q_hi arrives. Three scheduler pressure policies are compared on
+simulated time:
 
-- kill-and-restart: throw away Q_lo's work, rerun it after Q_hi;
+- kill-restart: throw away Q_lo's work, rerun it after Q_hi;
 - wait: let Q_lo finish before starting Q_hi (terrible Q_hi latency);
-- suspend/resume: release Q_lo's resources within a suspend budget, run
+- suspend-resume: release Q_lo's resources within a suspend budget, run
   Q_hi, resume Q_lo without losing its progress.
+
+The workload itself lives in :func:`repro.workloads.mixed_priority_trace`
+(Q_lo arrives at t=0 at priority 0; Q_hi arrives mid-flight at priority
+10; the memory budget is half of Q_lo's solo peak, so Q_hi's admission
+always creates pressure). The scheduler replays the same arrival trace
+under each policy on identical fresh databases.
 
 Run:  python examples/mixed_priority_workload.py
 """
 
-from repro import Database, QuerySession
-from repro.engine.plan import FilterSpec, NLJSpec, ScanSpec, SortSpec
-from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
-from repro.relational.expressions import EquiJoinCondition, UniformSelect
-
-
-def fresh_db():
-    db = Database()
-    db.create_table("facts", BASE_SCHEMA, generate_uniform_table(20_000, seed=1))
-    db.create_table("dims", BASE_SCHEMA, generate_uniform_table(2_000, seed=2))
-    db.create_table("hot", BASE_SCHEMA, generate_uniform_table(3_000, seed=3))
-    return db
-
-
-def q_lo_plan():
-    """Long-running analytical join over the fact table."""
-    return NLJSpec(
-        outer=FilterSpec(
-            ScanSpec("facts", label="scan_facts"),
-            UniformSelect(1, 0.2),
-            label="filter",
-        ),
-        inner=ScanSpec("dims", label="scan_dims"),
-        condition=EquiJoinCondition(0, 0, modulus=500),
-        buffer_tuples=2_000,
-        label="q_lo_join",
-    )
-
-
-def q_hi_plan():
-    """High-priority query: a quick sorted aggregate over 'hot'."""
-    return SortSpec(
-        FilterSpec(ScanSpec("hot"), UniformSelect(1, 0.5)),
-        key_columns=(0,),
-        buffer_tuples=2_000,
-        label="q_hi_sort",
-    )
-
-
-def run_q_hi(db):
-    start = db.now
-    QuerySession(db, q_hi_plan()).execute()
-    return db.now - start
-
-
-ARRIVAL_TRIGGER = (
-    lambda rt: rt.op_named("q_lo_join").tuples_emitted >= 4_000
-)  # Q_hi arrives once Q_lo is well into its work
-
-
-def policy_suspend_resume():
-    db = fresh_db()
-    q_lo = QuerySession(db, q_lo_plan())
-    q_lo.execute(suspend_when=ARRIVAL_TRIGGER)
-    arrival = db.now  # Q_hi arrives now
-
-    held = q_lo.memory_in_use()
-    sq = q_lo.suspend(strategy="lp", budget=60.0)
-    print(
-        f"    (Q_lo held {held:,} bytes of operator state; "
-        f"{q_lo.memory_in_use():,} after suspend)"
-    )
-    q_hi_starts = db.now
-    q_hi_latency = (q_hi_starts - arrival) + run_q_hi(db)
-
-    resumed = QuerySession.resume(db, sq)
-    resumed.execute()
-    return q_hi_latency, db.now, len(q_lo.rows) + len(resumed.rows)
-
-
-def policy_kill_and_restart():
-    db = fresh_db()
-    q_lo = QuerySession(db, q_lo_plan())
-    q_lo.execute(suspend_when=ARRIVAL_TRIGGER)
-    arrival = db.now
-    # Kill: all of Q_lo's work so far is wasted.
-    q_hi_latency = run_q_hi(db)
-    restarted = QuerySession(db, q_lo_plan())
-    restarted.execute()
-    return q_hi_latency, db.now, len(restarted.rows)
-
-
-def policy_wait():
-    db = fresh_db()
-    q_lo = QuerySession(db, q_lo_plan())
-    q_lo.execute(suspend_when=ARRIVAL_TRIGGER)
-    arrival = db.now
-    q_lo.status = type(q_lo.status).RUNNING
-    q_lo.execute()  # Q_hi has to wait for Q_lo to finish
-    wait = db.now - arrival
-    q_hi_latency = wait + run_q_hi(db)
-    return q_hi_latency, db.now, len(q_lo.rows)
+from repro.harness import compare_policies, policy_comparison_rows, print_table
+from repro.workloads import mixed_priority_trace
 
 
 def main():
-    print(f"{'policy':>20} {'Q_hi latency':>14} {'makespan':>10} {'Q_lo rows':>10}")
-    for name, policy in (
-        ("suspend/resume", policy_suspend_resume),
-        ("kill-and-restart", policy_kill_and_restart),
-        ("wait for Q_lo", policy_wait),
-    ):
-        latency, makespan, rows = policy()
-        print(f"{name:>20} {latency:>14.1f} {makespan:>10.1f} {rows:>10}")
-    print(
-        "\nsuspend/resume gives Q_hi near-immediate service (small suspend "
-        "budget)\nwithout wasting Q_lo's completed work, so its makespan "
-        "beats kill-and-restart."
+    workload = mixed_priority_trace(scale=4, seed=1)
+    results = compare_policies(workload)
+
+    print_table(
+        policy_comparison_rows(results),
+        title="policy comparison (best combined turnaround first)",
     )
+
+    sr = results["suspend-resume"]
+    print("\nsuspend-resume timeline:")
+    for event in sr.timeline:
+        print(
+            f"  t={event.time:7.2f}  {event.event:<8} {event.query:<6} "
+            f"(live memory {event.memory_bytes:,} bytes)"
+        )
+
+    best = min(results, key=lambda p: results[p].total_turnaround())
+    print(
+        f"\nbest policy: {best} — Q_hi gets near-immediate service (small "
+        "suspend budget)\nwithout wasting Q_lo's completed work, so the "
+        "combined turnaround beats both\nkill-restart and wait."
+    )
+    assert best == "suspend-resume"
 
 
 if __name__ == "__main__":

@@ -7,8 +7,15 @@ demonstrating that the resumed query continues exactly where it stopped.
 Run:  python examples/quickstart.py
 """
 
-from repro import Database, QuerySession
-from repro.engine.plan import FilterSpec, NLJSpec, ScanSpec
+from repro import (
+    Database,
+    FilterSpec,
+    NLJSpec,
+    QuerySession,
+    ScanSpec,
+    SuspendOptions,
+    SuspendStrategy,
+)
 from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
 from repro.relational.expressions import EquiJoinCondition, UniformSelect
 
@@ -43,7 +50,7 @@ def main():
 
     # 4. Suspend. The online optimizer picks DumpState or GoBack per
     # operator from exact runtime state; all resources are then released.
-    sq = session.suspend(strategy="lp")
+    sq = session.suspend(SuspendOptions(strategy=SuspendStrategy.LP))
     print("\nchosen suspend plan:")
     print(sq.suspend_plan.describe({0: "join", 1: "filter",
                                     2: "scan_orders", 3: "scan_parts"}))

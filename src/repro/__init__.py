@@ -13,40 +13,114 @@ This package implements, from scratch, the paper's full system:
   suspend strategies, and the mixed-integer-programming suspend-plan
   optimizer (:mod:`repro.core`),
 - the Section 7 suspend-aware analytical planner (:mod:`repro.planning`),
+- a multi-query scheduler serving concurrent sessions under a memory
+  budget with suspend-resume / kill-restart / wait pressure policies
+  (:mod:`repro.service`),
 - the paper's workloads and an experiment harness regenerating every table
   and figure of the evaluation (:mod:`repro.workloads`, :mod:`repro.harness`).
 
-Quickstart::
+Quickstart — one suspend/resume cycle::
 
-    from repro import QuerySession
-    from repro.workloads import build_nlj_s
+    from repro import (
+        Database, FilterSpec, NLJSpec, QuerySession, ScanSpec,
+        SuspendOptions, SuspendStrategy,
+    )
+    from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
+    from repro.relational.expressions import EquiJoinCondition, UniformSelect
 
-    db, plan = build_nlj_s(selectivity=0.5)
+    db = Database()
+    db.create_table("R", BASE_SCHEMA, generate_uniform_table(2_000, seed=1))
+    db.create_table("S", BASE_SCHEMA, generate_uniform_table(400, seed=2))
+    plan = NLJSpec(
+        outer=FilterSpec(ScanSpec("R"), UniformSelect(1, 0.5)),
+        inner=ScanSpec("S"),
+        condition=EquiJoinCondition(0, 0, modulus=100),
+        buffer_tuples=300,
+    )
     session = QuerySession(db, plan)
-    result = session.execute(suspend_when=lambda stats: stats.root_rows >= 100)
-    sq = session.suspend(strategy="lp")
+    session.execute(max_rows=100)
+    sq = session.suspend(SuspendOptions(strategy=SuspendStrategy.LP))
     resumed = QuerySession.resume(db, sq)
     rest = resumed.execute()
+
+Quickstart — serving a multi-query arrival trace::
+
+    from repro import QueryScheduler
+    from repro.workloads import mixed_priority_trace
+
+    workload = mixed_priority_trace(scale=4, seed=1)
+    stats = QueryScheduler.run_workload(workload, policy="suspend-resume")
+    print(stats.as_dict())
 """
 
 from repro.storage.database import Database
 from repro.storage.disk import IOCostModel, SimulatedDisk, VirtualClock
-from repro.core.lifecycle import ExecutionResult, QuerySession, QueryStatus
+from repro.core.lifecycle import (
+    ExecutionResult,
+    QuerySession,
+    QueryStatus,
+    SuspendOptions,
+    SuspendStrategy,
+)
+from repro.engine.config import EngineConfig
+from repro.engine.plan import (
+    DupElimSpec,
+    FilterSpec,
+    GroupAggSpec,
+    HashGroupAggSpec,
+    HybridHashJoinSpec,
+    IndexNLJSpec,
+    IndexScanSpec,
+    MergeJoinSpec,
+    NLJSpec,
+    PlanSpec,
+    ProjectSpec,
+    ScanSpec,
+    SimpleHashJoinSpec,
+    SortSpec,
+)
 from repro.core.strategies import Strategy, SuspendPlan
 from repro.core.suspended_query import SuspendedQuery
+from repro.service.scheduler import QueryScheduler, SchedulerConfig
+from repro.service.stats import QueryStats, SchedulerStats
+from repro.service.trace import ArrivalTrace, QueryArrival, Workload
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ArrivalTrace",
     "Database",
+    "DupElimSpec",
+    "EngineConfig",
     "ExecutionResult",
+    "FilterSpec",
+    "GroupAggSpec",
+    "HashGroupAggSpec",
+    "HybridHashJoinSpec",
     "IOCostModel",
+    "IndexNLJSpec",
+    "IndexScanSpec",
+    "MergeJoinSpec",
+    "NLJSpec",
+    "PlanSpec",
+    "ProjectSpec",
+    "QueryArrival",
+    "QueryScheduler",
     "QuerySession",
+    "QueryStats",
     "QueryStatus",
+    "ScanSpec",
+    "SchedulerConfig",
+    "SchedulerStats",
+    "SimpleHashJoinSpec",
     "SimulatedDisk",
+    "SortSpec",
     "Strategy",
+    "SuspendOptions",
     "SuspendPlan",
+    "SuspendStrategy",
     "SuspendedQuery",
     "VirtualClock",
+    "Workload",
     "__version__",
 ]

@@ -6,9 +6,13 @@ Usage::
     python -m repro.cli experiment fig8 [--scale 200]
     python -m repro.cli experiment table2
     python -m repro.cli demo [--rows 20]
+    python -m repro.cli workload --trace mixed --seed 1
 
 Each experiment prints the same series its benchmark records; the demo
-walks one suspend/resume cycle end to end with the online optimizer.
+walks one suspend/resume cycle end to end with the online optimizer;
+``workload`` (alias ``serve``) replays a multi-query arrival trace
+through the scheduler under each pressure policy and prints per-query
+latencies plus the memory-pressure timeline.
 """
 
 from __future__ import annotations
@@ -121,9 +125,60 @@ EXPERIMENTS = {
 }
 
 
+def run_workload(
+    trace: str,
+    seed: int = 1,
+    scale: int = 4,
+    policy: Optional[str] = None,
+) -> str:
+    """Replay an arrival trace under one or all pressure policies."""
+    from repro.harness.scheduling import (
+        DEFAULT_POLICIES,
+        compare_policies,
+        policy_comparison_rows,
+    )
+    from repro.workloads.plans import TRACES
+
+    workload = TRACES[trace](scale=scale, seed=seed)
+    policies = DEFAULT_POLICIES if policy is None else (policy,)
+    results = compare_policies(workload, policies=policies)
+
+    budget = workload.memory_budget
+    lines = [
+        f"workload {workload.name!r}: {len(workload.trace)} queries, "
+        f"memory budget "
+        f"{'unlimited' if budget is None else f'{budget} bytes'}, "
+        f"suspend budget {workload.suspend_budget:.1f} time units",
+    ]
+    for name, stats in results.items():
+        lines.append("")
+        lines.append(
+            format_table(
+                stats.query_rows(),
+                title=f"policy {name} - per-query latency",
+            )
+        )
+        lines.append("")
+        lines.append(
+            format_table(
+                stats.timeline_rows(),
+                title=f"policy {name} - memory-pressure timeline",
+            )
+        )
+    if len(results) > 1:
+        lines.append("")
+        lines.append(
+            format_table(
+                policy_comparison_rows(results),
+                title="policy comparison (best combined turnaround first)",
+            )
+        )
+    return "\n".join(lines)
+
+
 def run_demo(rows_before_suspend: int = 20) -> str:
     """One suspend/resume cycle on a small join, narrated."""
-    from repro import Database, QuerySession
+    from repro import Database, QuerySession, SuspendOptions, SuspendStrategy
     from repro.engine.plan import FilterSpec, NLJSpec, ScanSpec
     from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
     from repro.relational.expressions import EquiJoinCondition, UniformSelect
@@ -146,7 +201,7 @@ def run_demo(rows_before_suspend: int = 20) -> str:
     lines.append(
         f"executed: {len(first.rows)} rows in {first.elapsed:.1f} time units"
     )
-    sq = session.suspend(strategy="lp")
+    sq = session.suspend(SuspendOptions(strategy=SuspendStrategy.LP))
     lines.append(f"suspended in {session.last_suspend_cost:.1f} time units")
     lines.append("suspend plan:")
     lines.append(
@@ -162,6 +217,13 @@ def run_demo(rows_before_suspend: int = 20) -> str:
         f"({len(first.rows) + len(rest.rows)} total)"
     )
     return "\n".join(lines)
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be positive, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -180,13 +242,40 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("name", choices=sorted(EXPERIMENTS))
     exp.add_argument(
         "--scale",
-        type=int,
+        type=_positive_int,
         default=100,
         help="data scale divisor vs the paper's sizes (default 100)",
     )
 
     demo = sub.add_parser("demo", help="one suspend/resume cycle, narrated")
     demo.add_argument("--rows", type=int, default=20)
+
+    from repro.workloads.plans import TRACES
+
+    for alias in ("workload", "serve"):
+        wl = sub.add_parser(
+            alias,
+            help="replay a multi-query arrival trace through the scheduler",
+        )
+        wl.add_argument(
+            "--trace",
+            choices=sorted(TRACES),
+            default="mixed",
+            help="arrival trace to replay (default mixed)",
+        )
+        wl.add_argument("--seed", type=int, default=1)
+        wl.add_argument(
+            "--scale",
+            type=_positive_int,
+            default=4,
+            help="data scale divisor vs the paper's sizes (default 4)",
+        )
+        wl.add_argument(
+            "--policy",
+            choices=("suspend-resume", "kill-restart", "wait"),
+            default=None,
+            help="run a single policy instead of comparing all three",
+        )
     return parser
 
 
@@ -202,6 +291,16 @@ def main(argv: Optional[list[str]] = None) -> int:
         return 0
     if args.command == "demo":
         print(run_demo(args.rows))
+        return 0
+    if args.command in ("workload", "serve"):
+        print(
+            run_workload(
+                args.trace,
+                seed=args.seed,
+                scale=args.scale,
+                policy=args.policy,
+            )
+        )
         return 0
     return 1  # pragma: no cover - argparse enforces choices
 

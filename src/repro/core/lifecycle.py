@@ -21,14 +21,19 @@ discard the half-resumed state and keep the old SuspendedQuery
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
 
 from repro.common.errors import ReproError, SuspendRequested
+# These two used to be function-local imports inside ``suspend()``; they
+# are cycle-free (repro.core.costs only type-checks against the engine)
+# and belong at module level.
+from repro.core.costs import build_cost_model
 from repro.core.optimizer import choose_suspend_plan
 from repro.core.static_optimizer import choose_static_plan
-from repro.core.strategies import SuspendPlan
+from repro.core.strategies import SuspendPlan, validate_suspend_plan
 from repro.core.suspended_query import SuspendedQuery
 from repro.engine.config import EngineConfig
 from repro.engine.plan import PlanSpec, instantiate_plan
@@ -41,6 +46,72 @@ class QueryStatus(Enum):
     SUSPEND_PENDING = "suspend_pending"
     SUSPENDED = "suspended"
     COMPLETED = "completed"
+
+
+class SuspendStrategy(Enum):
+    """How :meth:`QuerySession.suspend` chooses its suspend plan.
+
+    - ``LP`` — the paper's online MIP optimizer (Section 5);
+    - ``DP`` — the exact tree dynamic program (no budget support);
+    - ``ALL_DUMP`` / ``ALL_GOBACK`` — the purist baselines;
+    - ``STATIC`` — the table-statistics-only baseline (Figure 12);
+    - ``EXHAUSTIVE`` — brute-force enumeration (testing/cross-validation).
+    """
+
+    LP = "lp"
+    DP = "dp"
+    ALL_DUMP = "all_dump"
+    ALL_GOBACK = "all_goback"
+    STATIC = "static"
+    EXHAUSTIVE = "exhaustive"
+
+
+@dataclass(frozen=True)
+class SuspendOptions:
+    """Options for one suspend phase.
+
+    ``strategy`` selects the plan optimizer, ``budget`` bounds the
+    suspend-time cost (Equation 7), and a pre-built ``plan`` — validated
+    against the live topology — overrides both.
+    """
+
+    strategy: SuspendStrategy = SuspendStrategy.LP
+    budget: float = math.inf
+    plan: Optional[SuspendPlan] = None
+
+    def __post_init__(self):
+        if not isinstance(self.strategy, SuspendStrategy):
+            # Tolerate the enum's value strings so callers migrating off
+            # the legacy API can write SuspendOptions(strategy="lp").
+            object.__setattr__(
+                self, "strategy", SuspendStrategy(self.strategy)
+            )
+        if self.budget < 0:
+            raise ValueError(f"negative suspend budget {self.budget}")
+
+
+def _legacy_suspend_options(
+    strategy: Union[str, SuspendStrategy, None],
+    budget: Optional[float],
+    plan: Optional[SuspendPlan],
+) -> SuspendOptions:
+    """Build :class:`SuspendOptions` from the deprecated keyword form."""
+    warnings.warn(
+        "QuerySession.suspend(strategy=..., budget=..., plan=...) is "
+        "deprecated; pass a SuspendOptions instead, e.g. "
+        "suspend(SuspendOptions(strategy=SuspendStrategy.LP, budget=...))",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return SuspendOptions(
+        strategy=(
+            SuspendStrategy(strategy)
+            if strategy is not None
+            else SuspendStrategy.LP
+        ),
+        budget=budget if budget is not None else math.inf,
+        plan=plan,
+    )
 
 
 @dataclass
@@ -61,10 +132,16 @@ class QuerySession:
         db: Database,
         plan_spec: PlanSpec,
         config: Optional[EngineConfig] = None,
+        priority: int = 0,
+        name: Optional[str] = None,
     ):
         self.db = db
         self.plan_spec = plan_spec
         self.config = config or EngineConfig()
+        #: Scheduling priority (higher runs first); only meaningful when
+        #: the session is served by a :class:`repro.service.QueryScheduler`.
+        self.priority = priority
+        self.name = name
         self.runtime = Runtime(db, self.config)
         self.root = instantiate_plan(plan_spec, self.runtime)
         self.root.open()
@@ -121,45 +198,62 @@ class QuerySession:
     # ------------------------------------------------------------------
     def suspend(
         self,
-        strategy: str = "lp",
-        budget: float = math.inf,
+        options: Union[SuspendOptions, str, None] = None,
+        *,
+        strategy: Union[str, SuspendStrategy, None] = None,
+        budget: Optional[float] = None,
         plan: Optional[SuspendPlan] = None,
     ) -> SuspendedQuery:
         """Carry out the suspend phase and return the SuspendedQuery.
 
-        ``strategy``: "lp" (online optimizer), "all_dump", "all_goback",
-        "static" (table-statistics baseline), or "exhaustive"; a
-        pre-built ``plan`` overrides it.
+        ``options`` is a :class:`SuspendOptions`; with none given the
+        online LP optimizer runs unbudgeted. The keyword form
+        ``suspend(strategy="lp", budget=..., plan=...)`` (and the
+        positional string form ``suspend("lp")``) is deprecated but still
+        accepted; it emits a :class:`DeprecationWarning`.
         """
+        if isinstance(options, str):
+            # Legacy positional call: suspend("all_dump").
+            options = _legacy_suspend_options(options, budget, plan)
+        elif options is None:
+            if strategy is not None or budget is not None or plan is not None:
+                options = _legacy_suspend_options(strategy, budget, plan)
+            else:
+                options = SuspendOptions()
+        elif strategy is not None or budget is not None or plan is not None:
+            raise TypeError(
+                "pass either a SuspendOptions or the deprecated "
+                "strategy/budget/plan keywords, not both"
+            )
         if self.status in (QueryStatus.SUSPENDED, QueryStatus.COMPLETED):
             raise ReproError(f"cannot suspend in status {self.status}")
         controller = self.runtime.controller
         controller.suppress()
         start = self.db.now
         try:
-            if plan is None:
-                if strategy == "static":
-                    plan = choose_static_plan(self.runtime)
+            chosen = options.plan
+            if chosen is None:
+                if options.strategy is SuspendStrategy.STATIC:
+                    chosen = choose_static_plan(self.runtime)
                 else:
-                    plan = choose_suspend_plan(
-                        self.runtime, strategy=strategy, budget=budget
+                    chosen = choose_suspend_plan(
+                        self.runtime,
+                        strategy=options.strategy.value,
+                        budget=options.budget,
                     )
             else:
                 # Caller-supplied plans are validated against the live
                 # topology and c_{i,j} restrictions before being trusted.
-                from repro.core.costs import build_cost_model
-                from repro.core.strategies import validate_suspend_plan
-
                 validate_suspend_plan(
-                    plan, build_cost_model(self.runtime).topology()
+                    chosen, build_cost_model(self.runtime).topology()
                 )
             sq = SuspendedQuery(
                 plan_spec=self.plan_spec,
-                suspend_plan=plan,
+                suspend_plan=chosen,
                 root_rows_emitted=self.root.tuples_emitted,
                 suspended_at=self.db.now,
             )
-            ctx = SuspendContext(plan=plan, sq=sq, runtime=self.runtime)
+            ctx = SuspendContext(plan=chosen, sq=sq, runtime=self.runtime)
             self.root.do_suspend(ctx)
             # Write the SuspendedQuery structure itself to disk.
             self.db.disk.write_control_bytes(
@@ -168,13 +262,23 @@ class QuerySession:
         finally:
             controller.unsuppress()
         self.last_suspend_cost = self.db.now - start
-        self.last_suspend_plan = plan
+        self.last_suspend_plan = chosen
         # Release all memory resources: the operator tree is discarded.
-        self.root.close()
-        self.runtime.ops.clear()
-        self.runtime.ops_by_name.clear()
+        self.close()
         self.status = QueryStatus.SUSPENDED
         return sq
+
+    def close(self) -> None:
+        """Release the operator tree and every heap resource it holds.
+
+        Used by the suspend phase after dumping state, and by schedulers
+        as the *kill* and *discard-half-resumed* primitive: afterwards
+        :meth:`memory_in_use` is 0 and the session can no longer execute.
+        """
+        if self.runtime.ops:
+            self.root.close()
+        self.runtime.ops.clear()
+        self.runtime.ops_by_name.clear()
 
     # ------------------------------------------------------------------
     # Resume phase
@@ -185,6 +289,8 @@ class QuerySession:
         db: Database,
         sq: SuspendedQuery,
         config: Optional[EngineConfig] = None,
+        priority: int = 0,
+        name: Optional[str] = None,
     ) -> "QuerySession":
         """Reconstruct a session from a SuspendedQuery.
 
@@ -198,6 +304,8 @@ class QuerySession:
         session.db = db
         session.plan_spec = sq.plan_spec
         session.config = config or EngineConfig()
+        session.priority = priority
+        session.name = name
         session.runtime = Runtime(db, session.config)
         session.rows = []
         session.last_suspend_cost = 0.0
@@ -236,10 +344,7 @@ class QuerySession:
         all of it. After :meth:`suspend` the operator tree is discarded
         and this returns 0; the dumped state lives on (simulated) disk.
         """
-        page_bytes = self.db.cost_model.page_bytes
-        return sum(
-            op.heap_pages() * page_bytes for op in self.runtime.ops.values()
-        )
+        return self.runtime.memory_in_use()
 
     def stats_rows(self) -> list[dict]:
         """Per-operator runtime statistics (for monitoring/reports).

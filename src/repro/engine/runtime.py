@@ -105,6 +105,11 @@ class Runtime:
     def poll(self) -> None:
         self.controller.poll(self)
 
+    def memory_in_use(self) -> int:
+        """Bytes of operator heap state currently held (page-granular)."""
+        page_bytes = self.db.cost_model.page_bytes
+        return sum(op.heap_pages() * page_bytes for op in self.ops.values())
+
     def root(self) -> "Operator":
         roots = [op for op in self.ops.values() if op.parent is None]
         if len(roots) != 1:

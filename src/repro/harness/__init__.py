@@ -6,11 +6,19 @@ from repro.harness.experiments import (
     run_reference_to_milestone,
 )
 from repro.harness.report import format_table, print_table
+from repro.harness.scheduling import (
+    DEFAULT_POLICIES,
+    compare_policies,
+    policy_comparison_rows,
+)
 
 __all__ = [
+    "DEFAULT_POLICIES",
     "OverheadResult",
+    "compare_policies",
     "format_table",
     "measure_suspend_overhead",
+    "policy_comparison_rows",
     "print_table",
     "run_reference_to_milestone",
 ]

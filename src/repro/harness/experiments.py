@@ -23,7 +23,12 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Optional
 
-from repro.core.lifecycle import QuerySession, QueryStatus
+from repro.core.lifecycle import (
+    QuerySession,
+    QueryStatus,
+    SuspendOptions,
+    SuspendStrategy,
+)
 from repro.core.strategies import SuspendPlan
 from repro.engine.config import EngineConfig
 from repro.engine.plan import PlanSpec
@@ -108,7 +113,9 @@ def measure_suspend_overhead(
             "suspend trigger never fired; the query ran to completion"
         )
     before_suspend = db.now
-    sq = session.suspend(strategy=strategy, budget=budget)
+    sq = session.suspend(
+        SuspendOptions(strategy=SuspendStrategy(strategy), budget=budget)
+    )
     suspend_cost = db.now - before_suspend
 
     before_resume = db.now

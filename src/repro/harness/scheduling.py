@@ -1,0 +1,64 @@
+"""Policy-comparison harness for the scheduler (Section 1 as a table).
+
+``compare_policies`` replays one :class:`~repro.service.trace.Workload`
+under each pressure policy on identical fresh databases and returns the
+full per-policy stats; ``policy_comparison_rows`` flattens them into the
+dict-rows the report tables and the CLI print. The ranking metric is
+``total_turnaround`` — for the two-query mixed trace exactly Q_hi
+latency + Q_lo turnaround, the combined quantity the paper's motivating
+argument is about.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.service.scheduler import QueryScheduler, SchedulerConfig
+from repro.service.stats import SchedulerStats
+from repro.service.trace import Workload
+
+#: The Section 1 policies, in the order the paper discusses them.
+DEFAULT_POLICIES = ("suspend-resume", "kill-restart", "wait")
+
+
+def compare_policies(
+    workload: Workload,
+    policies: Sequence[str] = DEFAULT_POLICIES,
+    quantum_rows: Optional[int] = None,
+) -> dict[str, SchedulerStats]:
+    """Replay ``workload`` once per policy; return stats keyed by policy."""
+    results: dict[str, SchedulerStats] = {}
+    for policy in policies:
+        config = SchedulerConfig(
+            policy=policy,
+            memory_budget=workload.memory_budget,
+            suspend_budget=workload.suspend_budget,
+        )
+        if quantum_rows is not None:
+            config.quantum_rows = quantum_rows
+        results[policy] = QueryScheduler.run_workload(workload, config=config)
+    return results
+
+
+def policy_comparison_rows(
+    results: dict[str, SchedulerStats]
+) -> list[dict]:
+    """One report row per policy, best (lowest total turnaround) first."""
+    rows = []
+    for stats in results.values():
+        row = stats.as_dict()
+        hi = _highest_priority_query(stats)
+        if hi is not None:
+            row["hi_latency"] = (
+                None if hi.turnaround is None else round(hi.turnaround, 2)
+            )
+        rows.append(row)
+    rows.sort(key=lambda r: r["total_turnaround"])
+    return rows
+
+
+def _highest_priority_query(stats: SchedulerStats):
+    queries = list(stats.per_query.values())
+    if not queries:
+        return None
+    return max(queries, key=lambda q: (q.priority, -q.arrival_time))

@@ -1,0 +1,47 @@
+"""Serving layer: many concurrent queries over one suspend/resume engine.
+
+The paper provides the primitive — suspend a query within a budget,
+resume it without losing work. This package turns it into a served
+system: a :class:`QueryScheduler` admits arrival traces of prioritized
+queries against a shared database, runs them in cooperative quanta on
+the virtual clock, enforces a memory budget by suspending (or killing,
+or waiting on) victims, and resumes them when pressure clears. The
+Section 1 kill-restart / wait / suspend-resume comparison becomes a
+reproducible benchmark (see ``python -m repro.cli workload``).
+"""
+
+from repro.service.policies import (
+    POLICIES,
+    KillRestartPolicy,
+    PressurePolicy,
+    SuspendResumePolicy,
+    WaitPolicy,
+    get_policy,
+)
+from repro.service.scheduler import (
+    QueryRecord,
+    QueryScheduler,
+    QueryState,
+    SchedulerConfig,
+)
+from repro.service.stats import QueryStats, SchedulerStats, TimelineEvent
+from repro.service.trace import ArrivalTrace, QueryArrival, Workload
+
+__all__ = [
+    "ArrivalTrace",
+    "KillRestartPolicy",
+    "POLICIES",
+    "PressurePolicy",
+    "QueryArrival",
+    "QueryRecord",
+    "QueryScheduler",
+    "QueryState",
+    "QueryStats",
+    "SchedulerConfig",
+    "SchedulerStats",
+    "SuspendResumePolicy",
+    "TimelineEvent",
+    "WaitPolicy",
+    "Workload",
+    "get_policy",
+]

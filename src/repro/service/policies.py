@@ -1,0 +1,119 @@
+"""Memory-pressure policies: what to do when a query needs memory.
+
+The paper's Section 1 compares three ways of serving a high-priority
+query while a long-running low-priority query holds the memory:
+
+- ``kill-restart`` — kill the holders and rerun them from scratch later
+  (their completed work is wasted);
+- ``wait`` — make the incoming query wait until the holders finish
+  (terrible high-priority latency);
+- ``suspend-resume`` — suspend the holders within a suspend budget using
+  the paper's machinery, run the incoming query, resume the holders.
+
+A policy's :meth:`~PressurePolicy.make_room` is invoked by the scheduler
+right before a query is started or resumed; it may suspend or kill
+victims and returns ``True`` when the query may take the CPU now. Only
+strictly lower-priority sessions are ever victimized — pressure from
+equal-or-higher-priority holders always means waiting, under every
+policy, so priority inversions cannot be manufactured by the policy
+choice itself.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.service.scheduler import QueryRecord, QueryScheduler
+
+
+def select_victims(
+    candidates: list["QueryRecord"], excess: int
+) -> list["QueryRecord"]:
+    """Pick victims covering ``excess`` bytes: lowest priority first,
+    largest memory first within a priority, name breaking ties."""
+    ordered = sorted(
+        candidates,
+        key=lambda r: (r.priority, -r.memory_in_use(), r.name),
+    )
+    victims: list["QueryRecord"] = []
+    freed = 0
+    for record in ordered:
+        if freed >= excess:
+            break
+        victims.append(record)
+        freed += record.memory_in_use()
+    return victims if freed >= excess else ordered
+
+
+class PressurePolicy:
+    """Base class; subclasses define one pressure-resolution behavior."""
+
+    name = "abstract"
+
+    def make_room(
+        self, scheduler: "QueryScheduler", record: "QueryRecord"
+    ) -> bool:
+        """Try to free enough memory for ``record``; True = may run now."""
+        raise NotImplementedError
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SuspendResumePolicy(PressurePolicy):
+    """Suspend victims with the online optimizer; resume them later."""
+
+    name = "suspend-resume"
+
+    def make_room(self, scheduler, record):
+        excess = scheduler.pressure_excess(record)
+        if excess <= 0:
+            return True
+        victims = select_victims(scheduler.victim_candidates(record), excess)
+        for victim in victims:
+            scheduler.suspend_victim(victim)
+        return scheduler.pressure_excess(record) <= 0
+
+
+class KillRestartPolicy(PressurePolicy):
+    """Kill victims outright; they restart from scratch when rescheduled."""
+
+    name = "kill-restart"
+
+    def make_room(self, scheduler, record):
+        excess = scheduler.pressure_excess(record)
+        if excess <= 0:
+            return True
+        victims = select_victims(scheduler.victim_candidates(record), excess)
+        for victim in victims:
+            scheduler.kill_victim(victim)
+        return scheduler.pressure_excess(record) <= 0
+
+
+class WaitPolicy(PressurePolicy):
+    """Never preempt: the incoming query waits for memory to clear."""
+
+    name = "wait"
+
+    def make_room(self, scheduler, record):
+        return scheduler.pressure_excess(record) <= 0
+
+
+POLICIES: dict[str, type[PressurePolicy]] = {
+    policy.name: policy
+    for policy in (SuspendResumePolicy, KillRestartPolicy, WaitPolicy)
+}
+
+
+def get_policy(policy: Union[str, PressurePolicy]) -> PressurePolicy:
+    """Resolve a policy name (or pass an instance through)."""
+    if isinstance(policy, PressurePolicy):
+        return policy
+    try:
+        return POLICIES[policy]()
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduling policy {policy!r}; "
+            f"expected one of {sorted(POLICIES)}"
+        ) from None

@@ -1,0 +1,417 @@
+"""The multi-query scheduler: QuerySession as a served primitive.
+
+:class:`QueryScheduler` admits many sessions against one shared
+:class:`~repro.storage.database.Database` (one virtual clock, one state
+store) and runs them cooperatively: one query executes at a time, in
+quanta of ``quantum_rows`` root-output tuples, with scheduling decisions
+at every quantum boundary — the safe points where a suspend is valid.
+
+Scheduling is strict priority (FIFO within a priority). Before a query
+takes the CPU the scheduler enforces the shared ``memory_budget`` over
+the heap state of every *other* live session — the query being served is
+itself exempt, so a budget of 0 degenerates to "one resident query at a
+time" instead of a livelock. When the budget is exceeded the configured
+:class:`~repro.service.policies.PressurePolicy` resolves the pressure:
+suspending victims with the paper's online LP optimizer under a
+per-suspend budget (``suspend-resume``), killing them for a later
+from-scratch restart (``kill-restart``), or making the incoming query
+wait (``wait``). Suspended queries are resumed automatically when they
+are the highest-priority runnable work and the pressure has cleared.
+
+A suspend request that lands while a victim is *mid-resume* follows the
+paper's Section 2 rule: the half-resumed state is discarded and the old
+SuspendedQuery — still intact on disk — is kept; only the wasted resume
+I/O is paid.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Optional, Union
+
+from repro.common.errors import ReproError, SuspendBudgetInfeasibleError
+from repro.core.lifecycle import (
+    QuerySession,
+    QueryStatus,
+    SuspendOptions,
+    SuspendStrategy,
+)
+from repro.core.suspended_query import SuspendedQuery
+from repro.engine.config import EngineConfig
+from repro.service.policies import PressurePolicy, get_policy
+from repro.service.stats import QueryStats, SchedulerStats, TimelineEvent
+from repro.service.trace import ArrivalTrace, QueryArrival, Workload
+from repro.storage.database import Database
+
+
+class QueryState(Enum):
+    """Scheduler-side lifecycle of an admitted query."""
+
+    WAITING = "waiting"  # admitted, no session yet (fresh or killed)
+    READY = "ready"  # live session, runnable at the next quantum
+    SUSPENDED = "suspended"  # state on disk as a SuspendedQuery
+    DONE = "done"
+
+
+@dataclass
+class SchedulerConfig:
+    """Tunables of one scheduler run.
+
+    Attributes:
+        policy: pressure policy — ``"suspend-resume"``, ``"kill-restart"``,
+            ``"wait"``, or a :class:`PressurePolicy` instance.
+        memory_budget: shared budget, in bytes, over the heap state of
+            every live session other than the one being served; ``None``
+            disables pressure handling entirely.
+        quantum_rows: root output tuples per execution quantum. Arrivals
+            are only noticed at quantum boundaries, so this bounds the
+            scheduler's reaction latency; keep it small relative to a
+            query's total output.
+        suspend_strategy: plan optimizer used when suspending victims.
+        suspend_budget: per-suspend time budget (Equation 7). When no
+            valid plan fits, the scheduler retries unbudgeted rather than
+            fail the victim.
+        engine_config: per-session engine configuration.
+        collect_rows: keep every query's output rows on its record
+            (memory in the *host* process only; disable for large runs).
+    """
+
+    policy: Union[str, PressurePolicy] = "suspend-resume"
+    memory_budget: Optional[int] = None
+    quantum_rows: int = 64
+    suspend_strategy: SuspendStrategy = SuspendStrategy.LP
+    suspend_budget: float = math.inf
+    engine_config: Optional[EngineConfig] = None
+    collect_rows: bool = True
+
+
+@dataclass
+class QueryRecord:
+    """One admitted query's scheduler-side state."""
+
+    arrival: QueryArrival
+    seq: int
+    stats: QueryStats
+    state: QueryState = QueryState.WAITING
+    session: Optional[QuerySession] = None
+    sq: Optional[SuspendedQuery] = None
+    rows: list = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.arrival.name
+
+    @property
+    def priority(self) -> int:
+        return self.arrival.priority
+
+    def memory_in_use(self) -> int:
+        return self.session.memory_in_use() if self.session else 0
+
+
+class QueryScheduler:
+    """Serve many QuerySessions against one database, cooperatively."""
+
+    def __init__(self, db: Database, config: Optional[SchedulerConfig] = None):
+        self.db = db
+        self.config = config or SchedulerConfig()
+        self.policy = get_policy(self.config.policy)
+        self.records: list[QueryRecord] = []
+        self.stats = SchedulerStats(policy=self.policy.name)
+        self._pending: list[QueryRecord] = []  # not yet admitted, by time
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        name: str,
+        plan,
+        arrival_time: float = 0.0,
+        priority: int = 0,
+    ) -> QueryRecord:
+        """Register one future arrival (before :meth:`run`)."""
+        return self._submit(QueryArrival(name, plan, arrival_time, priority))
+
+    def submit_trace(self, trace: ArrivalTrace) -> list[QueryRecord]:
+        return [self._submit(arrival) for arrival in trace.sorted_arrivals()]
+
+    def _submit(self, arrival: QueryArrival) -> QueryRecord:
+        if self._ran:
+            raise ReproError("scheduler already ran; submit before run()")
+        if any(r.name == arrival.name for r in self.records):
+            raise ReproError(f"duplicate query name {arrival.name!r}")
+        record = QueryRecord(
+            arrival=arrival,
+            seq=len(self.records),
+            stats=QueryStats(
+                name=arrival.name,
+                priority=arrival.priority,
+                arrival_time=arrival.arrival_time,
+            ),
+        )
+        self.records.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # The scheduling loop
+    # ------------------------------------------------------------------
+    def run(self) -> SchedulerStats:
+        """Serve every submitted query to completion; return the stats."""
+        if self._ran:
+            raise ReproError("scheduler can only run once")
+        self._ran = True
+        self._pending = sorted(
+            self.records, key=lambda r: (r.arrival.arrival_time, r.seq)
+        )
+        self.stats.started_at = self.db.now
+        self._admit_due()
+        while True:
+            record = self._pick_next()
+            if record is None:
+                if self._pending:
+                    # Idle: fast-forward the clock to the next arrival.
+                    gap = self._pending[0].arrival.arrival_time - self.db.now
+                    if gap > 0:
+                        self.db.disk.clock.advance(gap)
+                    self._admit_due()
+                    continue
+                break
+            self._serve(record)
+            self._admit_due()
+        self.stats.finished_at = self.db.now
+        return self.stats
+
+    def run_to_completion(self) -> SchedulerStats:  # pragma: no cover
+        """Alias for :meth:`run` (reads better at call sites)."""
+        return self.run()
+
+    @classmethod
+    def run_workload(
+        cls,
+        workload: Workload,
+        policy: Union[str, PressurePolicy, None] = None,
+        config: Optional[SchedulerConfig] = None,
+    ) -> SchedulerStats:
+        """Replay a :class:`Workload` on a fresh database and return stats.
+
+        ``config`` overrides the workload's tuned budgets entirely;
+        otherwise a config is built from them, with ``policy`` (if given)
+        replacing the default.
+        """
+        if config is None:
+            config = SchedulerConfig(
+                policy=policy if policy is not None else "suspend-resume",
+                memory_budget=workload.memory_budget,
+                suspend_budget=workload.suspend_budget,
+            )
+        elif policy is not None:
+            config.policy = policy
+        scheduler = cls(workload.db_factory(), config)
+        scheduler.submit_trace(workload.trace)
+        return scheduler.run()
+
+    # ------------------------------------------------------------------
+    # Admission and selection
+    # ------------------------------------------------------------------
+    def _admit_due(self) -> list[QueryRecord]:
+        admitted = []
+        while self._pending and (
+            self._pending[0].arrival.arrival_time <= self.db.now
+        ):
+            record = self._pending.pop(0)
+            self.stats.queries_admitted += 1
+            self.stats.per_query[record.name] = record.stats
+            self._mark("admit", record)
+            admitted.append(record)
+        return admitted
+
+    def _runnable(self) -> list[QueryRecord]:
+        admitted = set(self.stats.per_query)
+        return [
+            r
+            for r in self.records
+            if r.name in admitted and r.state is not QueryState.DONE
+        ]
+
+    def _pick_next(self) -> Optional[QueryRecord]:
+        runnable = self._runnable()
+        if not runnable:
+            return None
+        return min(
+            runnable, key=lambda r: (-r.priority, r.arrival.arrival_time, r.seq)
+        )
+
+    # ------------------------------------------------------------------
+    # Memory pressure (called by the policies)
+    # ------------------------------------------------------------------
+    def total_live_memory(self) -> int:
+        """Heap bytes held across every live session right now."""
+        return sum(r.memory_in_use() for r in self.records)
+
+    def pressure_excess(self, record: QueryRecord) -> int:
+        """Bytes over budget held by sessions other than ``record``'s."""
+        if self.config.memory_budget is None:
+            return 0
+        held = self.total_live_memory() - record.memory_in_use()
+        return held - self.config.memory_budget
+
+    def victim_candidates(self, record: QueryRecord) -> list[QueryRecord]:
+        """Live lower-priority sessions that currently hold memory."""
+        return [
+            r
+            for r in self.records
+            if r is not record
+            and r.state is QueryState.READY
+            and r.priority < record.priority
+            and r.memory_in_use() > 0
+        ]
+
+    def suspend_victim(self, victim: QueryRecord) -> None:
+        """Suspend a victim within the configured per-suspend budget."""
+        options = SuspendOptions(
+            strategy=self.config.suspend_strategy,
+            budget=self.config.suspend_budget,
+        )
+        try:
+            victim.sq = victim.session.suspend(options)
+        except SuspendBudgetInfeasibleError:
+            # No valid plan fits the budget at this point; releasing the
+            # memory still beats failing the victim, so pay full price.
+            victim.sq = victim.session.suspend(
+                SuspendOptions(strategy=self.config.suspend_strategy)
+            )
+        victim.session = None
+        victim.state = QueryState.SUSPENDED
+        victim.stats.suspends += 1
+        self.stats.suspends += 1
+        self._mark("suspend", victim)
+
+    def kill_victim(self, victim: QueryRecord) -> None:
+        """Kill a victim; all its work so far is wasted."""
+        victim.session.close()
+        victim.session = None
+        victim.sq = None
+        victim.rows.clear()
+        victim.stats.rows_emitted = 0
+        victim.state = QueryState.WAITING
+        victim.stats.kills += 1
+        self.stats.kills += 1
+        self._mark("kill", victim)
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def _serve(self, record: QueryRecord) -> None:
+        if not self.policy.make_room(self, record):
+            holder = self._blocking_holder(record)
+            if holder is None:
+                # Nothing live holds the memory (should not happen); run
+                # anyway rather than deadlock.
+                self._mark("override", record)
+            else:
+                # The incoming query waits; keep the holder moving so the
+                # clock (and its completion) advances.
+                record = holder
+        if record.state is QueryState.WAITING:
+            self._start(record)
+        elif record.state is QueryState.SUSPENDED:
+            if not self._resume(record):
+                return  # half-resumed state discarded; try again later
+        self._quantum(record)
+
+    def _blocking_holder(self, record: QueryRecord) -> Optional[QueryRecord]:
+        holders = [
+            r
+            for r in self.records
+            if r is not record
+            and r.state is QueryState.READY
+            and r.memory_in_use() > 0
+        ]
+        if not holders:
+            return None
+        return min(
+            holders, key=lambda r: (-r.priority, r.arrival.arrival_time, r.seq)
+        )
+
+    def _start(self, record: QueryRecord) -> None:
+        record.session = QuerySession(
+            self.db,
+            record.arrival.plan,
+            config=self.config.engine_config,
+            priority=record.priority,
+            name=record.name,
+        )
+        record.state = QueryState.READY
+        if record.stats.first_started_at is None:
+            record.stats.first_started_at = self.db.now
+        self._mark("start", record)
+
+    def _resume(self, record: QueryRecord) -> bool:
+        """Resume a suspended record; False if the discard rule fired."""
+        resume_start = self.db.now
+        session = QuerySession.resume(
+            self.db,
+            record.sq,
+            config=self.config.engine_config,
+            priority=record.priority,
+            name=record.name,
+        )
+        arrived = self._admit_due()
+        preempted = self.config.memory_budget is not None and any(
+            r.priority > record.priority
+            and r.arrival.arrival_time > resume_start
+            for r in arrived
+        )
+        if preempted:
+            # Paper's rule for a suspend request during resume: throw the
+            # half-resumed state away and keep the old SuspendedQuery —
+            # no new suspend phase is paid, only the wasted resume I/O.
+            session.close()
+            record.stats.discarded_resumes += 1
+            self.stats.discarded_resumes += 1
+            self._mark("discard-resume", record)
+            return False
+        record.session = session
+        record.sq = None
+        record.state = QueryState.READY
+        record.stats.resumes += 1
+        self.stats.resumes += 1
+        self._mark("resume", record)
+        return True
+
+    def _quantum(self, record: QueryRecord) -> None:
+        result = record.session.execute(max_rows=self.config.quantum_rows)
+        record.stats.rows_emitted += len(result.rows)
+        if self.config.collect_rows:
+            record.rows.extend(result.rows)
+        self._note_memory()
+        if result.status is QueryStatus.COMPLETED:
+            record.session.close()
+            record.session = None
+            record.state = QueryState.DONE
+            record.stats.completed_at = self.db.now
+            self.stats.queries_completed += 1
+            self._mark("complete", record)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def _note_memory(self) -> None:
+        self.stats.peak_memory = max(
+            self.stats.peak_memory, self.total_live_memory()
+        )
+
+    def _mark(self, event: str, record: QueryRecord) -> None:
+        self._note_memory()
+        self.stats.timeline.append(
+            TimelineEvent(
+                time=self.db.now,
+                event=event,
+                query=record.name,
+                memory_bytes=self.total_live_memory(),
+            )
+        )

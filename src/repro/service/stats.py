@@ -1,0 +1,137 @@
+"""Scheduler accounting: per-query and per-scheduler statistics.
+
+Everything is exposed as plain dicts (``as_dict`` / ``query_rows``) so
+tests, the CLI, and the harness report tables consume the same numbers
+without reaching into scheduler internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One entry of the memory-pressure timeline.
+
+    ``memory_bytes`` is the total operator heap held by *all* live
+    sessions right after the event took effect.
+    """
+
+    time: float
+    event: str
+    query: str
+    memory_bytes: int
+
+    def as_dict(self) -> dict:
+        return {
+            "time": round(self.time, 2),
+            "event": self.event,
+            "query": self.query,
+            "memory_bytes": self.memory_bytes,
+        }
+
+
+@dataclass
+class QueryStats:
+    """Lifecycle accounting for one admitted query."""
+
+    name: str
+    priority: int
+    arrival_time: float
+    first_started_at: Optional[float] = None
+    completed_at: Optional[float] = None
+    suspends: int = 0
+    resumes: int = 0
+    kills: int = 0
+    discarded_resumes: int = 0
+    rows_emitted: int = 0
+
+    @property
+    def wait(self) -> Optional[float]:
+        """Time from arrival to first execution quantum."""
+        if self.first_started_at is None:
+            return None
+        return self.first_started_at - self.arrival_time
+
+    @property
+    def turnaround(self) -> Optional[float]:
+        """Time from arrival to completion (the paper's latency metric)."""
+        if self.completed_at is None:
+            return None
+        return self.completed_at - self.arrival_time
+
+    def as_dict(self) -> dict:
+        return {
+            "query": self.name,
+            "priority": self.priority,
+            "arrival": round(self.arrival_time, 2),
+            "wait": None if self.wait is None else round(self.wait, 2),
+            "turnaround": (
+                None if self.turnaround is None else round(self.turnaround, 2)
+            ),
+            "suspends": self.suspends,
+            "resumes": self.resumes,
+            "kills": self.kills,
+            "discarded_resumes": self.discarded_resumes,
+            "rows": self.rows_emitted,
+        }
+
+
+@dataclass
+class SchedulerStats:
+    """Aggregate counters for one scheduler run."""
+
+    policy: str
+    queries_admitted: int = 0
+    queries_completed: int = 0
+    suspends: int = 0
+    resumes: int = 0
+    kills: int = 0
+    discarded_resumes: int = 0
+    peak_memory: int = 0
+    started_at: float = 0.0
+    finished_at: float = 0.0
+    per_query: dict[str, QueryStats] = field(default_factory=dict)
+    timeline: list[TimelineEvent] = field(default_factory=list)
+
+    @property
+    def makespan(self) -> float:
+        return self.finished_at - self.started_at
+
+    def total_turnaround(self) -> float:
+        """Sum of every completed query's turnaround.
+
+        For the two-query Section 1 trace this is exactly Q_hi latency +
+        Q_lo turnaround, the combined metric the policies are ranked by.
+        """
+        return sum(
+            q.turnaround
+            for q in self.per_query.values()
+            if q.turnaround is not None
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "policy": self.policy,
+            "queries_admitted": self.queries_admitted,
+            "queries_completed": self.queries_completed,
+            "suspends": self.suspends,
+            "resumes": self.resumes,
+            "kills": self.kills,
+            "discarded_resumes": self.discarded_resumes,
+            "peak_memory": self.peak_memory,
+            "makespan": round(self.makespan, 2),
+            "total_turnaround": round(self.total_turnaround(), 2),
+        }
+
+    def query_rows(self) -> list[dict]:
+        """Per-query dict-rows ordered by arrival time."""
+        ordered = sorted(
+            self.per_query.values(), key=lambda q: (q.arrival_time, q.name)
+        )
+        return [q.as_dict() for q in ordered]
+
+    def timeline_rows(self) -> list[dict]:
+        return [e.as_dict() for e in self.timeline]

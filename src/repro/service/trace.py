@@ -1,0 +1,95 @@
+"""Arrival traces: the scripted workloads a scheduler serves.
+
+A :class:`QueryArrival` says *what* runs (a plan spec), *when* it enters
+the system (a virtual-clock time), and *how important* it is (an integer
+priority, higher first). An :class:`ArrivalTrace` is an ordered batch of
+arrivals, and a :class:`Workload` bundles a trace with the database
+factory it runs against plus the memory/suspend budgets the trace was
+tuned for — everything a :class:`~repro.service.QueryScheduler` needs to
+replay the paper's Section 1 scenario reproducibly.
+
+Concrete trace generators live in :mod:`repro.workloads.plans`
+(``mixed_priority_trace``, ``burst_trace``); this module only defines the
+data model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.engine.plan import PlanSpec
+from repro.storage.database import Database
+
+
+@dataclass(frozen=True)
+class QueryArrival:
+    """One query entering the system.
+
+    ``arrival_time`` is on the shared virtual clock: the scheduler admits
+    the query at the first decision point at or after that instant (the
+    clock only advances as queries do work, so admission is exact up to
+    one execution quantum).
+    """
+
+    name: str
+    plan: PlanSpec
+    arrival_time: float = 0.0
+    priority: int = 0
+
+    def __post_init__(self):
+        if self.arrival_time < 0:
+            raise ValueError(f"negative arrival time {self.arrival_time}")
+
+
+@dataclass
+class ArrivalTrace:
+    """An ordered, named batch of query arrivals."""
+
+    name: str
+    arrivals: list[QueryArrival] = field(default_factory=list)
+
+    def add(
+        self,
+        name: str,
+        plan: PlanSpec,
+        arrival_time: float = 0.0,
+        priority: int = 0,
+    ) -> QueryArrival:
+        arrival = QueryArrival(name, plan, arrival_time, priority)
+        self.arrivals.append(arrival)
+        return arrival
+
+    def sorted_arrivals(self) -> list[QueryArrival]:
+        """Arrivals by time, submission order breaking ties."""
+        order = sorted(
+            range(len(self.arrivals)),
+            key=lambda i: (self.arrivals[i].arrival_time, i),
+        )
+        return [self.arrivals[i] for i in order]
+
+    def __len__(self) -> int:
+        return len(self.arrivals)
+
+    def __iter__(self):
+        return iter(self.arrivals)
+
+
+@dataclass
+class Workload:
+    """A trace plus the environment it was tuned for.
+
+    ``db_factory`` must return a *fresh* database with identical physical
+    state on every call, so the same workload can be replayed under
+    different scheduling policies and the simulated times compared.
+    ``memory_budget`` is the scheduler's shared memory budget in bytes
+    (``None`` = unlimited); ``suspend_budget`` is the per-suspend time
+    budget handed to the online optimizer.
+    """
+
+    name: str
+    db_factory: Callable[[], Database]
+    trace: ArrivalTrace
+    memory_budget: Optional[int] = None
+    suspend_budget: float = float("inf")
+    description: str = ""

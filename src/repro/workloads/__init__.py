@@ -9,19 +9,25 @@ never shapes (see DESIGN.md section 2).
 """
 
 from repro.workloads.plans import (
+    TRACES,
     build_complex_plan,
     build_left_deep_nlj,
     build_nlj_chain,
     build_nlj_s,
     build_skewed_nlj_s,
     build_smj_s,
+    burst_trace,
+    mixed_priority_trace,
 )
 
 __all__ = [
+    "TRACES",
     "build_complex_plan",
     "build_left_deep_nlj",
     "build_nlj_chain",
     "build_nlj_s",
     "build_skewed_nlj_s",
     "build_smj_s",
+    "burst_trace",
+    "mixed_priority_trace",
 ]

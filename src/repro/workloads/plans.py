@@ -21,8 +21,10 @@ Paper parameters (Section 6.1/6.2), divided by ``scale``:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+import random
+from typing import Callable, Optional, Sequence
 
+from repro.core.lifecycle import QuerySession, QueryStatus
 from repro.engine.plan import (
     FilterSpec,
     MergeJoinSpec,
@@ -31,6 +33,7 @@ from repro.engine.plan import (
     ScanSpec,
     SortSpec,
 )
+from repro.service.trace import ArrivalTrace, Workload
 from repro.relational.datagen import (
     BASE_SCHEMA,
     FIGURE12_SKEW,
@@ -287,3 +290,185 @@ def build_nlj_chain(
             label=f"nlj{level}",
         )
     return db, current
+
+
+# ----------------------------------------------------------------------
+# Arrival traces for the scheduler (repro.service)
+# ----------------------------------------------------------------------
+
+#: Section 1 trace sizes at ``scale=1`` (divided by ``scale``).
+MIXED_FACTS_TUPLES = 20_000
+MIXED_DIMS_TUPLES = 2_000
+MIXED_HOT_TUPLES = 800
+MIXED_BUFFER_TUPLES = 1_000
+
+
+def _mixed_db_factory(scale: int, seed: int) -> Callable[[], Database]:
+    def factory() -> Database:
+        db = Database()
+        db.create_table(
+            "facts",
+            BASE_SCHEMA,
+            generate_uniform_table(_scaled(MIXED_FACTS_TUPLES, scale), seed=seed),
+        )
+        db.create_table(
+            "dims",
+            BASE_SCHEMA,
+            generate_uniform_table(
+                _scaled(MIXED_DIMS_TUPLES, scale), seed=seed + 1
+            ),
+        )
+        db.create_table(
+            "hot",
+            BASE_SCHEMA,
+            generate_uniform_table(
+                _scaled(MIXED_HOT_TUPLES, scale), seed=seed + 2
+            ),
+        )
+        return db
+
+    return factory
+
+
+def mixed_q_lo_plan(scale: int = 1) -> PlanSpec:
+    """The long-running analytical join of the Section 1 scenario."""
+    return NLJSpec(
+        outer=FilterSpec(
+            ScanSpec("facts", label="scan_facts"),
+            UniformSelect(1, 0.2),
+            label="filter",
+        ),
+        inner=ScanSpec("dims", label="scan_dims"),
+        condition=EquiJoinCondition(0, 0, modulus=500),
+        buffer_tuples=_scaled(MIXED_BUFFER_TUPLES, scale),
+        label="q_lo_join",
+    )
+
+
+def mixed_q_hi_plan(scale: int = 1) -> PlanSpec:
+    """The high-priority query: a quick sorted filter over ``hot``."""
+    return SortSpec(
+        FilterSpec(ScanSpec("hot"), UniformSelect(1, 0.5)),
+        key_columns=(0,),
+        buffer_tuples=_scaled(MIXED_BUFFER_TUPLES, scale),
+        label="q_hi_sort",
+    )
+
+
+def _solo_profile(
+    db: Database, plan: PlanSpec, quantum: int = 512
+) -> tuple[float, int]:
+    """(completion time, peak heap bytes) of an uninterrupted solo run."""
+    session = QuerySession(db, plan)
+    start = db.now
+    peak = 0
+    while True:
+        result = session.execute(max_rows=quantum, collect=False)
+        peak = max(peak, session.memory_in_use())
+        if result.status is QueryStatus.COMPLETED:
+            break
+    session.close()
+    return db.now - start, peak
+
+
+def mixed_priority_trace(
+    scale: int = 4,
+    seed: int = 1,
+    hi_arrival_fraction: float = 0.45,
+) -> Workload:
+    """The paper's Section 1 motivating scenario as an arrival trace.
+
+    Q_lo (priority 0) arrives at time 0; Q_hi (priority 10) arrives at
+    ``hi_arrival_fraction`` of Q_lo's calibrated solo runtime, when Q_lo
+    is well into its work and holding its outer buffer. The memory budget
+    is half of Q_lo's peak heap — guaranteeing pressure at Q_hi's arrival
+    — and the suspend budget is 10% of Q_lo's solo runtime, mirroring the
+    "small suspend budget" of the example this trace replaces.
+    """
+    factory = _mixed_db_factory(scale, seed)
+    solo_time, peak = _solo_profile(factory(), mixed_q_lo_plan(scale))
+    trace = ArrivalTrace(name="mixed")
+    trace.add("q_lo", mixed_q_lo_plan(scale), arrival_time=0.0, priority=0)
+    trace.add(
+        "q_hi",
+        mixed_q_hi_plan(scale),
+        arrival_time=hi_arrival_fraction * solo_time,
+        priority=10,
+    )
+    return Workload(
+        name="mixed",
+        db_factory=factory,
+        trace=trace,
+        memory_budget=max(1, peak // 2),
+        suspend_budget=0.1 * solo_time,
+        description=(
+            "Section 1: high-priority Q_hi preempts the memory of the "
+            "long-running analytical Q_lo"
+        ),
+    )
+
+
+def burst_trace(
+    scale: int = 4,
+    seed: int = 1,
+    num_queries: int = 5,
+) -> Workload:
+    """A staggered burst of mixed-priority queries over shared tables.
+
+    Arrivals are spread deterministically (seeded) over the first 80% of
+    the calibrated base runtime with priorities alternating 0/5/10, so a
+    scheduler run exercises admission, repeated victim selection, and
+    resume-under-subsequent-pressure — the paths the two-query mixed
+    trace cannot reach.
+    """
+    factory = _mixed_db_factory(scale, seed)
+    solo_time, peak = _solo_profile(factory(), mixed_q_lo_plan(scale))
+    rng = random.Random(seed)
+    trace = ArrivalTrace(name="burst")
+    trace.add("q_0", mixed_q_lo_plan(scale), arrival_time=0.0, priority=0)
+    for k in range(1, max(2, num_queries)):
+        if k % 3 == 1:
+            plan = mixed_q_hi_plan(scale)
+            priority = 10
+        elif k % 3 == 2:
+            plan = SortSpec(
+                FilterSpec(
+                    ScanSpec("dims"), UniformSelect(1, 0.4 + 0.1 * (k % 2))
+                ),
+                key_columns=(0,),
+                buffer_tuples=_scaled(MIXED_BUFFER_TUPLES, scale),
+                label=f"sort_dims_{k}",
+            )
+            priority = 5
+        else:
+            plan = NLJSpec(
+                outer=FilterSpec(
+                    ScanSpec("hot"), UniformSelect(1, 0.3), label=f"f_{k}"
+                ),
+                inner=ScanSpec("dims"),
+                condition=EquiJoinCondition(0, 0, modulus=300),
+                buffer_tuples=_scaled(MIXED_BUFFER_TUPLES, scale),
+                label=f"nlj_hot_{k}",
+            )
+            priority = 0
+        trace.add(
+            f"q_{k}",
+            plan,
+            arrival_time=rng.uniform(0.05, 0.8) * solo_time,
+            priority=priority,
+        )
+    return Workload(
+        name="burst",
+        db_factory=factory,
+        trace=trace,
+        memory_budget=max(1, peak // 2),
+        suspend_budget=0.1 * solo_time,
+        description="staggered mixed-priority burst over shared tables",
+    )
+
+
+#: Trace-generator registry (the CLI's ``workload --trace`` choices).
+TRACES: dict[str, Callable[..., Workload]] = {
+    "mixed": mixed_priority_trace,
+    "burst": burst_trace,
+}

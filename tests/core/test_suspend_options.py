@@ -1,0 +1,89 @@
+"""The SuspendOptions API and the legacy-keyword deprecation shim."""
+
+import math
+import warnings
+
+import pytest
+
+from repro import QuerySession, SuspendOptions, SuspendStrategy
+from tests.conftest import make_small_db, tiny_nlj_plan
+
+
+def mid_flight_session():
+    db = make_small_db()
+    session = QuerySession(db, tiny_nlj_plan())
+    session.execute(max_rows=20)
+    return db, session
+
+
+class TestSuspendOptions:
+    def test_defaults_are_unbudgeted_lp(self):
+        options = SuspendOptions()
+        assert options.strategy is SuspendStrategy.LP
+        assert options.budget == math.inf
+        assert options.plan is None
+
+    def test_strategy_strings_are_coerced(self):
+        assert (
+            SuspendOptions(strategy="all_dump").strategy
+            is SuspendStrategy.ALL_DUMP
+        )
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            SuspendOptions(strategy="made_up")
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            SuspendOptions(budget=-1.0)
+
+    def test_suspend_with_options_emits_no_warning(self):
+        db, session = mid_flight_session()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            sq = session.suspend(
+                SuspendOptions(strategy=SuspendStrategy.ALL_DUMP)
+            )
+        assert sq.suspend_plan is not None
+
+    def test_suspend_with_no_arguments_emits_no_warning(self):
+        db, session = mid_flight_session()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            session.suspend()
+
+
+class TestDeprecatedKeywordForm:
+    def test_strategy_keyword_warns_and_still_works(self):
+        db, session = mid_flight_session()
+        with pytest.warns(DeprecationWarning, match="SuspendOptions"):
+            sq = session.suspend(strategy="all_dump", budget=200.0)
+        resumed = QuerySession.resume(db, sq)
+        assert resumed.execute().rows is not None
+
+    def test_positional_string_warns(self):
+        db, session = mid_flight_session()
+        with pytest.warns(DeprecationWarning):
+            session.suspend("all_goback")
+
+    def test_mixing_options_and_keywords_rejected(self):
+        db, session = mid_flight_session()
+        with pytest.raises(TypeError):
+            session.suspend(SuspendOptions(), strategy="lp")
+
+    def test_legacy_and_options_forms_are_equivalent(self):
+        rows = {}
+        for form in ("legacy", "options"):
+            db = make_small_db()
+            session = QuerySession(db, tiny_nlj_plan())
+            first = session.execute(max_rows=20)
+            if form == "legacy":
+                with pytest.warns(DeprecationWarning):
+                    sq = session.suspend(strategy="lp")
+            else:
+                sq = session.suspend(
+                    SuspendOptions(strategy=SuspendStrategy.LP)
+                )
+            rest = QuerySession.resume(db, sq).execute()
+            rows[form] = first.rows + rest.rows
+        assert rows["legacy"] == rows["options"]
