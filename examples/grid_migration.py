@@ -1,90 +1,90 @@
-"""Grid migration: suspend a query here, resume it on a replica.
+"""Grid migration: suspend a query here, resume it in another process.
 
 The paper's utility/Grid scenario (Section 1): when the owner of the
 resources wants them back, the running query must release them quickly
-and migrate elsewhere. A SuspendedQuery is a self-contained, serializable
-description of the query's progress: with the dumped heap-state payloads
-exported into it, it can be pickled, shipped to a replica DBMS with the
-same physical tables, and resumed there.
+and migrate elsewhere. A durable suspend image (`repro.durability`) is
+the real-world version of that migration: node A commits the suspended
+query — control record, suspend plan, every dumped payload — to a
+checksummed on-disk image, and node B (a genuinely separate interpreter,
+spawned here as a subprocess) rebuilds the same base tables from the
+image's recipe metadata, loads the image, and finishes the query.
 
 Run:  python examples/grid_migration.py
 """
 
-import pickle
+import json
+import os
+import subprocess
+import sys
+import tempfile
 
-from repro import (
-    Database,
-    FilterSpec,
-    MergeJoinSpec,
-    QuerySession,
-    ScanSpec,
-    SortSpec,
-    SuspendOptions,
-    SuspendStrategy,
-)
-from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
-from repro.relational.expressions import EquiJoinCondition, UniformSelect
+from repro.core.lifecycle import QuerySession, SuspendOptions, SuspendStrategy
+from repro.durability import ImageStore, build_recipe
 
-
-def build_node_a():
-    db = Database()
-    db.create_table("events", BASE_SCHEMA, generate_uniform_table(8_000, seed=4))
-    db.create_table("users", BASE_SCHEMA, generate_uniform_table(8_000, seed=5))
-    return db
-
-
-def plan():
-    return MergeJoinSpec(
-        left=SortSpec(
-            FilterSpec(ScanSpec("events"), UniformSelect(1, 0.5), label="f"),
-            key_columns=(0,),
-            buffer_tuples=1_500,
-            label="sort_events",
-        ),
-        right=SortSpec(
-            ScanSpec("users"), key_columns=(0,), buffer_tuples=1_500,
-            label="sort_users",
-        ),
-        condition=EquiJoinCondition(0, 0),
-        label="join",
-    )
+RECIPE = "smj"  # sort-merge join: two external sorts' state in the image
+ROWS_BEFORE_MIGRATION = 150
 
 
 def main():
-    node_a = build_node_a()
-
     # Reference output for verification.
-    reference = QuerySession(build_node_a(), plan()).execute().rows
+    db, plan = build_recipe(RECIPE)
+    reference = QuerySession(db, plan).execute().rows
 
-    # Run on node A until the resource owner reclaims the machine.
-    session = QuerySession(node_a, plan())
-    first = session.execute(max_rows=2_000)
+    # Node A runs until the resource owner reclaims the machine.
+    node_a, plan = build_recipe(RECIPE)
+    session = QuerySession(node_a, plan)
+    first = session.execute(max_rows=ROWS_BEFORE_MIGRATION)
     print(f"node A produced {len(first.rows)} rows; owner reclaims resources")
 
-    # Suspend under a tight budget (migration must be quick) and export
-    # the dumped payloads into the structure so it is self-contained.
-    sq = session.suspend(
-        SuspendOptions(strategy=SuspendStrategy.LP, budget=20.0)
+    # Suspend under a tight budget (migration must be quick) and commit
+    # the result as a durable image; the recipe metadata lets any process
+    # rebuild the identical base tables.
+    image_root = tempfile.mkdtemp(prefix="grid-images-")
+    session.suspend(
+        SuspendOptions(strategy=SuspendStrategy.LP, budget=50.0),
+        persist_to=image_root,
+        image_meta={"recipe": RECIPE, "scale": 1, "seed": 0},
     )
-    sq.export_payloads(node_a.state_store)
-    wire = pickle.dumps(sq)
+    info = session.last_image
     print(
-        f"suspend cost {session.last_suspend_cost:.1f} units; "
-        f"SuspendedQuery serialized to {len(wire):,} bytes"
+        f"suspend cost {session.last_suspend_cost:.1f} units; image "
+        f"{info.image_id} committed: {info.total_bytes:,} bytes on disk "
+        f"({info.num_blobs} payload blobs, {info.blob_pages} pages)"
     )
 
-    # Node B: a replica with the same physical database state.
-    node_b = node_a.replicate()
-    shipped = pickle.loads(wire)
-    resumed = QuerySession.resume(node_b, shipped)
+    # Node B is a separate interpreter: resume from nothing but the image.
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else src + os.pathsep + existing
+    out = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "resume-image",
+            "--images",
+            image_root,
+            "--id",
+            info.image_id,
+            "--json",
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    result = json.loads(out.stdout)
+    rest = [tuple(r) for r in result["rows"]]
     print(
-        f"node B resume cost {resumed.last_resume_cost:.1f} units "
-        "(includes re-homing the shipped state)"
+        f"node B (pid of a fresh interpreter) resume cost "
+        f"{result['resume_cost']:.1f} units, finished with {len(rest)} more rows"
     )
 
-    rest = resumed.execute()
-    print(f"node B finished with {len(rest.rows)} more rows")
-    assert first.rows + rest.rows == reference
+    combined = first.rows + rest
+    assert combined == reference, (
+        f"migrated output diverged: {len(combined)} vs {len(reference)} rows"
+    )
     print("combined output verified identical to an uninterrupted run")
 
 

@@ -16,6 +16,9 @@ This package implements, from scratch, the paper's full system:
 - a multi-query scheduler serving concurrent sessions under a memory
   budget with suspend-resume / kill-restart / wait pressure policies
   (:mod:`repro.service`),
+- durable suspend images: a versioned, checksummed on-disk format with
+  atomic commit, a startup recovery scan, and crash-fault injection, so
+  suspended queries survive process death (:mod:`repro.durability`),
 - the paper's workloads and an experiment harness regenerating every table
   and figure of the evaluation (:mod:`repro.workloads`, :mod:`repro.harness`).
 
@@ -81,6 +84,7 @@ from repro.engine.plan import (
 )
 from repro.core.strategies import Strategy, SuspendPlan
 from repro.core.suspended_query import SuspendedQuery
+from repro.durability.store import ImageInfo, ImageStore, RecoveryReport
 from repro.service.scheduler import QueryScheduler, SchedulerConfig
 from repro.service.stats import QueryStats, SchedulerStats
 from repro.service.trace import ArrivalTrace, QueryArrival, Workload
@@ -98,6 +102,8 @@ __all__ = [
     "HashGroupAggSpec",
     "HybridHashJoinSpec",
     "IOCostModel",
+    "ImageInfo",
+    "ImageStore",
     "IndexNLJSpec",
     "IndexScanSpec",
     "MergeJoinSpec",
@@ -109,6 +115,7 @@ __all__ = [
     "QuerySession",
     "QueryStats",
     "QueryStatus",
+    "RecoveryReport",
     "ScanSpec",
     "SchedulerConfig",
     "SchedulerStats",

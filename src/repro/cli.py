@@ -7,17 +7,28 @@ Usage::
     python -m repro.cli experiment table2
     python -m repro.cli demo [--rows 20]
     python -m repro.cli workload --trace mixed --seed 1
+    python -m repro.cli suspend --recipe sort --images ./images --rows 100
+    python -m repro.cli resume-image --images ./images --id <image_id>
+    python -m repro.cli images --images ./images [--recover | --gc]
 
 Each experiment prints the same series its benchmark records; the demo
 walks one suspend/resume cycle end to end with the online optimizer;
 ``workload`` (alias ``serve``) replays a multi-query arrival trace
 through the scheduler under each pressure policy and prints per-query
 latencies plus the memory-pressure timeline.
+
+The image commands exercise the durable-image subsystem across real
+process boundaries: ``suspend`` runs a named recipe partway and commits a
+suspend image to disk, ``resume-image`` rebuilds the recipe's database in
+*this* process and finishes the query from the image, and ``images``
+lists, validates, recovers, or garbage-collects an image root. All three
+take ``--json`` for machine-readable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
@@ -219,6 +230,136 @@ def run_demo(rows_before_suspend: int = 20) -> str:
     return "\n".join(lines)
 
 
+def run_suspend_to_image(
+    recipe: str,
+    images: str,
+    rows: int = 50,
+    scale: int = 1,
+    seed: int = 0,
+    image_id: Optional[str] = None,
+    as_json: bool = False,
+) -> str:
+    """Run a recipe partway, suspend, and commit a durable image."""
+    from repro.core.lifecycle import QuerySession
+    from repro.durability import build_recipe
+
+    db, plan = build_recipe(recipe, scale=scale, seed=seed)
+    session = QuerySession(db, plan)
+    result = session.execute(max_rows=rows)
+    session.suspend(
+        persist_to=images,
+        image_id=image_id,
+        image_meta={
+            "recipe": recipe,
+            "scale": scale,
+            "seed": seed,
+            "rows_emitted": len(result.rows),
+        },
+    )
+    info = session.last_image
+    if as_json:
+        return json.dumps(
+            {
+                "image_id": info.image_id,
+                "recipe": recipe,
+                "rows": [list(r) for r in result.rows],
+                "suspend_cost": session.last_suspend_cost,
+                "bytes": info.total_bytes,
+                "blobs": info.num_blobs,
+            }
+        )
+    return (
+        f"recipe {recipe!r}: emitted {len(result.rows)} rows, then "
+        f"suspended in {session.last_suspend_cost:.1f} time units\n"
+        f"image {info.image_id} committed under {images}: "
+        f"{info.total_bytes} bytes, {info.num_blobs} payload blobs"
+    )
+
+
+def run_resume_from_image(
+    images: str, image_id: str, as_json: bool = False
+) -> str:
+    """Rebuild an image's recipe database and finish the query from it."""
+    from repro.core.lifecycle import QuerySession
+    from repro.durability import ImageStore, build_recipe
+
+    store = ImageStore(images)
+    meta = store.info(image_id).meta
+    if "recipe" not in meta:
+        raise SystemExit(
+            f"image {image_id!r} carries no recipe metadata; "
+            "resume it programmatically against the database it expects"
+        )
+    db, _ = build_recipe(
+        meta["recipe"], scale=meta.get("scale", 1), seed=meta.get("seed", 0)
+    )
+    sq = store.load(image_id)
+    session = QuerySession.resume(db, sq)
+    result = session.execute()
+    if as_json:
+        return json.dumps(
+            {
+                "image_id": image_id,
+                "recipe": meta["recipe"],
+                "rows": [list(r) for r in result.rows],
+                "resume_cost": session.last_resume_cost,
+            }
+        )
+    return (
+        f"image {image_id}: resumed recipe {meta['recipe']!r} in "
+        f"{session.last_resume_cost:.1f} time units, emitted "
+        f"{len(result.rows)} remaining rows"
+    )
+
+
+def run_images(
+    images: str,
+    recover: bool = False,
+    gc: bool = False,
+    as_json: bool = False,
+) -> str:
+    """List, recover, or garbage-collect an image root."""
+    from repro.durability import ImageStore
+
+    store = ImageStore(images)
+    if recover:
+        report = store.recover().as_dict()
+        if as_json:
+            return json.dumps(report)
+        return "\n".join(
+            f"{state}: {', '.join(names) if names else '-'}"
+            for state, names in report.items()
+        )
+    if gc:
+        deleted = store.gc()
+        if as_json:
+            return json.dumps({"deleted": deleted})
+        return f"deleted {len(deleted)} image(s): {', '.join(deleted) or '-'}"
+    infos = store.list_images()
+    rows = []
+    for info in infos:
+        problems = store.validate(info.image_id)
+        rows.append(
+            {
+                **info.as_dict(),
+                "valid": not problems,
+                "problems": problems,
+            }
+        )
+    if as_json:
+        return json.dumps({"images": rows})
+    if not rows:
+        return f"no committed images under {images}"
+    lines = []
+    for row in rows:
+        status = "ok" if row["valid"] else "INVALID: " + "; ".join(row["problems"])
+        lines.append(
+            f"{row['image_id']}: {row['total_bytes']} bytes, "
+            f"{row['num_blobs']} blobs, meta={row['meta']} [{status}]"
+        )
+    return "\n".join(lines)
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value <= 0:
@@ -276,6 +417,50 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="run a single policy instead of comparing all three",
         )
+
+    from repro.durability.recipes import RECIPES
+
+    susp = sub.add_parser(
+        "suspend",
+        help="run a recipe partway and commit a durable suspend image",
+    )
+    susp.add_argument("--recipe", choices=sorted(RECIPES), required=True)
+    susp.add_argument(
+        "--images", required=True, help="image root directory"
+    )
+    susp.add_argument(
+        "--rows",
+        type=_positive_int,
+        default=50,
+        help="output rows to emit before suspending (default 50)",
+    )
+    susp.add_argument("--scale", type=_positive_int, default=1)
+    susp.add_argument("--seed", type=int, default=0)
+    susp.add_argument("--id", default=None, help="explicit image id")
+    susp.add_argument("--json", action="store_true")
+
+    res = sub.add_parser(
+        "resume-image",
+        help="resume a suspend image in this process and run to completion",
+    )
+    res.add_argument("--images", required=True, help="image root directory")
+    res.add_argument("--id", required=True, help="image id to resume")
+    res.add_argument("--json", action="store_true")
+
+    img = sub.add_parser(
+        "images", help="list/validate/recover/gc a durable-image root"
+    )
+    img.add_argument("--images", required=True, help="image root directory")
+    group = img.add_mutually_exclusive_group()
+    group.add_argument(
+        "--recover",
+        action="store_true",
+        help="run the startup recovery scan (quarantines bad images)",
+    )
+    group.add_argument(
+        "--gc", action="store_true", help="delete every committed image"
+    )
+    img.add_argument("--json", action="store_true")
     return parser
 
 
@@ -299,6 +484,32 @@ def main(argv: Optional[list[str]] = None) -> int:
                 seed=args.seed,
                 scale=args.scale,
                 policy=args.policy,
+            )
+        )
+        return 0
+    if args.command == "suspend":
+        print(
+            run_suspend_to_image(
+                args.recipe,
+                args.images,
+                rows=args.rows,
+                scale=args.scale,
+                seed=args.seed,
+                image_id=args.id,
+                as_json=args.json,
+            )
+        )
+        return 0
+    if args.command == "resume-image":
+        print(run_resume_from_image(args.images, args.id, as_json=args.json))
+        return 0
+    if args.command == "images":
+        print(
+            run_images(
+                args.images,
+                recover=args.recover,
+                gc=args.gc,
+                as_json=args.json,
             )
         )
         return 0

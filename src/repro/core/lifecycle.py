@@ -150,6 +150,9 @@ class QuerySession:
         self.last_suspend_cost = 0.0
         self.last_resume_cost = 0.0
         self.last_suspend_plan: Optional[SuspendPlan] = None
+        #: ImageInfo of the durable image written by the last
+        #: ``suspend(persist_to=...)`` call, if any.
+        self.last_image = None
 
     # ------------------------------------------------------------------
     # Execute phase
@@ -203,6 +206,9 @@ class QuerySession:
         strategy: Union[str, SuspendStrategy, None] = None,
         budget: Optional[float] = None,
         plan: Optional[SuspendPlan] = None,
+        persist_to=None,
+        image_id: Optional[str] = None,
+        image_meta: Optional[dict] = None,
     ) -> SuspendedQuery:
         """Carry out the suspend phase and return the SuspendedQuery.
 
@@ -211,6 +217,16 @@ class QuerySession:
         ``suspend(strategy="lp", budget=..., plan=...)`` (and the
         positional string form ``suspend("lp")``) is deprecated but still
         accepted; it emits a :class:`DeprecationWarning`.
+
+        ``persist_to`` (an image-root path or a
+        :class:`~repro.durability.store.ImageStore`) additionally commits
+        the suspended query as a durable on-disk image, so it survives
+        process death; the resulting
+        :class:`~repro.durability.store.ImageInfo` lands in
+        :attr:`last_image`. Persistence charges no extra simulated-disk
+        I/O: the dumped pages were paid for at dump time and the control
+        record by the ``write_control_bytes`` below — the image is the
+        durable form of those same bytes.
         """
         if isinstance(options, str):
             # Legacy positional call: suspend("all_dump").
@@ -266,6 +282,20 @@ class QuerySession:
         # Release all memory resources: the operator tree is discarded.
         self.close()
         self.status = QueryStatus.SUSPENDED
+        if persist_to is not None:
+            # Persist last: a crash mid-commit leaves the in-memory
+            # SuspendedQuery intact and a torn image the recovery scan
+            # quarantines — never a half-suspended session.
+            from repro.durability.store import ImageStore
+
+            image_store = (
+                persist_to
+                if isinstance(persist_to, ImageStore)
+                else ImageStore(persist_to)
+            )
+            self.last_image = image_store.save(
+                sq, self.db.state_store, image_id=image_id, meta=image_meta
+            )
         return sq
 
     def close(self) -> None:
@@ -310,6 +340,7 @@ class QuerySession:
         session.rows = []
         session.last_suspend_cost = 0.0
         session.last_suspend_plan = sq.suspend_plan
+        session.last_image = None
 
         start = db.now
         controller = session.runtime.controller

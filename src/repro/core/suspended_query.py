@@ -112,6 +112,36 @@ class SuspendedQuery:
         return total
 
     # ------------------------------------------------------------------
+    # Serialization (durable suspend images)
+    # ------------------------------------------------------------------
+    def referenced_handles(self) -> dict[str, DumpHandle]:
+        """Every DumpHandle reachable from the structure, keyed by key."""
+        handles: dict[str, DumpHandle] = {}
+        for entry in self.entries.values():
+            for obj in (
+                entry.dump_handle,
+                entry.target_control,
+                entry.current_control,
+                entry.ckpt_payload,
+            ):
+                for handle in _iter_handles(obj):
+                    handles[handle.key] = handle
+        return handles
+
+    def to_dict(self) -> dict:
+        """Stable JSON-compatible control record (payloads not included;
+        see :meth:`export_payloads` / the durability ImageStore)."""
+        from repro.durability import codec  # local: codec imports this module
+
+        return codec.suspended_query_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SuspendedQuery":
+        from repro.durability import codec  # local: codec imports this module
+
+        return codec.suspended_query_from_dict(data)
+
+    # ------------------------------------------------------------------
     # Migration support (the Grid scenario)
     # ------------------------------------------------------------------
     def export_payloads(self, store: StateStore) -> None:
@@ -123,18 +153,10 @@ class SuspendedQuery:
         over the network costs an order of magnitude more than local
         dumps; the *receiving* side charges the transfer when importing.
         """
-        payloads: dict = {}
-
-        def collect(obj):
-            for handle in _iter_handles(obj):
-                payloads[handle.key] = (store.peek(handle), handle.pages)
-
-        for entry in self.entries.values():
-            collect(entry.dump_handle)
-            collect(entry.target_control)
-            collect(entry.current_control)
-            collect(entry.ckpt_payload)
-        self.migrated_payloads = payloads
+        self.migrated_payloads = {
+            key: store.export_payload(handle)
+            for key, handle in self.referenced_handles().items()
+        }
 
     def import_payloads(self, store: StateStore) -> None:
         """Re-home migrated payloads into ``store``, charging the writes,
@@ -150,7 +172,7 @@ class SuspendedQuery:
                     f"{handle.key!r}"
                 )
             payload, pages = self.migrated_payloads[handle.key]
-            new = store.dump(store.fresh_key("migrated"), payload, pages)
+            new = store.import_payload(handle.key, payload, pages)
             mapping[handle.key] = new
             return new
 

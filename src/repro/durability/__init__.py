@@ -1,0 +1,65 @@
+"""Durable suspend images: on-disk persistence and crash recovery.
+
+The rest of the system suspends and resumes queries against a *simulated*
+disk inside one process. This package gives a suspended query a durable,
+versioned, checksummed on-disk form — the suspend image — so it survives
+process death and can be resumed by a different interpreter (the paper's
+grid-migration and maintenance scenarios, taken to their logical end).
+
+Layers, bottom up:
+
+- :mod:`~repro.durability.faults` — crash-point hooks and torn-write
+  injection, threaded through every file operation;
+- :mod:`~repro.durability.codec` — stable tagged-JSON codecs for the
+  SuspendedQuery control record and plan specs (``FORMAT_VERSION``);
+- :mod:`~repro.durability.format` — the directory layout, the atomic
+  tmp+fsync+rename write discipline, and manifest checksums
+  (``LAYOUT_VERSION``);
+- :mod:`~repro.durability.store` — the :class:`ImageStore`: save, load,
+  list, validate, GC, and the startup recovery scan with quarantine;
+- :mod:`~repro.durability.harness` — the crash-matrix harness proving no
+  injected fault can produce silent corruption;
+- :mod:`~repro.durability.recipes` — deterministic database+plan builders
+  so a fresh process can rebuild the base tables an image expects.
+"""
+
+from repro.durability.codec import FORMAT_VERSION, CodecError
+from repro.durability.faults import (
+    FaultInjector,
+    InjectedCrash,
+    crash_variants,
+    torn_variants,
+)
+from repro.durability.format import LAYOUT_VERSION, ImageFormatError
+from repro.durability.harness import (
+    CrashOutcome,
+    enumerate_faults,
+    run_crash_matrix,
+)
+from repro.durability.recipes import RECIPES, build_recipe
+from repro.durability.store import (
+    ImageInfo,
+    ImageNotFoundError,
+    ImageStore,
+    RecoveryReport,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "LAYOUT_VERSION",
+    "CodecError",
+    "ImageFormatError",
+    "ImageNotFoundError",
+    "FaultInjector",
+    "InjectedCrash",
+    "crash_variants",
+    "torn_variants",
+    "ImageStore",
+    "ImageInfo",
+    "RecoveryReport",
+    "CrashOutcome",
+    "enumerate_faults",
+    "run_crash_matrix",
+    "RECIPES",
+    "build_recipe",
+]

@@ -1,0 +1,278 @@
+"""Stable serialization codecs for suspend images.
+
+Everything a :class:`~repro.core.suspended_query.SuspendedQuery` carries —
+the plan-spec tree, the suspend plan, per-operator entries, control-state
+dicts, checkpoint payloads, saved rows — is turned into plain
+JSON-compatible data here, and back. The encoding is *tagged*: values JSON
+cannot represent faithfully (tuples, non-string dict keys, frozensets,
+:class:`~repro.storage.statefile.DumpHandle` references, the registered
+spec/predicate dataclasses) become ``{"$t": <tag>, ...}`` objects. Plain
+strings, numbers, booleans, ``None``, lists, and string-keyed dicts pass
+through untouched, so the files stay human-readable.
+
+``DumpHandle`` values are encoded as ``(key, pages)`` references only —
+their payloads are written as separate image blobs and re-homed into the
+resuming process's :class:`~repro.storage.statefile.StateStore` via the
+existing migration machinery (``SuspendedQuery.import_payloads``), which
+charges the simulated-disk writes on the receiving side.
+
+The registries below are the compatibility surface of the on-disk format:
+renaming a spec or predicate class breaks old images, which is why
+:data:`FORMAT_VERSION` exists and is checked on load.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+from repro.common.errors import ReproError
+from repro.core.strategies import OpDecision, Strategy, SuspendPlan
+from repro.core.suspended_query import OpSuspendEntry, SuspendedQuery
+from repro.engine import plan as plan_module
+from repro.relational import expressions as expr_module
+from repro.storage.statefile import DumpHandle
+
+#: Version of the image encoding. Bump on any incompatible change to the
+#: tagged encoding, the registries, or the record layouts below.
+FORMAT_VERSION = 1
+
+
+class CodecError(ReproError):
+    """Raised when a value cannot be encoded or decoded."""
+
+
+def _registered_dataclasses() -> dict[str, type]:
+    """Spec and predicate dataclasses allowed inside images, by name."""
+    classes: dict[str, type] = {}
+    for module in (plan_module, expr_module):
+        for name in dir(module):
+            obj = getattr(module, name)
+            if isinstance(obj, type) and dataclasses.is_dataclass(obj):
+                classes[obj.__name__] = obj
+    return classes
+
+
+_DATACLASSES = _registered_dataclasses()
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+def encode_value(value: Any) -> Any:
+    """Encode an arbitrary image value into JSON-compatible data."""
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, DumpHandle):
+        return {"$t": "handle", "key": value.key, "pages": value.pages}
+    if isinstance(value, tuple):
+        return {"$t": "tuple", "v": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, frozenset):
+        return {"$t": "frozenset", "v": sorted_encoded(value)}
+    if isinstance(value, set):
+        return {"$t": "set", "v": sorted_encoded(value)}
+    if isinstance(value, dict):
+        if all(
+            isinstance(k, str) and not k.startswith("$") for k in value
+        ):
+            return {k: encode_value(v) for k, v in value.items()}
+        return {
+            "$t": "dict",
+            "v": [[encode_value(k), encode_value(v)] for k, v in value.items()],
+        }
+    cls = type(value)
+    if dataclasses.is_dataclass(value) and cls.__name__ in _DATACLASSES:
+        fields = {
+            f.name: encode_value(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+        return {"$t": "obj", "cls": cls.__name__, "fields": fields}
+    raise CodecError(
+        f"cannot encode value of type {cls.__name__!r} into an image"
+    )
+
+
+def sorted_encoded(values) -> list:
+    """Encode set members in a deterministic order (stable checksums)."""
+    encoded = [encode_value(v) for v in values]
+    return sorted(encoded, key=repr)
+
+
+def decode_value(data: Any) -> Any:
+    """Decode data produced by :func:`encode_value`.
+
+    Decoded ``DumpHandle`` references carry ``store_id=-1``: they resolve
+    to real payloads only after ``SuspendedQuery.import_payloads`` re-homes
+    them into a live state store.
+    """
+    if isinstance(data, _SCALARS):
+        return data
+    if isinstance(data, list):
+        return [decode_value(v) for v in data]
+    if isinstance(data, dict):
+        tag = data.get("$t")
+        if tag is None:
+            return {k: decode_value(v) for k, v in data.items()}
+        if tag == "handle":
+            return DumpHandle(
+                store_id=-1, key=data["key"], pages=data["pages"]
+            )
+        if tag == "tuple":
+            return tuple(decode_value(v) for v in data["v"])
+        if tag == "frozenset":
+            return frozenset(decode_value(v) for v in data["v"])
+        if tag == "set":
+            return set(decode_value(v) for v in data["v"])
+        if tag == "dict":
+            return {
+                decode_value(k): decode_value(v) for k, v in data["v"]
+            }
+        if tag == "obj":
+            cls = _DATACLASSES.get(data["cls"])
+            if cls is None:
+                raise CodecError(
+                    f"image references unknown class {data['cls']!r}"
+                )
+            fields = {
+                name: decode_value(v) for name, v in data["fields"].items()
+            }
+            return cls(**fields)
+        raise CodecError(f"unknown value tag {tag!r}")
+    raise CodecError(f"cannot decode value {data!r}")
+
+
+# ----------------------------------------------------------------------
+# Plan specs
+# ----------------------------------------------------------------------
+def spec_to_dict(spec) -> dict:
+    """Encode a plan-spec tree (a registered spec dataclass)."""
+    encoded = encode_value(spec)
+    if not (isinstance(encoded, dict) and encoded.get("$t") == "obj"):
+        raise CodecError(f"not a plan spec: {type(spec).__name__}")
+    return encoded
+
+
+def spec_from_dict(data: dict):
+    """Decode a plan-spec tree encoded by :func:`spec_to_dict`."""
+    spec = decode_value(data)
+    if not dataclasses.is_dataclass(spec):
+        raise CodecError("decoded plan spec is not a spec dataclass")
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Suspend plans
+# ----------------------------------------------------------------------
+def suspend_plan_to_dict(plan: SuspendPlan) -> dict:
+    decisions = []
+    for op_id in sorted(plan.decisions):
+        d = plan.decisions[op_id]
+        decisions.append(
+            {
+                "op": op_id,
+                "strategy": d.strategy.value,
+                "anchor": d.goback_anchor,
+                "dump_children": list(d.dump_children),
+            }
+        )
+    return {"source": plan.source, "decisions": decisions}
+
+
+def suspend_plan_from_dict(data: dict) -> SuspendPlan:
+    decisions: dict[int, OpDecision] = {}
+    for item in data["decisions"]:
+        decisions[item["op"]] = OpDecision(
+            strategy=Strategy(item["strategy"]),
+            goback_anchor=item["anchor"],
+            dump_children=tuple(item.get("dump_children", ())),
+        )
+    return SuspendPlan(decisions=decisions, source=data.get("source", "manual"))
+
+
+# ----------------------------------------------------------------------
+# Per-operator suspend entries
+# ----------------------------------------------------------------------
+def entry_to_dict(entry: OpSuspendEntry) -> dict:
+    return {
+        "op": entry.op_id,
+        "kind": entry.kind,
+        "target_control": encode_value(entry.target_control),
+        "ckpt_payload": (
+            None
+            if entry.ckpt_payload is None
+            else encode_value(entry.ckpt_payload)
+        ),
+        "dump_handle": (
+            None
+            if entry.dump_handle is None
+            else encode_value(entry.dump_handle)
+        ),
+        "current_control": (
+            None
+            if entry.current_control is None
+            else encode_value(entry.current_control)
+        ),
+        "saved_rows": encode_value(list(entry.saved_rows)),
+    }
+
+
+def entry_from_dict(data: dict) -> OpSuspendEntry:
+    return OpSuspendEntry(
+        op_id=data["op"],
+        kind=data["kind"],
+        target_control=decode_value(data["target_control"]),
+        ckpt_payload=(
+            None
+            if data["ckpt_payload"] is None
+            else decode_value(data["ckpt_payload"])
+        ),
+        dump_handle=(
+            None
+            if data["dump_handle"] is None
+            else decode_value(data["dump_handle"])
+        ),
+        current_control=(
+            None
+            if data["current_control"] is None
+            else decode_value(data["current_control"])
+        ),
+        saved_rows=decode_value(data["saved_rows"]),
+    )
+
+
+# ----------------------------------------------------------------------
+# The SuspendedQuery control record
+# ----------------------------------------------------------------------
+def suspended_query_to_dict(sq: SuspendedQuery) -> dict:
+    """Encode the control record (dump payloads travel as image blobs)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "plan_spec": spec_to_dict(sq.plan_spec),
+        "suspend_plan": suspend_plan_to_dict(sq.suspend_plan),
+        "entries": [
+            entry_to_dict(sq.entries[op_id]) for op_id in sorted(sq.entries)
+        ],
+        "root_rows_emitted": sq.root_rows_emitted,
+        "suspended_at": sq.suspended_at,
+    }
+
+
+def suspended_query_from_dict(data: dict) -> SuspendedQuery:
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise CodecError(
+            f"unsupported image format version {version!r} "
+            f"(this build reads version {FORMAT_VERSION})"
+        )
+    sq = SuspendedQuery(
+        plan_spec=spec_from_dict(data["plan_spec"]),
+        suspend_plan=suspend_plan_from_dict(data["suspend_plan"]),
+        root_rows_emitted=data["root_rows_emitted"],
+        suspended_at=data["suspended_at"],
+    )
+    for item in data["entries"]:
+        sq.add_entry(entry_from_dict(item))
+    return sq

@@ -1,0 +1,159 @@
+"""On-disk layout and commit protocol for durable suspend images.
+
+One image is one directory under the image root::
+
+    <root>/<image_id>/
+        blob-0000.bin     # one JSON-encoded payload per DumpHandle
+        blob-0001.bin
+        control.json      # the SuspendedQuery control record
+        MANIFEST.json     # written last; its rename IS the commit
+
+Every file is written with the same discipline: write to ``<name>.tmp``,
+flush, ``fsync``, atomically rename over the final name, then ``fsync``
+the directory so the rename itself is durable. The manifest is written
+*after* every blob and the control record, so its presence marks a
+committed image: a crash anywhere earlier leaves a directory without a
+manifest (a *torn* image the recovery scan quarantines), and a crash
+after the rename leaves a complete, verifiable image.
+
+The manifest records a SHA-256 checksum and byte size for every file, the
+format version, and caller-supplied metadata, so a committed image can be
+validated end to end before any of it is trusted (the discipline of
+checksummed checkpoint images in main-memory recovery literature).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Any, Optional
+
+from repro.common.errors import ReproError
+from repro.durability.faults import FaultInjector, InjectedCrash
+
+MANIFEST_NAME = "MANIFEST.json"
+CONTROL_NAME = "control.json"
+BLOB_PREFIX = "blob-"
+BLOB_SUFFIX = ".bin"
+TMP_SUFFIX = ".tmp"
+QUARANTINE_DIR = "quarantine"
+
+#: Version of the directory layout + manifest schema.
+LAYOUT_VERSION = 1
+
+
+class ImageFormatError(ReproError):
+    """Raised when an image directory fails validation."""
+
+
+def sha256_hex(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+def blob_filename(index: int) -> str:
+    return f"{BLOB_PREFIX}{index:04d}{BLOB_SUFFIX}"
+
+
+def is_image_file(name: str) -> bool:
+    """Whether ``name`` is a file the commit protocol writes (final form)."""
+    return name == MANIFEST_NAME or name == CONTROL_NAME or (
+        name.startswith(BLOB_PREFIX) and name.endswith(BLOB_SUFFIX)
+    )
+
+
+def fsync_dir(path: str) -> None:
+    """Make directory-entry changes (renames, creates) durable."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write(
+    directory: str,
+    name: str,
+    data: bytes,
+    injector: Optional[FaultInjector] = None,
+) -> None:
+    """Write ``data`` to ``directory/name`` via tmp + fsync + rename.
+
+    Crash points exposed to the injector, in order:
+
+    - ``before:<name>`` — nothing written yet;
+    - a torn-write opportunity on ``<name>`` (half the bytes reach the
+      temp file, then the crash);
+    - ``written:<name>`` — temp file durable, rename not yet done;
+    - ``renamed:<name>`` — file committed under its final name.
+    """
+    injector = injector or FaultInjector()
+    injector.point(f"before:{name}")
+    tmp_path = os.path.join(directory, name + TMP_SUFFIX)
+    final_path = os.path.join(directory, name)
+    torn = injector.wants_torn(name)
+    payload = data[: max(1, len(data) // 2)] if torn else data
+    with open(tmp_path, "wb") as fh:
+        fh.write(payload)
+        fh.flush()
+        os.fsync(fh.fileno())
+    if torn:
+        # The crash struck mid-write: the partial temp file stays behind.
+        raise InjectedCrash(f"torn:{name}")
+    injector.point(f"written:{name}")
+    os.replace(tmp_path, final_path)
+    fsync_dir(directory)
+    injector.point(f"renamed:{name}")
+
+
+def dump_json(value: Any) -> bytes:
+    """Deterministic JSON bytes (sorted keys, no float mangling)."""
+    return json.dumps(value, sort_keys=True, indent=1).encode("utf-8")
+
+
+def load_json(path: str) -> Any:
+    with open(path, "rb") as fh:
+        data = fh.read()
+    try:
+        return json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ImageFormatError(f"unreadable JSON in {path}: {exc}") from exc
+
+
+def read_file_checked(directory: str, name: str, manifest: dict) -> bytes:
+    """Read a manifested file, verifying its size and checksum."""
+    entry = manifest.get("files", {}).get(name)
+    if entry is None:
+        raise ImageFormatError(f"manifest has no entry for {name!r}")
+    path = os.path.join(directory, name)
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except FileNotFoundError as exc:
+        raise ImageFormatError(f"missing image file {name!r}") from exc
+    if len(data) != entry["bytes"]:
+        raise ImageFormatError(
+            f"{name!r}: size {len(data)} != manifested {entry['bytes']}"
+        )
+    digest = sha256_hex(data)
+    if digest != entry["sha256"]:
+        raise ImageFormatError(f"{name!r}: checksum mismatch")
+    return data
+
+
+def validate_manifest_dict(manifest: Any) -> None:
+    """Structural checks on a parsed manifest (raises on problems)."""
+    if not isinstance(manifest, dict):
+        raise ImageFormatError("manifest is not a JSON object")
+    version = manifest.get("layout_version")
+    if version != LAYOUT_VERSION:
+        raise ImageFormatError(
+            f"unsupported layout version {version!r} "
+            f"(this build reads version {LAYOUT_VERSION})"
+        )
+    for field in ("image_id", "files", "blobs", "control_file"):
+        if field not in manifest:
+            raise ImageFormatError(f"manifest lacks required field {field!r}")
+    for name, entry in manifest["files"].items():
+        if not isinstance(entry, dict) or not {"sha256", "bytes"} <= set(entry):
+            raise ImageFormatError(f"malformed file entry for {name!r}")

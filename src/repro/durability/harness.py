@@ -1,0 +1,161 @@
+"""Crash-matrix harness for the durable-image commit protocol.
+
+The safety claim the subsystem makes is binary: a crash at *any* point
+during ``ImageStore.save`` leaves either
+
+- a **committed** image — the recovery scan accepts it, every checksum
+  verifies, and it decodes into a resumable SuspendedQuery — or
+- a **detected partial** — the recovery scan classifies it torn/orphaned
+  and quarantines it.
+
+What must never happen is *silent corruption*: the scan calling an image
+committed that then fails validation or fails to load. This harness
+proves the claim by enumeration: a clean save with a recorder injector
+lists every crash point and torn-write opportunity the protocol actually
+passes (so the matrix cannot drift out of sync with the code), then each
+fault is injected into a fresh image root and the aftermath is put
+through recovery and classified.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.core.suspended_query import SuspendedQuery
+from repro.durability.faults import FaultInjector, InjectedCrash
+from repro.durability.store import ImageStore
+from repro.storage.statefile import StateStore
+
+#: Crash points that fire only after the manifest rename: the image is
+#: already committed when the "crash" happens, so surviving is correct.
+_POST_COMMIT_POINTS = ("renamed:MANIFEST.json", "committed")
+
+
+@dataclass(frozen=True)
+class CrashOutcome:
+    """What one injected fault left behind, after the recovery scan."""
+
+    #: ``crash:<point>`` or ``torn:<file>``.
+    fault: str
+    #: Whether the injected crash actually fired during save.
+    crashed: bool
+    #: Recovery classification: committed / torn / orphaned / absent.
+    classification: str
+    #: For committed images: the image loaded and decoded fully.
+    loaded: bool
+    #: The failure the claim forbids: classified committed but broken.
+    silent_corruption: bool
+    detail: str = ""
+
+
+def enumerate_faults(
+    sq: SuspendedQuery, store: StateStore, scratch_root: str
+) -> tuple[list[str], list[str]]:
+    """Record every crash point and torn-write label one save passes."""
+    recorder = FaultInjector()
+    ImageStore(scratch_root, injector=recorder).save(
+        sq, store, image_id="probe"
+    )
+    points = list(dict.fromkeys(recorder.observed_points))
+    torn = list(dict.fromkeys(recorder.observed_torn))
+    return points, torn
+
+
+def run_one_fault(
+    sq: SuspendedQuery,
+    store: StateStore,
+    root: str,
+    injector: FaultInjector,
+    fault: str,
+) -> CrashOutcome:
+    """Inject one fault into a save under a fresh ``root``; classify."""
+    crashed = False
+    detail = ""
+    try:
+        ImageStore(root, injector=injector).save(sq, store, image_id="img")
+    except InjectedCrash as exc:
+        crashed = True
+        detail = str(exc)
+
+    # A new process starts: scan the root with no injector configured.
+    survivor = ImageStore(root)
+    report = survivor.recover()
+    if "img" in report.committed:
+        classification = "committed"
+    elif "img" in report.torn:
+        classification = "torn"
+    elif "img" in report.orphaned:
+        classification = "orphaned"
+    else:
+        classification = "absent"
+
+    loaded = False
+    silent = False
+    if classification == "committed":
+        problems = survivor.validate("img")
+        if problems:
+            silent = True
+            detail = "; ".join(problems)
+        else:
+            try:
+                recovered = survivor.load("img")
+                loaded = bool(recovered.entries) or not sq.entries
+            except Exception as exc:  # any load failure is corruption
+                silent = True
+                detail = str(exc)
+        # A crash strictly before the manifest rename must not leave a
+        # committed image behind — that would mean the commit point leaked.
+        post_commit = {f"crash:{p}" for p in _POST_COMMIT_POINTS}
+        if crashed and fault not in post_commit:
+            silent = True
+            detail = detail or "pre-commit crash left a committed image"
+    return CrashOutcome(
+        fault=fault,
+        crashed=crashed,
+        classification=classification,
+        loaded=loaded,
+        silent_corruption=silent,
+        detail=detail,
+    )
+
+
+def run_crash_matrix(
+    make_suspended: "callable", root: str
+) -> list[CrashOutcome]:
+    """Run the full fault matrix; returns one outcome per fault.
+
+    ``make_suspended()`` must return a fresh ``(sq, state_store)`` pair —
+    fresh so each variant's save sees identical inputs regardless of what
+    earlier variants did. Faults are enumerated from a clean recorder run,
+    then each crash point and each torn-write label gets its own image
+    root under ``root``.
+    """
+    sq, store = make_suspended()
+    points, torn_labels = enumerate_faults(
+        sq, store, os.path.join(root, "probe")
+    )
+    outcomes: list[CrashOutcome] = []
+    for index, point in enumerate(points):
+        sq, store = make_suspended()
+        outcomes.append(
+            run_one_fault(
+                sq,
+                store,
+                os.path.join(root, f"crash-{index:02d}"),
+                FaultInjector.crashing_at(point),
+                fault=f"crash:{point}",
+            )
+        )
+    for index, label in enumerate(torn_labels):
+        sq, store = make_suspended()
+        outcomes.append(
+            run_one_fault(
+                sq,
+                store,
+                os.path.join(root, f"torn-{index:02d}"),
+                FaultInjector.tearing(label),
+                fault=f"torn:{label}",
+            )
+        )
+    return outcomes

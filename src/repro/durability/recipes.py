@@ -1,0 +1,174 @@
+"""Deterministic (database, plan) recipes for durable-image round trips.
+
+A suspend image carries the query's *state*, not the base tables — exactly
+like a real DBMS checkpoint, which assumes the database itself survives
+independently. To resume an image in a different process, that process
+must rebuild the same database. A *recipe* makes this reproducible: a
+named builder that, given ``(scale, seed)``, constructs bit-identical base
+tables and the plan spec to run over them. The CLI stamps the recipe name
+and parameters into the image's metadata so ``repro resume-image`` can
+rebuild the matching database in a fresh interpreter.
+
+The registry deliberately covers the three stateful operator families —
+external sort, hash join, hash aggregation — plus the paper's block-NLJ
+and sort-merge shapes, so cross-process tests exercise every kind of
+suspendable heap state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.engine.plan import (
+    FilterSpec,
+    HashGroupAggSpec,
+    MergeJoinSpec,
+    NLJSpec,
+    PlanSpec,
+    ScanSpec,
+    SimpleHashJoinSpec,
+    SortSpec,
+)
+from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
+from repro.relational.expressions import EquiJoinCondition, UniformSelect
+from repro.storage.database import Database
+
+
+def _scaled(value: int, scale: int) -> int:
+    return max(4, value // scale)
+
+
+def build_sort(scale: int = 1, seed: int = 31) -> tuple[Database, PlanSpec]:
+    """External sort over a filtered scan; the small buffer forces the
+    two-phase path, so the image carries sublist dump handles."""
+    db = Database()
+    n = _scaled(900, scale)
+    db.create_table("R", BASE_SCHEMA, generate_uniform_table(n, seed=seed))
+    db.catalog.set_predicate_selectivity("R", "uniform", 0.6)
+    plan = SortSpec(
+        FilterSpec(
+            ScanSpec("R", label="scan_R"),
+            UniformSelect(1, 0.6),
+            label="filter",
+        ),
+        key_columns=(0,),
+        buffer_tuples=_scaled(120, scale),
+        label="sort",
+    )
+    return db, plan
+
+
+def build_hashjoin(scale: int = 1, seed: int = 37) -> tuple[Database, PlanSpec]:
+    """Simple (Grace-style) hash join; the image carries partition state."""
+    db = Database()
+    build_n = _scaled(400, scale)
+    probe_n = _scaled(600, scale)
+    db.create_table("B", BASE_SCHEMA, generate_uniform_table(build_n, seed=seed))
+    db.create_table(
+        "P", BASE_SCHEMA, generate_uniform_table(probe_n, seed=seed + 1)
+    )
+    plan = SimpleHashJoinSpec(
+        build=ScanSpec("B", label="scan_B"),
+        probe=ScanSpec("P", label="scan_P"),
+        condition=EquiJoinCondition(0, 0, modulus=64),
+        num_partitions=4,
+        label="hj",
+    )
+    return db, plan
+
+
+def build_hashagg(scale: int = 1, seed: int = 41) -> tuple[Database, PlanSpec]:
+    """Hash aggregation over a table with repeated group keys."""
+    db = Database()
+    n = _scaled(800, scale)
+    groups = 16
+    rows = [
+        (i % groups, u, payload)
+        for (i, (_, u, payload)) in enumerate(
+            generate_uniform_table(n, seed=seed)
+        )
+    ]
+    db.create_table("G", BASE_SCHEMA, rows)
+    plan = HashGroupAggSpec(
+        ScanSpec("G", label="scan_G"),
+        group_columns=(0,),
+        agg_func="sum",
+        agg_column=2,
+        num_partitions=4,
+        label="hagg",
+    )
+    return db, plan
+
+
+def build_nlj(scale: int = 1, seed: int = 43) -> tuple[Database, PlanSpec]:
+    """Block NLJ with a mid-size outer buffer (the paper's NLJ_S shape)."""
+    db = Database()
+    outer_n = _scaled(600, scale)
+    inner_n = _scaled(150, scale)
+    db.create_table("R", BASE_SCHEMA, generate_uniform_table(outer_n, seed=seed))
+    db.create_table(
+        "T", BASE_SCHEMA, generate_uniform_table(inner_n, seed=seed + 1)
+    )
+    db.catalog.set_predicate_selectivity("R", "uniform", 0.5)
+    plan = NLJSpec(
+        outer=FilterSpec(
+            ScanSpec("R", label="scan_R"),
+            UniformSelect(1, 0.5),
+            label="filter",
+        ),
+        inner=ScanSpec("T", label="scan_T"),
+        condition=EquiJoinCondition(0, 0, modulus=40),
+        buffer_tuples=_scaled(100, scale),
+        label="nlj",
+    )
+    return db, plan
+
+
+def build_smj(scale: int = 1, seed: int = 47) -> tuple[Database, PlanSpec]:
+    """Sort-merge join (the paper's SMJ_S shape), two external sorts."""
+    db = Database()
+    n = _scaled(500, scale)
+    db.create_table("R", BASE_SCHEMA, generate_uniform_table(n, seed=seed))
+    db.create_table("T", BASE_SCHEMA, generate_uniform_table(n, seed=seed + 1))
+    buffer = _scaled(90, scale)
+    plan = MergeJoinSpec(
+        left=SortSpec(
+            ScanSpec("R", label="scan_R"),
+            key_columns=(0,),
+            buffer_tuples=buffer,
+            label="sort_R",
+        ),
+        right=SortSpec(
+            ScanSpec("T", label="scan_T"),
+            key_columns=(0,),
+            buffer_tuples=buffer,
+            label="sort_T",
+        ),
+        condition=EquiJoinCondition(0, 0),
+        label="mj",
+    )
+    return db, plan
+
+
+#: Recipe registry: name -> builder(scale, seed) -> (db, plan).
+RECIPES: dict[str, Callable[..., tuple[Database, PlanSpec]]] = {
+    "sort": build_sort,
+    "hashjoin": build_hashjoin,
+    "hashagg": build_hashagg,
+    "nlj": build_nlj,
+    "smj": build_smj,
+}
+
+
+def build_recipe(
+    name: str, scale: int = 1, seed: int = 0
+) -> tuple[Database, PlanSpec]:
+    """Build a registered recipe; ``seed=0`` means the recipe default."""
+    if name not in RECIPES:
+        raise KeyError(
+            f"unknown recipe {name!r} (have: {', '.join(sorted(RECIPES))})"
+        )
+    builder = RECIPES[name]
+    if seed:
+        return builder(scale=scale, seed=seed)
+    return builder(scale=scale)

@@ -1,0 +1,369 @@
+"""The ImageStore: durable suspend images under one root directory.
+
+Where the in-memory :class:`~repro.storage.statefile.StateStore` keeps
+dump payloads as Python objects behind the *simulated* disk, the
+ImageStore writes a complete, self-contained suspend image to *real*
+files so a suspended query can outlive its process — the paper's grid
+migration, rolling upgrade, and scheduled-maintenance scenarios.
+
+Responsibilities:
+
+- :meth:`ImageStore.save` — export every payload a SuspendedQuery
+  references, encode the control record, and commit the image with the
+  atomic manifest protocol of :mod:`repro.durability.format`;
+- :meth:`ImageStore.load` — verify checksums and reconstruct the
+  SuspendedQuery with its payloads staged for import (the existing
+  migration path charges the simulated-disk writes on resume, so cost
+  accounting survives the process boundary);
+- :meth:`ImageStore.recover` — the startup scan: classify every entry
+  under the root as committed, torn, or orphaned, and quarantine the bad
+  ones instead of crashing;
+- :meth:`ImageStore.list_images` / :meth:`validate` / :meth:`delete` /
+  :meth:`gc` — inventory management.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import ReproError
+from repro.core.suspended_query import SuspendedQuery
+from repro.durability import codec
+from repro.durability.faults import FaultInjector
+from repro.durability.format import (
+    BLOB_PREFIX,
+    CONTROL_NAME,
+    LAYOUT_VERSION,
+    MANIFEST_NAME,
+    QUARANTINE_DIR,
+    TMP_SUFFIX,
+    ImageFormatError,
+    atomic_write,
+    blob_filename,
+    dump_json,
+    fsync_dir,
+    is_image_file,
+    load_json,
+    read_file_checked,
+    sha256_hex,
+    validate_manifest_dict,
+)
+from repro.storage.statefile import StateStore
+
+
+class ImageNotFoundError(ReproError):
+    """Raised when an image id does not name a committed image."""
+
+
+@dataclass(frozen=True)
+class ImageInfo:
+    """Summary of one committed image."""
+
+    image_id: str
+    path: str
+    created_at: float
+    meta: dict
+    num_blobs: int
+    blob_pages: int
+    total_bytes: int
+
+    def as_dict(self) -> dict:
+        return {
+            "image_id": self.image_id,
+            "path": self.path,
+            "created_at": self.created_at,
+            "meta": self.meta,
+            "num_blobs": self.num_blobs,
+            "blob_pages": self.blob_pages,
+            "total_bytes": self.total_bytes,
+        }
+
+
+@dataclass
+class RecoveryReport:
+    """What the startup scan found under an image root."""
+
+    committed: list[str] = field(default_factory=list)
+    torn: list[str] = field(default_factory=list)
+    orphaned: list[str] = field(default_factory=list)
+    quarantined: list[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return {
+            "committed": list(self.committed),
+            "torn": list(self.torn),
+            "orphaned": list(self.orphaned),
+            "quarantined": list(self.quarantined),
+        }
+
+
+class ImageStore:
+    """Durable suspend images under ``root``, one directory per image."""
+
+    def __init__(
+        self, root: str, injector: Optional[FaultInjector] = None
+    ):
+        self.root = os.fspath(root)
+        self.injector = injector or FaultInjector()
+        os.makedirs(self.root, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Writing
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        sq: SuspendedQuery,
+        store: StateStore,
+        image_id: Optional[str] = None,
+        meta: Optional[dict] = None,
+    ) -> ImageInfo:
+        """Commit a suspend image; returns its :class:`ImageInfo`.
+
+        Payloads are exported from ``store`` without extra simulated-disk
+        charges — their page writes were already paid when they were
+        dumped, and the image is the durable representation of that same
+        simulated disk. The commit order is blobs, control record,
+        manifest; the manifest rename is the commit point.
+        """
+        image_id = image_id or f"img-{uuid.uuid4().hex[:12]}"
+        if os.sep in image_id or image_id.startswith("."):
+            raise ValueError(f"invalid image id {image_id!r}")
+        directory = os.path.join(self.root, image_id)
+        if os.path.exists(os.path.join(directory, MANIFEST_NAME)):
+            raise ValueError(f"image {image_id!r} already exists")
+        injector = self.injector
+        injector.point("begin")
+        os.makedirs(directory, exist_ok=True)
+
+        files: dict[str, dict] = {}
+        blobs: list[dict] = []
+        total = 0
+        handles = sq.referenced_handles()
+        blob_pages = 0
+        for index, key in enumerate(sorted(handles)):
+            handle = handles[key]
+            payload, pages = store.export_payload(handle)
+            name = blob_filename(index)
+            data = dump_json(
+                {"key": key, "pages": pages, "payload": codec.encode_value(payload)}
+            )
+            atomic_write(directory, name, data, injector)
+            files[name] = {"sha256": sha256_hex(data), "bytes": len(data)}
+            blobs.append({"file": name, "key": key, "pages": pages})
+            blob_pages += pages
+            total += len(data)
+
+        control = dump_json(codec.suspended_query_to_dict(sq))
+        atomic_write(directory, CONTROL_NAME, control, injector)
+        files[CONTROL_NAME] = {
+            "sha256": sha256_hex(control),
+            "bytes": len(control),
+        }
+        total += len(control)
+
+        manifest = {
+            "layout_version": LAYOUT_VERSION,
+            "format_version": codec.FORMAT_VERSION,
+            "image_id": image_id,
+            "created_at": time.time(),
+            "meta": dict(meta or {}),
+            "control_file": CONTROL_NAME,
+            "files": files,
+            "blobs": blobs,
+        }
+        data = dump_json(manifest)
+        atomic_write(directory, MANIFEST_NAME, data, injector)
+        fsync_dir(self.root)
+        injector.point("committed")
+        return ImageInfo(
+            image_id=image_id,
+            path=directory,
+            created_at=manifest["created_at"],
+            meta=manifest["meta"],
+            num_blobs=len(blobs),
+            blob_pages=blob_pages,
+            total_bytes=total + len(data),
+        )
+
+    # ------------------------------------------------------------------
+    # Reading
+    # ------------------------------------------------------------------
+    def _image_dir(self, image_id: str) -> str:
+        return os.path.join(self.root, image_id)
+
+    def manifest(self, image_id: str) -> dict:
+        """Parse and structurally validate an image's manifest."""
+        path = os.path.join(self._image_dir(image_id), MANIFEST_NAME)
+        if not os.path.exists(path):
+            raise ImageNotFoundError(f"no committed image {image_id!r}")
+        manifest = load_json(path)
+        validate_manifest_dict(manifest)
+        return manifest
+
+    def load(self, image_id: str) -> SuspendedQuery:
+        """Verify and decode an image into a resumable SuspendedQuery.
+
+        Every file is checksum-verified before anything is decoded. The
+        returned structure has its dump payloads staged in
+        ``migrated_payloads``; ``QuerySession.resume`` imports them into
+        the target database's state store, charging the page writes there
+        exactly as a migration to a replica would.
+        """
+        manifest = self.manifest(image_id)
+        directory = self._image_dir(image_id)
+        control_data = read_file_checked(
+            directory, manifest["control_file"], manifest
+        )
+        record = load_json(
+            os.path.join(directory, manifest["control_file"])
+        )
+        del control_data  # checksum verified above; reparse for clarity
+        sq = codec.suspended_query_from_dict(record)
+        payloads: dict = {}
+        for blob in manifest["blobs"]:
+            data = read_file_checked(directory, blob["file"], manifest)
+            decoded = load_json(os.path.join(directory, blob["file"]))
+            if decoded["key"] != blob["key"] or decoded["pages"] != blob["pages"]:
+                raise ImageFormatError(
+                    f"blob {blob['file']!r} does not match its manifest entry"
+                )
+            payloads[blob["key"]] = (
+                codec.decode_value(decoded["payload"]),
+                blob["pages"],
+            )
+            del data
+        sq.migrated_payloads = payloads
+        return sq
+
+    def info(self, image_id: str) -> ImageInfo:
+        manifest = self.manifest(image_id)
+        directory = self._image_dir(image_id)
+        total = sum(e["bytes"] for e in manifest["files"].values())
+        total += os.path.getsize(os.path.join(directory, MANIFEST_NAME))
+        return ImageInfo(
+            image_id=manifest["image_id"],
+            path=directory,
+            created_at=manifest.get("created_at", 0.0),
+            meta=manifest.get("meta", {}),
+            num_blobs=len(manifest["blobs"]),
+            blob_pages=sum(b["pages"] for b in manifest["blobs"]),
+            total_bytes=total,
+        )
+
+    def list_images(self) -> list[ImageInfo]:
+        """Every committed image under the root, oldest first."""
+        infos = []
+        for name in sorted(os.listdir(self.root)):
+            if name == QUARANTINE_DIR:
+                continue
+            if os.path.exists(
+                os.path.join(self.root, name, MANIFEST_NAME)
+            ):
+                try:
+                    infos.append(self.info(name))
+                except (ImageFormatError, ReproError):
+                    continue  # recover() deals with bad manifests
+        infos.sort(key=lambda i: (i.created_at, i.image_id))
+        return infos
+
+    def validate(self, image_id: str) -> list[str]:
+        """Full verification; returns a list of problems (empty = ok)."""
+        problems: list[str] = []
+        try:
+            manifest = self.manifest(image_id)
+        except ImageNotFoundError:
+            return [f"image {image_id!r} not found"]
+        except ImageFormatError as exc:
+            return [str(exc)]
+        directory = self._image_dir(image_id)
+        for name in manifest["files"]:
+            try:
+                read_file_checked(directory, name, manifest)
+            except ImageFormatError as exc:
+                problems.append(str(exc))
+        for name in os.listdir(directory):
+            if name == MANIFEST_NAME:
+                continue
+            if name not in manifest["files"]:
+                problems.append(f"unmanifested file {name!r} in image")
+        return problems
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def delete(self, image_id: str) -> None:
+        directory = self._image_dir(image_id)
+        if not os.path.isdir(directory):
+            raise ImageNotFoundError(f"no image directory {image_id!r}")
+        shutil.rmtree(directory)
+        fsync_dir(self.root)
+
+    def gc(self, keep: Optional[set] = None) -> list[str]:
+        """Delete committed images not in ``keep``; returns deleted ids."""
+        keep = keep or set()
+        deleted = []
+        for info in self.list_images():
+            if info.image_id not in keep:
+                self.delete(info.image_id)
+                deleted.append(info.image_id)
+        return deleted
+
+    # ------------------------------------------------------------------
+    # Recovery scan
+    # ------------------------------------------------------------------
+    def recover(self) -> RecoveryReport:
+        """Classify every root entry; quarantine torn/orphaned ones.
+
+        - *committed*: a directory whose manifest parses and whose files
+          all verify — safe to resume from;
+        - *torn*: an interrupted or corrupted commit — a directory with
+          image files (or temp files) but no valid, fully verified
+          manifest;
+        - *orphaned*: anything else at the root — stray files, empty or
+          unrecognizable directories.
+
+        Torn and orphaned entries are moved under ``<root>/quarantine/``
+        (never deleted: they are evidence), so a subsequent scan of the
+        root sees only committed images. The scan itself never raises on
+        bad content — that is its purpose.
+        """
+        report = RecoveryReport()
+        for name in sorted(os.listdir(self.root)):
+            if name == QUARANTINE_DIR:
+                continue
+            path = os.path.join(self.root, name)
+            if not os.path.isdir(path):
+                report.orphaned.append(name)
+                self._quarantine(name, report)
+                continue
+            entries = os.listdir(path)
+            has_manifest = MANIFEST_NAME in entries
+            has_image_files = any(
+                is_image_file(e) or e.endswith(TMP_SUFFIX) for e in entries
+            )
+            if has_manifest and not self.validate(name):
+                report.committed.append(name)
+            elif has_image_files:
+                report.torn.append(name)
+                self._quarantine(name, report)
+            else:
+                report.orphaned.append(name)
+                self._quarantine(name, report)
+        return report
+
+    def _quarantine(self, name: str, report: RecoveryReport) -> None:
+        qdir = os.path.join(self.root, QUARANTINE_DIR)
+        os.makedirs(qdir, exist_ok=True)
+        target = os.path.join(qdir, name)
+        suffix = 0
+        while os.path.exists(target):
+            suffix += 1
+            target = os.path.join(qdir, f"{name}.{suffix}")
+        os.replace(os.path.join(self.root, name), target)
+        fsync_dir(self.root)
+        report.quarantined.append(os.path.relpath(target, self.root))

@@ -29,7 +29,10 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Optional, Union
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.durability.store import ImageStore
 
 from repro.common.errors import ReproError, SuspendBudgetInfeasibleError
 from repro.core.lifecycle import (
@@ -76,6 +79,12 @@ class SchedulerConfig:
         engine_config: per-session engine configuration.
         collect_rows: keep every query's output rows on its record
             (memory in the *host* process only; disable for large runs).
+        image_store: when set (an
+            :class:`~repro.durability.store.ImageStore` or an image-root
+            path), every suspended victim is additionally spilled as a
+            durable on-disk image, so evicted queries survive a crash of
+            the serving process. The in-memory SuspendedQuery remains the
+            resume path; the image is the crash-safety net.
     """
 
     policy: Union[str, PressurePolicy] = "suspend-resume"
@@ -85,6 +94,7 @@ class SchedulerConfig:
     suspend_budget: float = math.inf
     engine_config: Optional[EngineConfig] = None
     collect_rows: bool = True
+    image_store: Union["ImageStore", str, None] = None
 
 
 @dataclass
@@ -97,6 +107,9 @@ class QueryRecord:
     state: QueryState = QueryState.WAITING
     session: Optional[QuerySession] = None
     sq: Optional[SuspendedQuery] = None
+    #: Id of the durable spill image from the most recent suspend, when
+    #: the scheduler is configured with an image store.
+    image_id: Optional[str] = None
     rows: list = field(default_factory=list)
 
     @property
@@ -118,10 +131,19 @@ class QueryScheduler:
         self.db = db
         self.config = config or SchedulerConfig()
         self.policy = get_policy(self.config.policy)
+        self.image_store = self._resolve_image_store(self.config.image_store)
         self.records: list[QueryRecord] = []
         self.stats = SchedulerStats(policy=self.policy.name)
         self._pending: list[QueryRecord] = []  # not yet admitted, by time
         self._ran = False
+
+    @staticmethod
+    def _resolve_image_store(value):
+        if value is None or not isinstance(value, str):
+            return value
+        from repro.durability.store import ImageStore
+
+        return ImageStore(value)
 
     # ------------------------------------------------------------------
     # Submission
@@ -288,6 +310,20 @@ class QueryScheduler:
         victim.state = QueryState.SUSPENDED
         victim.stats.suspends += 1
         self.stats.suspends += 1
+        if self.image_store is not None:
+            if victim.image_id is not None:
+                # Supersede the spill from an earlier suspend of this query.
+                self.image_store.delete(victim.image_id)
+            info = self.image_store.save(
+                victim.sq,
+                self.db.state_store,
+                image_id=f"{victim.name}-s{victim.stats.suspends}",
+                meta={"query": victim.name, "priority": victim.priority},
+            )
+            victim.image_id = info.image_id
+            victim.stats.durable_spills += 1
+            self.stats.durable_spills += 1
+            self._mark("spill", victim)
         self._mark("suspend", victim)
 
     def kill_victim(self, victim: QueryRecord) -> None:
@@ -393,6 +429,10 @@ class QueryScheduler:
             record.session.close()
             record.session = None
             record.state = QueryState.DONE
+            if self.image_store is not None and record.image_id is not None:
+                # The spill image is obsolete once the query completes.
+                self.image_store.delete(record.image_id)
+                record.image_id = None
             record.stats.completed_at = self.db.now
             self.stats.queries_completed += 1
             self._mark("complete", record)

@@ -46,6 +46,7 @@ class QueryStats:
     resumes: int = 0
     kills: int = 0
     discarded_resumes: int = 0
+    durable_spills: int = 0
     rows_emitted: int = 0
 
     @property
@@ -75,6 +76,7 @@ class QueryStats:
             "resumes": self.resumes,
             "kills": self.kills,
             "discarded_resumes": self.discarded_resumes,
+            "durable_spills": self.durable_spills,
             "rows": self.rows_emitted,
         }
 
@@ -90,6 +92,7 @@ class SchedulerStats:
     resumes: int = 0
     kills: int = 0
     discarded_resumes: int = 0
+    durable_spills: int = 0
     peak_memory: int = 0
     started_at: float = 0.0
     finished_at: float = 0.0
@@ -121,6 +124,7 @@ class SchedulerStats:
             "resumes": self.resumes,
             "kills": self.kills,
             "discarded_resumes": self.discarded_resumes,
+            "durable_spills": self.durable_spills,
             "peak_memory": self.peak_memory,
             "makespan": round(self.makespan, 2),
             "total_turnaround": round(self.total_turnaround(), 2),

@@ -92,6 +92,23 @@ class StateStore:
         self._check_handle(handle)
         return self._objects[handle.key][0]
 
+    def export_payload(self, handle: DumpHandle) -> tuple[Any, int]:
+        """Return ``(payload, pages)`` for migration/persistence, uncharged.
+
+        The page writes for this payload were already charged when it was
+        dumped; exporting it (to a replica or a durable image) reads the
+        *same* simulated-disk bytes, so charging again would double-count.
+        The importing side pays for its own copy via :meth:`import_payload`.
+        """
+        self._check_handle(handle)
+        payload, pages = self._objects[handle.key]
+        return payload, pages
+
+    def import_payload(self, key: str, payload: Any, pages: int) -> DumpHandle:
+        """Store a migrated payload under a fresh local key, charging the
+        page writes — the receiving side of a migration pays the transfer."""
+        return self.dump(self.fresh_key(f"import_{key}"), payload, pages)
+
     def free(self, handle: DumpHandle) -> None:
         """Release a payload. Freeing is not charged (deallocation)."""
         self._check_handle(handle)

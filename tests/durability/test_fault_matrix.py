@@ -1,0 +1,103 @@
+"""The parametrized crash matrix: every commit step, every torn write.
+
+The fault list is enumerated from a clean recorder run (not hard-coded),
+so these tests cannot drift out of sync with the commit protocol: adding
+a step to ``ImageStore.save`` automatically adds its crash points here.
+Each fault gets its own test case asserting the recovery classification
+and — the core safety claim — the absence of silent corruption.
+"""
+
+import tempfile
+
+from repro.core.lifecycle import QuerySession
+from repro.durability import build_recipe, enumerate_faults, run_crash_matrix
+from repro.durability.faults import FaultInjector
+from repro.durability.harness import run_one_fault
+
+
+def make_suspended():
+    db, plan = build_recipe("sort")
+    session = QuerySession(db, plan)
+    session.execute(max_rows=150)
+    sq = session.suspend()
+    return sq, db.state_store
+
+
+_FAULTS = None
+
+
+def all_faults():
+    global _FAULTS
+    if _FAULTS is None:
+        sq, store = make_suspended()
+        scratch = tempfile.mkdtemp(prefix="fault-probe-")
+        points, torn = enumerate_faults(sq, store, scratch)
+        _FAULTS = [("crash", p) for p in points] + [
+            ("torn", lb) for lb in torn
+        ]
+    return _FAULTS
+
+
+def expected_classification(kind: str, name: str) -> set:
+    if kind == "torn":
+        return {"torn"}
+    if name == "begin":
+        return {"absent"}
+    if name in ("renamed:MANIFEST.json", "committed"):
+        return {"committed"}
+    if name == "before:blob-0000.bin":
+        # Crash before the first byte: the directory is empty.
+        return {"orphaned"}
+    return {"torn"}
+
+
+def pytest_generate_tests(metafunc):
+    if "fault" in metafunc.fixturenames:
+        faults = all_faults()
+        metafunc.parametrize(
+            "fault", faults, ids=[f"{k}:{n}" for k, n in faults]
+        )
+
+
+class TestCrashMatrix:
+    def test_fault_leaves_no_silent_corruption(self, fault, tmp_path):
+        kind, name = fault
+        injector = (
+            FaultInjector.crashing_at(name)
+            if kind == "crash"
+            else FaultInjector.tearing(name)
+        )
+        sq, store = make_suspended()
+        outcome = run_one_fault(
+            sq, store, str(tmp_path), injector, fault=f"{kind}:{name}"
+        )
+        assert not outcome.silent_corruption, outcome.detail
+        assert outcome.classification in expected_classification(kind, name)
+        if outcome.classification == "committed":
+            assert outcome.loaded
+        # Every fault except the two post-commit points actually crashed.
+        assert outcome.crashed
+
+
+def test_matrix_covers_manifest_and_blob_torn_writes():
+    """The enumerated matrix must include the satellite's required cells."""
+    faults = set(all_faults())
+    assert ("torn", "MANIFEST.json") in faults
+    assert ("torn", "control.json") in faults
+    assert any(k == "torn" and n.startswith("blob-") for k, n in faults)
+    assert ("crash", "written:MANIFEST.json") in faults
+    assert ("crash", "renamed:MANIFEST.json") in faults
+
+
+def test_full_matrix_via_harness(tmp_path):
+    """End-to-end harness sweep: zero silent-corruption outcomes."""
+    outcomes = run_crash_matrix(make_suspended, str(tmp_path))
+    assert len(outcomes) >= 10
+    assert all(not o.silent_corruption for o in outcomes)
+    committed = [o for o in outcomes if o.classification == "committed"]
+    # Exactly the two post-commit crash points leave a committed image.
+    assert sorted(o.fault for o in committed) == [
+        "crash:committed",
+        "crash:renamed:MANIFEST.json",
+    ]
+    assert all(o.loaded for o in committed)

@@ -1,0 +1,141 @@
+"""ImageStore round trips, inventory management, and corruption checks."""
+
+import os
+
+import pytest
+
+from repro.core.lifecycle import QuerySession
+from repro.durability import ImageStore, build_recipe
+from repro.durability.format import ImageFormatError, MANIFEST_NAME
+from repro.durability.store import ImageNotFoundError
+
+SHAPES = ("sort", "hashjoin", "hashagg")
+
+
+def suspend_partway(recipe, rows=60):
+    db, plan = build_recipe(recipe)
+    session = QuerySession(db, plan)
+    result = session.execute(max_rows=rows)
+    assert session.status.value == "suspend_pending" or result.rows
+    sq = session.suspend()
+    return db, sq, result.rows
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("recipe", SHAPES)
+    def test_save_load_resume_matches_reference(self, recipe, tmp_path):
+        ref_db, ref_plan = build_recipe(recipe)
+        reference = QuerySession(ref_db, ref_plan).execute().rows
+
+        db, sq, prefix = suspend_partway(recipe, rows=max(1, len(reference) // 3))
+        store = ImageStore(str(tmp_path))
+        info = store.save(sq, db.state_store, meta={"recipe": recipe})
+
+        # A brand-new database, as a fresh process would build it.
+        fresh_db, _ = build_recipe(recipe)
+        loaded = store.load(info.image_id)
+        # Every persisted blob is staged for import (may be zero when the
+        # LP chose goback for every operator).
+        assert len(loaded.migrated_payloads) == info.num_blobs
+        resumed = QuerySession.resume(fresh_db, loaded)
+        rest = resumed.execute().rows
+        assert prefix + rest == reference
+
+    def test_persist_to_on_suspend_sets_last_image(self, tmp_path):
+        db, plan = build_recipe("sort")
+        session = QuerySession(db, plan)
+        session.execute(max_rows=50)
+        session.suspend(persist_to=str(tmp_path), image_meta={"k": "v"})
+        info = session.last_image
+        assert info is not None
+        assert info.meta == {"k": "v"}
+        assert ImageStore(str(tmp_path)).validate(info.image_id) == []
+
+
+class TestInventory:
+    def test_list_validate_delete_gc(self, tmp_path):
+        store = ImageStore(str(tmp_path))
+        db, sq, _ = suspend_partway("sort")
+        a = store.save(sq, db.state_store, image_id="img-a")
+        db2, sq2, _ = suspend_partway("hashagg", rows=6)
+        b = store.save(sq2, db2.state_store, image_id="img-b")
+
+        listed = [i.image_id for i in store.list_images()]
+        assert sorted(listed) == ["img-a", "img-b"]
+        assert store.validate("img-a") == []
+        assert store.info("img-b").num_blobs == b.num_blobs
+
+        store.delete("img-a")
+        assert [i.image_id for i in store.list_images()] == ["img-b"]
+        with pytest.raises(ImageNotFoundError):
+            store.load("img-a")
+
+        assert store.gc(keep={"img-b"}) == []
+        assert store.gc() == ["img-b"]
+        assert store.list_images() == []
+
+    def test_duplicate_image_id_rejected(self, tmp_path):
+        store = ImageStore(str(tmp_path))
+        db, sq, _ = suspend_partway("sort")
+        store.save(sq, db.state_store, image_id="dup")
+        with pytest.raises(ValueError):
+            store.save(sq, db.state_store, image_id="dup")
+
+    def test_bad_image_id_rejected(self, tmp_path):
+        store = ImageStore(str(tmp_path))
+        db, sq, _ = suspend_partway("sort")
+        with pytest.raises(ValueError):
+            store.save(sq, db.state_store, image_id="../escape")
+
+
+class TestCorruptionDetection:
+    def _committed(self, tmp_path):
+        store = ImageStore(str(tmp_path))
+        db, sq, _ = suspend_partway("sort")
+        info = store.save(sq, db.state_store, image_id="img")
+        return store, info
+
+    def test_corrupt_blob_detected(self, tmp_path):
+        store, info = self._committed(tmp_path)
+        blob = next(
+            n for n in os.listdir(info.path) if n.startswith("blob-")
+        )
+        path = os.path.join(info.path, blob)
+        with open(path, "r+b") as fh:
+            fh.seek(0)
+            fh.write(b"X")
+        problems = store.validate("img")
+        assert problems and "checksum" in problems[0]
+        with pytest.raises(ImageFormatError):
+            store.load("img")
+
+    def test_truncated_control_detected(self, tmp_path):
+        store, info = self._committed(tmp_path)
+        path = os.path.join(info.path, "control.json")
+        data = open(path, "rb").read()
+        with open(path, "wb") as fh:
+            fh.write(data[: len(data) // 2])
+        assert store.validate("img")
+        with pytest.raises(ImageFormatError):
+            store.load("img")
+
+    def test_missing_blob_detected(self, tmp_path):
+        store, info = self._committed(tmp_path)
+        blob = next(
+            n for n in os.listdir(info.path) if n.startswith("blob-")
+        )
+        os.unlink(os.path.join(info.path, blob))
+        assert any("missing" in p for p in store.validate("img"))
+
+    def test_unmanifested_file_detected(self, tmp_path):
+        store, info = self._committed(tmp_path)
+        with open(os.path.join(info.path, "extra.bin"), "wb") as fh:
+            fh.write(b"stray")
+        assert any("unmanifested" in p for p in store.validate("img"))
+
+    def test_garbage_manifest_detected(self, tmp_path):
+        store, info = self._committed(tmp_path)
+        with open(os.path.join(info.path, MANIFEST_NAME), "wb") as fh:
+            fh.write(b"not json at all")
+        with pytest.raises(ImageFormatError):
+            store.load("img")

@@ -1,0 +1,88 @@
+"""Recovery-scan classification and quarantine behavior."""
+
+import os
+
+from repro.core.lifecycle import QuerySession
+from repro.durability import ImageStore, build_recipe
+from repro.durability.format import MANIFEST_NAME
+
+
+def committed_image(root, image_id="good"):
+    db, plan = build_recipe("sort")
+    session = QuerySession(db, plan)
+    session.execute(max_rows=50)
+    sq = session.suspend()
+    return ImageStore(str(root)).save(sq, db.state_store, image_id=image_id)
+
+
+class TestRecoveryScan:
+    def test_committed_image_left_alone(self, tmp_path):
+        committed_image(tmp_path)
+        report = ImageStore(str(tmp_path)).recover()
+        assert report.committed == ["good"]
+        assert report.quarantined == []
+        assert ImageStore(str(tmp_path)).validate("good") == []
+
+    def test_manifestless_partial_is_torn(self, tmp_path):
+        partial = tmp_path / "halfway"
+        partial.mkdir()
+        (partial / "blob-0000.bin").write_bytes(b"{}")
+        (partial / "control.json.tmp").write_bytes(b"{")
+        report = ImageStore(str(tmp_path)).recover()
+        assert report.torn == ["halfway"]
+        assert not partial.exists()
+        assert (tmp_path / "quarantine" / "halfway").is_dir()
+
+    def test_corrupt_manifest_is_torn(self, tmp_path):
+        info = committed_image(tmp_path)
+        with open(os.path.join(info.path, MANIFEST_NAME), "wb") as fh:
+            fh.write(b"garbage")
+        report = ImageStore(str(tmp_path)).recover()
+        assert report.torn == ["good"]
+        assert (tmp_path / "quarantine" / "good").is_dir()
+
+    def test_checksum_failure_is_torn(self, tmp_path):
+        info = committed_image(tmp_path)
+        blob = next(
+            n for n in os.listdir(info.path) if n.startswith("blob-")
+        )
+        with open(os.path.join(info.path, blob), "ab") as fh:
+            fh.write(b"tail")
+        report = ImageStore(str(tmp_path)).recover()
+        assert report.torn == ["good"]
+
+    def test_stray_file_and_empty_dir_are_orphaned(self, tmp_path):
+        (tmp_path / "note.txt").write_text("not an image")
+        (tmp_path / "emptydir").mkdir()
+        report = ImageStore(str(tmp_path)).recover()
+        assert sorted(report.orphaned) == ["emptydir", "note.txt"]
+        assert sorted(os.listdir(tmp_path / "quarantine")) == [
+            "emptydir",
+            "note.txt",
+        ]
+
+    def test_scan_is_idempotent_and_names_do_not_collide(self, tmp_path):
+        for _ in range(2):
+            bad = tmp_path / "bad"
+            bad.mkdir()
+            (bad / "blob-0000.bin").write_bytes(b"x")
+            report = ImageStore(str(tmp_path)).recover()
+            assert report.torn == ["bad"]
+        names = sorted(os.listdir(tmp_path / "quarantine"))
+        assert names == ["bad", "bad.1"]
+        # Nothing bad left at the root: a third scan is clean.
+        report = ImageStore(str(tmp_path)).recover()
+        assert report.torn == report.orphaned == report.quarantined == []
+
+    def test_mixed_root(self, tmp_path):
+        committed_image(tmp_path, image_id="keep")
+        torn = tmp_path / "torn"
+        torn.mkdir()
+        (torn / "MANIFEST.json.tmp").write_bytes(b"{")
+        (tmp_path / "stray").write_bytes(b"?")
+        report = ImageStore(str(tmp_path)).recover()
+        assert report.committed == ["keep"]
+        assert report.torn == ["torn"]
+        assert report.orphaned == ["stray"]
+        # The committed image is still loadable after the scan.
+        assert ImageStore(str(tmp_path)).load("keep").entries

@@ -1,0 +1,85 @@
+"""Scheduler durable spill: evicted queries persist their suspend image.
+
+With ``SchedulerConfig(image_store=...)`` every memory-pressure eviction
+also commits the victim's SuspendedQuery to disk, so a crashed scheduler
+process could re-admit the victim from the image. The spill must not
+change scheduling outcomes, and completed queries must garbage-collect
+their images.
+"""
+
+import pytest
+
+from repro.durability import ImageStore
+from repro.service import QueryScheduler, SchedulerConfig
+from repro.workloads.plans import mixed_priority_trace
+
+SCALE = 4
+SEED = 1
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return mixed_priority_trace(scale=SCALE, seed=SEED)
+
+
+def run_trace(workload, image_store=None):
+    config = SchedulerConfig(
+        policy="suspend-resume",
+        memory_budget=workload.memory_budget,
+        suspend_budget=workload.suspend_budget,
+        image_store=image_store,
+    )
+    scheduler = QueryScheduler(workload.db_factory(), config)
+    scheduler.submit_trace(workload.trace)
+    return scheduler, scheduler.run()
+
+
+class TestDurableSpill:
+    def test_evictions_spill_images(self, workload, tmp_path):
+        scheduler, stats = run_trace(workload, image_store=str(tmp_path))
+        assert stats.suspends >= 1
+        assert stats.durable_spills == stats.suspends
+        per_query = sum(
+            q.durable_spills for q in stats.per_query.values()
+        )
+        assert per_query == stats.durable_spills
+        assert any(e.event == "spill" for e in stats.timeline)
+
+    def test_spill_does_not_change_outcomes(self, workload, tmp_path):
+        _, plain = run_trace(workload)
+        _, spilled = run_trace(workload, image_store=str(tmp_path))
+        assert plain.durable_spills == 0
+        assert spilled.queries_completed == plain.queries_completed
+        assert {
+            q.name: q.rows_emitted for q in spilled.per_query.values()
+        } == {q.name: q.rows_emitted for q in plain.per_query.values()}
+        assert spilled.total_turnaround() == pytest.approx(
+            plain.total_turnaround()
+        )
+
+    def test_completed_queries_gc_their_images(self, workload, tmp_path):
+        run_trace(workload, image_store=str(tmp_path))
+        assert ImageStore(str(tmp_path)).list_images() == []
+
+    def test_spilled_image_is_valid_while_query_is_suspended(
+        self, workload, tmp_path
+    ):
+        store = ImageStore(str(tmp_path))
+        config = SchedulerConfig(
+            policy="suspend-resume",
+            memory_budget=workload.memory_budget,
+            suspend_budget=workload.suspend_budget,
+            image_store=store,
+        )
+        scheduler = QueryScheduler(workload.db_factory(), config)
+        assert scheduler.image_store is store
+        scheduler.submit_trace(workload.trace)
+        stats = scheduler.run()
+
+        spills = [e for e in stats.timeline if e.event == "spill"]
+        assert spills, "trace must trigger at least one eviction"
+        # The image named by the first spill was superseded or GC'd by
+        # the end of the run, but its id follows the documented scheme.
+        victim = spills[0].query
+        record = next(r for r in scheduler.records if r.name == victim)
+        assert record.stats.durable_spills >= 1

@@ -4,7 +4,7 @@ import pytest
 
 from repro.common.errors import StorageError
 from repro.storage.disk import SimulatedDisk
-from repro.storage.statefile import StateStore
+from repro.storage.statefile import DumpHandle, StateStore
 
 
 class TestStateStore:
@@ -81,3 +81,71 @@ class TestStateStore:
         assert len(store) == 1
         assert store.exists("a")
         assert not store.exists("b")
+
+
+class TestFreeEdgeCases:
+    def test_double_free_raises_storage_error(self):
+        store = StateStore(SimulatedDisk())
+        handle = store.dump("k", [1], pages=1)
+        store.free(handle)
+        with pytest.raises(StorageError):
+            store.free(handle)
+
+    def test_free_unknown_handle_raises_storage_error(self):
+        store = StateStore(SimulatedDisk())
+        bogus = DumpHandle(store_id=store._store_id, key="never", pages=1)
+        with pytest.raises(StorageError):
+            store.free(bogus)
+
+    def test_freed_handle_fails_every_access_with_storage_error(self):
+        store = StateStore(SimulatedDisk())
+        handle = store.dump("k", [1, 2], pages=2)
+        store.free(handle)
+        for access in (
+            store.load,
+            store.peek,
+            store.export_payload,
+            lambda h: store.load_pages_range(h, 0),
+        ):
+            with pytest.raises(StorageError):
+                access(handle)
+
+    def test_orphaned_handle_raises_storage_error_not_key_error(self):
+        """A decoded image handle (store_id=-1) must fail cleanly."""
+        store = StateStore(SimulatedDisk())
+        orphan = DumpHandle(store_id=-1, key="dump#1", pages=3)
+        with pytest.raises(StorageError):
+            store.load(orphan)
+
+    def test_resume_with_freed_dump_handle_raises_storage_error(self):
+        from repro.core.lifecycle import QuerySession, SuspendOptions
+        from tests.conftest import make_small_db, tiny_nlj_plan
+
+        db = make_small_db()
+        session = QuerySession(db, tiny_nlj_plan())
+        session.execute(max_rows=30)
+        sq = session.suspend(SuspendOptions(strategy="all_dump"))
+        handles = sq.referenced_handles()
+        assert handles, "all_dump suspend must reference dumped state"
+        db.state_store.free(next(iter(handles.values())))
+        with pytest.raises(StorageError):
+            QuerySession.resume(db, sq)
+
+
+class TestExportImport:
+    def test_export_payload_is_uncharged(self):
+        disk = SimulatedDisk()
+        store = StateStore(disk)
+        handle = store.dump("k", [1, 2, 3], pages=3)
+        before = disk.now
+        payload, pages = store.export_payload(handle)
+        assert (payload, pages) == ([1, 2, 3], 3)
+        assert disk.now == before
+
+    def test_import_payload_charges_writes(self):
+        disk = SimulatedDisk()
+        store = StateStore(disk)
+        before = disk.counters.pages_written
+        handle = store.import_payload("shipped", ["rows"], pages=5)
+        assert disk.counters.pages_written - before == 5
+        assert store.load(handle) == ["rows"]
