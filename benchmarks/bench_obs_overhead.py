@@ -1,0 +1,134 @@
+"""Observability overhead: the disabled tracer must cost <2%.
+
+The `repro.obs` tracer's design contract is zero hot-path cost when
+disabled: every instrumentation site checks ``tracer.enabled`` (or the
+precomputed ``_trace_next`` flag in ``Operator.next``) before doing any
+work. This benchmark proves it by A/B-timing a Figure-8-style run
+(NLJ_S execute → LP suspend → resume → finish, over three selectivities):
+
+- **seed**: ``Operator.next`` monkeypatched to the pre-observability
+  body — the exact hot path the repo shipped before `repro.obs` existed
+  (no ``_trace_next`` check at all);
+- **disabled**: the shipped code with the default :class:`NullTracer`;
+- **enabled**: a live :class:`Tracer` with ``next_sample_every=64``,
+  reported for context (no threshold — tracing is allowed to cost).
+
+Timings are best-of-N wall clock; the snapshot lands in
+``BENCH_obs.json`` at the repo root so future PRs can track the
+trajectory. Run directly (``python benchmarks/bench_obs_overhead.py``)
+or via pytest (``pytest benchmarks/bench_obs_overhead.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from typing import Optional
+
+from repro.core.lifecycle import QuerySession, SuspendOptions, SuspendStrategy
+from repro.engine.base import Operator, Row
+from repro.obs import Tracer, use_tracer
+from repro.workloads.plans import build_nlj_s
+
+SCALE = 400
+SELECTIVITIES = (0.1, 0.4, 0.8)
+REPEATS = 5
+THRESHOLD_PCT = 2.0
+
+SNAPSHOT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_obs.json"
+
+
+def _seed_next(self) -> Optional[Row]:
+    """``Operator.next`` exactly as it was before repro.obs existed."""
+    self.rt.poll()
+    if self._pending_rows:
+        row = self._pending_rows.popleft()
+    else:
+        row = self._next()
+    if row is not None:
+        self.tuples_emitted += 1
+        self.charge_cpu(1)
+    return row
+
+
+def fig8_style_run() -> None:
+    for selectivity in SELECTIVITIES:
+        db, plan = build_nlj_s(selectivity, scale=SCALE)
+        session = QuerySession(db, plan, name="bench")
+        session.execute(max_rows=50)
+        sq = session.suspend(SuspendOptions(strategy=SuspendStrategy.LP))
+        resumed = QuerySession.resume(db, sq)
+        resumed.execute()
+
+
+def best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def measure() -> dict:
+    # Warm caches (imports, table generation code paths) off the clock.
+    fig8_style_run()
+
+    shipped_next = Operator.next
+    Operator.next = _seed_next
+    try:
+        seed = best_of(fig8_style_run)
+    finally:
+        Operator.next = shipped_next
+
+    disabled = best_of(fig8_style_run)
+
+    def traced():
+        with use_tracer(Tracer(next_sample_every=64)):
+            fig8_style_run()
+
+    enabled = best_of(traced)
+
+    disabled_pct = 100.0 * (disabled - seed) / seed
+    return {
+        "benchmark": "obs_overhead",
+        "workload": {
+            "shape": "fig8-style NLJ_S execute/suspend(lp)/resume",
+            "scale": SCALE,
+            "selectivities": list(SELECTIVITIES),
+            "repeats": REPEATS,
+            "timer": "best-of wall clock (s)",
+        },
+        "seed_seconds": round(seed, 4),
+        "disabled_tracer_seconds": round(disabled, 4),
+        "enabled_tracer_seconds": round(enabled, 4),
+        "disabled_overhead_pct": round(disabled_pct, 2),
+        "enabled_overhead_pct": round(100.0 * (enabled - seed) / seed, 2),
+        "threshold_pct": THRESHOLD_PCT,
+        "pass": disabled_pct < THRESHOLD_PCT,
+    }
+
+
+def run_and_snapshot() -> dict:
+    result = measure()
+    SNAPSHOT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def test_disabled_tracer_overhead_under_threshold(benchmark):
+    from benchmarks.conftest import once
+
+    result = once(benchmark, run_and_snapshot)
+    print(json.dumps(result, indent=2))
+    assert result["pass"], (
+        f"disabled-tracer overhead {result['disabled_overhead_pct']}% "
+        f"exceeds {THRESHOLD_PCT}%"
+    )
+
+
+if __name__ == "__main__":
+    snapshot = run_and_snapshot()
+    print(json.dumps(snapshot, indent=2))
+    print(f"[saved to {SNAPSHOT_PATH}]")
+    raise SystemExit(0 if snapshot["pass"] else 1)

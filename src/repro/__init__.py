@@ -85,6 +85,14 @@ from repro.engine.plan import (
 from repro.core.strategies import Strategy, SuspendPlan
 from repro.core.suspended_query import SuspendedQuery
 from repro.durability.store import ImageInfo, ImageStore, RecoveryReport
+from repro.obs import (
+    MetricsRegistry,
+    Tracer,
+    current_tracer,
+    use_tracer,
+    write_chrome_trace,
+    write_jsonl,
+)
 from repro.service.scheduler import QueryScheduler, SchedulerConfig
 from repro.service.stats import QueryStats, SchedulerStats
 from repro.service.trace import ArrivalTrace, QueryArrival, Workload
@@ -107,6 +115,7 @@ __all__ = [
     "IndexNLJSpec",
     "IndexScanSpec",
     "MergeJoinSpec",
+    "MetricsRegistry",
     "NLJSpec",
     "PlanSpec",
     "ProjectSpec",
@@ -127,7 +136,12 @@ __all__ = [
     "SuspendPlan",
     "SuspendStrategy",
     "SuspendedQuery",
+    "Tracer",
     "VirtualClock",
     "Workload",
     "__version__",
+    "current_tracer",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_jsonl",
 ]

@@ -5,11 +5,14 @@ Usage::
     python -m repro.cli list
     python -m repro.cli experiment fig8 [--scale 200]
     python -m repro.cli experiment table2
+    python -m repro.cli experiment serve --trace out.jsonl
     python -m repro.cli demo [--rows 20]
     python -m repro.cli workload --trace mixed --seed 1
     python -m repro.cli suspend --recipe sort --images ./images --rows 100
     python -m repro.cli resume-image --images ./images --id <image_id>
     python -m repro.cli images --images ./images [--recover | --gc]
+    python -m repro.cli trace summary out.jsonl
+    python -m repro.cli trace convert out.jsonl -o out.chrome.json
 
 Each experiment prints the same series its benchmark records; the demo
 walks one suspend/resume cycle end to end with the online optimizer;
@@ -23,6 +26,16 @@ suspend image to disk, ``resume-image`` rebuilds the recipe's database in
 *this* process and finishes the query from the image, and ``images``
 lists, validates, recovers, or garbage-collects an image root. All three
 take ``--json`` for machine-readable output.
+
+Observability: ``experiment``, ``suspend``, and ``resume-image`` accept
+``--trace PATH`` (JSONL trace) and ``--metrics PATH`` (text metrics
+snapshot); on ``workload``/``serve`` the trace flag is ``--trace-out``
+because ``--trace`` already names the arrival trace there. The
+``experiment serve`` entry runs a mixed scheduler workload, so
+``repro experiment serve --trace out.jsonl`` yields one trace with
+checkpoints, per-operator MIP decisions, and scheduler quanta; ``repro
+trace convert`` turns any trace into Chrome ``trace_event`` JSON that
+opens in Perfetto (https://ui.perfetto.dev).
 """
 
 from __future__ import annotations
@@ -122,7 +135,15 @@ def _exp_ex10(args) -> str:
     return text
 
 
+def _exp_serve(args) -> str:
+    # A scheduler-served mixed workload under the suspend-resume policy:
+    # the one run whose trace shows checkpoints, MIP decisions, durable
+    # spills, and scheduler quanta together.
+    return run_workload("mixed", seed=1, scale=4, policy="suspend-resume")
+
+
 EXPERIMENTS = {
+    "serve": _exp_serve,
     "table2": _exp_table2,
     "fig2": _exp_fig2,
     "fig8": _exp_fig8,
@@ -244,7 +265,7 @@ def run_suspend_to_image(
     from repro.durability import build_recipe
 
     db, plan = build_recipe(recipe, scale=scale, seed=seed)
-    session = QuerySession(db, plan)
+    session = QuerySession(db, plan, name=recipe)
     result = session.execute(max_rows=rows)
     session.suspend(
         persist_to=images,
@@ -294,7 +315,7 @@ def run_resume_from_image(
         meta["recipe"], scale=meta.get("scale", 1), seed=meta.get("seed", 0)
     )
     sq = store.load(image_id)
-    session = QuerySession.resume(db, sq)
+    session = QuerySession.resume(db, sq, name=meta["recipe"])
     result = session.execute()
     if as_json:
         return json.dumps(
@@ -360,11 +381,60 @@ def run_images(
     return "\n".join(lines)
 
 
+def run_trace_summary(path: str) -> str:
+    """Per-type record counts and headline metrics for a JSONL trace."""
+    from repro.obs import read_jsonl, render_summary
+
+    return render_summary(read_jsonl(path))
+
+
+def run_trace_convert(path: str, output: Optional[str] = None) -> str:
+    """Convert a JSONL trace to Chrome trace_event JSON (Perfetto)."""
+    from repro.obs import read_jsonl, write_chrome_trace
+
+    out = output if output is not None else path + ".chrome.json"
+    n = write_chrome_trace(read_jsonl(path), out)
+    return (
+        f"wrote {n} Chrome trace events to {out}\n"
+        f"open it at https://ui.perfetto.dev or chrome://tracing"
+    )
+
+
 def _positive_int(text: str) -> int:
     value = int(text)
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be positive, got {value}")
     return value
+
+
+def _add_obs_flags(parser, trace_flag: str = "--trace") -> None:
+    """Attach the observability output flags to a subcommand parser.
+
+    ``workload``/``serve`` pass ``--trace-out`` because their ``--trace``
+    already selects the arrival trace.
+    """
+    parser.add_argument(
+        trace_flag,
+        dest="trace_out",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL observability trace to PATH",
+    )
+    parser.add_argument(
+        "--metrics",
+        dest="metrics_out",
+        metavar="PATH",
+        default=None,
+        help="write a plain-text metrics snapshot to PATH",
+    )
+    parser.add_argument(
+        "--trace-sample",
+        dest="trace_sample",
+        type=_positive_int,
+        metavar="N",
+        default=None,
+        help="also record every Nth operator next() call as a span",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -387,9 +457,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=100,
         help="data scale divisor vs the paper's sizes (default 100)",
     )
+    _add_obs_flags(exp)
 
     demo = sub.add_parser("demo", help="one suspend/resume cycle, narrated")
     demo.add_argument("--rows", type=int, default=20)
+    _add_obs_flags(demo)
 
     from repro.workloads.plans import TRACES
 
@@ -417,6 +489,7 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="run a single policy instead of comparing all three",
         )
+        _add_obs_flags(wl, trace_flag="--trace-out")
 
     from repro.durability.recipes import RECIPES
 
@@ -438,6 +511,7 @@ def build_parser() -> argparse.ArgumentParser:
     susp.add_argument("--seed", type=int, default=0)
     susp.add_argument("--id", default=None, help="explicit image id")
     susp.add_argument("--json", action="store_true")
+    _add_obs_flags(susp)
 
     res = sub.add_parser(
         "resume-image",
@@ -446,6 +520,7 @@ def build_parser() -> argparse.ArgumentParser:
     res.add_argument("--images", required=True, help="image root directory")
     res.add_argument("--id", required=True, help="image id to resume")
     res.add_argument("--json", action="store_true")
+    _add_obs_flags(res)
 
     img = sub.add_parser(
         "images", help="list/validate/recover/gc a durable-image root"
@@ -461,11 +536,72 @@ def build_parser() -> argparse.ArgumentParser:
         "--gc", action="store_true", help="delete every committed image"
     )
     img.add_argument("--json", action="store_true")
+
+    tr = sub.add_parser(
+        "trace", help="inspect or convert a JSONL observability trace"
+    )
+    trsub = tr.add_subparsers(dest="trace_command", required=True)
+    tsum = trsub.add_parser(
+        "summary", help="print per-type record counts and headline metrics"
+    )
+    tsum.add_argument("file", help="JSONL trace file")
+    tconv = trsub.add_parser(
+        "convert",
+        help="convert to Chrome trace_event JSON (opens in Perfetto)",
+    )
+    tconv.add_argument("file", help="JSONL trace file")
+    tconv.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="output path (default: <file>.chrome.json)",
+    )
     return parser
+
+
+def _install_tracer(args):
+    """Make a Tracer the process default when obs flags were given."""
+    if getattr(args, "trace_out", None) is None and (
+        getattr(args, "metrics_out", None) is None
+    ):
+        return None
+    from repro.obs import Tracer, set_current_tracer
+
+    sample = getattr(args, "trace_sample", None)
+    tracer = Tracer(next_sample_every=sample if sample else 0)
+    set_current_tracer(tracer)
+    return tracer
+
+
+def _export_tracer(tracer, args) -> None:
+    """Write the collected trace/metrics; notices go to stderr so
+    ``--json`` stdout stays machine-readable."""
+    if tracer is None:
+        return
+    from repro.obs import set_current_tracer, write_jsonl
+
+    set_current_tracer(None)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        n = write_jsonl(tracer.records, trace_out)
+        print(f"wrote {n} trace records to {trace_out}", file=sys.stderr)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        with open(metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(tracer.metrics.render_text())
+        print(f"wrote metrics snapshot to {metrics_out}", file=sys.stderr)
 
 
 def main(argv: Optional[list[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    tracer = _install_tracer(args)
+    try:
+        return _dispatch(args)
+    finally:
+        _export_tracer(tracer, args)
+
+
+def _dispatch(args) -> int:
     if args.command == "list":
         print("available experiments:")
         for name in sorted(EXPERIMENTS):
@@ -512,6 +648,12 @@ def main(argv: Optional[list[str]] = None) -> int:
                 as_json=args.json,
             )
         )
+        return 0
+    if args.command == "trace":
+        if args.trace_command == "summary":
+            print(run_trace_summary(args.file))
+        else:
+            print(run_trace_convert(args.file, output=args.output))
         return 0
     return 1  # pragma: no cover - argparse enforces choices
 

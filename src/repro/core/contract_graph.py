@@ -23,16 +23,18 @@ from typing import Callable, Iterable, Optional
 
 from repro.common.errors import ContractError
 from repro.core.checkpoint import Checkpoint, Contract
+from repro.obs.tracer import NULL_TRACER, Tracer
 
 
 class ContractGraph:
     """Runtime store of live checkpoints and contracts for one query."""
 
-    def __init__(self):
+    def __init__(self, tracer: Optional[Tracer] = None):
         self._checkpoints: dict[int, Checkpoint] = {}
         self._contracts: dict[int, Contract] = {}
         self._latest: dict[int, Checkpoint] = {}
         self._seq: dict[int, int] = {}
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     # ------------------------------------------------------------------
     # Construction
@@ -206,6 +208,21 @@ class ContractGraph:
                 del self._checkpoints[ckpt_id]
             removed += len(dead_contracts) + len(dead_ckpts)
             if not dead_contracts and not dead_ckpts:
+                if self.tracer.enabled:
+                    if removed:
+                        self.tracer.event(
+                            "graph.pruned",
+                            removed=removed,
+                            checkpoints=len(self._checkpoints),
+                            contracts=len(self._contracts),
+                        )
+                    metrics = self.tracer.metrics
+                    metrics.gauge("contract_graph_checkpoints").max(
+                        len(self._checkpoints)
+                    )
+                    metrics.gauge("contract_graph_contracts").max(
+                        len(self._contracts)
+                    )
                 return removed
 
     def check_theorem1_bound(self, num_operators: int, height: int) -> None:
@@ -214,6 +231,13 @@ class ContractGraph:
         Each operator keeps at most ``height + 1`` active checkpoints (its
         latest plus one per ancestor whose latest checkpoint reaches it).
         """
+        if self.tracer.enabled:
+            # The Theorem 1 headroom metric: live node count vs the O(nh)
+            # limit the theorem guarantees.
+            limit = (height + 1) * num_operators
+            self.tracer.metrics.gauge("contract_graph_theorem1_bound").set(
+                limit
+            )
         per_op: dict[int, int] = {}
         for ckpt in self._checkpoints.values():
             per_op[ckpt.op_id] = per_op.get(ckpt.op_id, 0) + 1

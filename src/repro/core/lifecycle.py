@@ -31,9 +31,9 @@ from repro.common.errors import ReproError, SuspendRequested
 # are cycle-free (repro.core.costs only type-checks against the engine)
 # and belong at module level.
 from repro.core.costs import build_cost_model
-from repro.core.optimizer import choose_suspend_plan
+from repro.core.optimizer import choose_suspend_plan, estimate_plan_cost
 from repro.core.static_optimizer import choose_static_plan
-from repro.core.strategies import SuspendPlan, validate_suspend_plan
+from repro.core.strategies import Strategy, SuspendPlan, validate_suspend_plan
 from repro.core.suspended_query import SuspendedQuery
 from repro.engine.config import EngineConfig
 from repro.engine.plan import PlanSpec, instantiate_plan
@@ -134,6 +134,7 @@ class QuerySession:
         config: Optional[EngineConfig] = None,
         priority: int = 0,
         name: Optional[str] = None,
+        tracer=None,
     ):
         self.db = db
         self.plan_spec = plan_spec
@@ -142,7 +143,7 @@ class QuerySession:
         #: the session is served by a :class:`repro.service.QueryScheduler`.
         self.priority = priority
         self.name = name
-        self.runtime = Runtime(db, self.config)
+        self.runtime = Runtime(db, self.config, tracer=tracer, query=name)
         self.root = instantiate_plan(plan_spec, self.runtime)
         self.root.open()
         self.status = QueryStatus.RUNNING
@@ -176,6 +177,8 @@ class QuerySession:
         produced: list = []
         count = 0
         start = self.db.now
+        tracer = self.runtime.tracer
+        io_before = self.db.disk.counters.snapshot() if tracer.enabled else None
         try:
             while True:
                 row = self.root.next()
@@ -192,6 +195,17 @@ class QuerySession:
         finally:
             self.runtime.controller.disarm()
         self.rows.extend(produced)
+        if io_before is not None:
+            io = self.db.disk.counters.snapshot().minus(io_before)
+            tracer.event(
+                "query.execute",
+                ts=start,
+                dur=round(self.db.now - start, 6),
+                rows=count,
+                status=self.status.value,
+                pages_read=io.pages_read,
+                pages_written=io.pages_written,
+            )
         return ExecutionResult(
             status=self.status, rows=produced, elapsed=self.db.now - start
         )
@@ -246,8 +260,17 @@ class QuerySession:
         controller = self.runtime.controller
         controller.suppress()
         start = self.db.now
+        tracer = self.runtime.tracer
+        io_before = self.db.disk.counters.snapshot() if tracer.enabled else None
         try:
             chosen = options.plan
+            # With tracing on, build the cost model here once so the
+            # per-operator decision events can carry the MIP's objective
+            # terms for every strategy (including STATIC and caller-
+            # supplied plans, which never build one themselves).
+            cost_model = (
+                build_cost_model(self.runtime) if tracer.enabled else None
+            )
             if chosen is None:
                 if options.strategy is SuspendStrategy.STATIC:
                     chosen = choose_static_plan(self.runtime)
@@ -256,13 +279,21 @@ class QuerySession:
                         self.runtime,
                         strategy=options.strategy.value,
                         budget=options.budget,
+                        model=cost_model,
                     )
             else:
                 # Caller-supplied plans are validated against the live
                 # topology and c_{i,j} restrictions before being trusted.
                 validate_suspend_plan(
-                    chosen, build_cost_model(self.runtime).topology()
+                    chosen,
+                    (
+                        cost_model
+                        if cost_model is not None
+                        else build_cost_model(self.runtime)
+                    ).topology(),
                 )
+            if cost_model is not None:
+                self._trace_suspend_plan(tracer, chosen, cost_model, options)
             sq = SuspendedQuery(
                 plan_spec=self.plan_spec,
                 suspend_plan=chosen,
@@ -279,6 +310,20 @@ class QuerySession:
             controller.unsuppress()
         self.last_suspend_cost = self.db.now - start
         self.last_suspend_plan = chosen
+        if io_before is not None:
+            io = self.db.disk.counters.snapshot().minus(io_before)
+            tracer.event(
+                "query.suspend",
+                ts=start,
+                dur=round(self.last_suspend_cost, 6),
+                plan_source=chosen.source,
+                budget=options.budget,
+                actual_cost=round(self.last_suspend_cost, 6),
+                pages_written=io.pages_written,
+            )
+            tracer.metrics.histogram("suspend_cost").observe(
+                self.last_suspend_cost
+            )
         # Release all memory resources: the operator tree is discarded.
         self.close()
         self.status = QueryStatus.SUSPENDED
@@ -294,9 +339,49 @@ class QuerySession:
                 else ImageStore(persist_to)
             )
             self.last_image = image_store.save(
-                sq, self.db.state_store, image_id=image_id, meta=image_meta
+                sq,
+                self.db.state_store,
+                image_id=image_id,
+                meta=image_meta,
+                tracer=self.runtime.tracer,
             )
         return sq
+
+    def _trace_suspend_plan(self, tracer, plan, model, options) -> None:
+        """Emit ``suspend.plan`` plus one ``mip.decision`` per operator."""
+        est = estimate_plan_cost(plan, model)
+        tracer.event(
+            "suspend.plan",
+            source=plan.source,
+            strategy=options.strategy.value,
+            budget=options.budget,
+            est_suspend=round(est.suspend, 6),
+            est_resume=round(est.resume, 6),
+            num_ops=len(model.op_ids),
+        )
+        metrics = tracer.metrics
+        for op_id in sorted(model.op_ids):
+            decision = plan.decision(op_id)
+            fields = {
+                "op": op_id,
+                "op_name": self.runtime.ops[op_id].name,
+                "strategy": decision.strategy.value,
+                "dump_suspend_cost": round(model.d_s[op_id], 6),
+                "dump_resume_cost": round(model.d_r[op_id], 6),
+            }
+            if decision.strategy is Strategy.GOBACK:
+                anchor = decision.goback_anchor
+                fields["goback_anchor"] = anchor
+                fields["goback_suspend_cost"] = round(
+                    model.g_s.get((op_id, anchor), 0.0), 6
+                )
+                fields["goback_resume_cost"] = round(
+                    model.g_r.get((op_id, anchor), 0.0), 6
+                )
+            tracer.event("mip.decision", **fields)
+            metrics.counter(
+                "suspend_decisions_total", strategy=decision.strategy.value
+            ).inc()
 
     def close(self) -> None:
         """Release the operator tree and every heap resource it holds.
@@ -321,6 +406,7 @@ class QuerySession:
         config: Optional[EngineConfig] = None,
         priority: int = 0,
         name: Optional[str] = None,
+        tracer=None,
     ) -> "QuerySession":
         """Reconstruct a session from a SuspendedQuery.
 
@@ -336,13 +422,17 @@ class QuerySession:
         session.config = config or EngineConfig()
         session.priority = priority
         session.name = name
-        session.runtime = Runtime(db, session.config)
+        session.runtime = Runtime(db, session.config, tracer=tracer, query=name)
         session.rows = []
         session.last_suspend_cost = 0.0
         session.last_suspend_plan = sq.suspend_plan
         session.last_image = None
 
         start = db.now
+        session_tracer = session.runtime.tracer
+        io_before = (
+            db.disk.counters.snapshot() if session_tracer.enabled else None
+        )
         controller = session.runtime.controller
         controller.suppress()
         try:
@@ -356,6 +446,19 @@ class QuerySession:
         finally:
             controller.unsuppress()
         session.last_resume_cost = db.now - start
+        if io_before is not None:
+            io = db.disk.counters.snapshot().minus(io_before)
+            session_tracer.event(
+                "query.resume",
+                ts=start,
+                dur=round(session.last_resume_cost, 6),
+                plan_source=sq.suspend_plan.source,
+                pages_read=io.pages_read,
+                pages_written=io.pages_written,
+            )
+            session_tracer.metrics.histogram("resume_cost").observe(
+                session.last_resume_cost
+            )
         session.status = QueryStatus.RUNNING
         return session
 

@@ -74,7 +74,7 @@ def estimate_plan_cost(plan: SuspendPlan, model: SuspendCostModel) -> PlanCost:
 
 
 def build_lp_plan(
-    model: SuspendCostModel, budget: float = math.inf
+    model: SuspendCostModel, budget: float = math.inf, tracer=None
 ) -> SuspendPlan:
     """Solve the Section 5 MIP and decode the optimal suspend plan."""
     pairs = sorted(model.links)
@@ -162,6 +162,19 @@ def build_lp_plan(
     )
     b_ub = np.array(rhs)
     result = solve_binary_program(c, a_ub, b_ub)
+    if tracer is not None and tracer.enabled:
+        tracer.event(
+            "mip.solve",
+            variables=n,
+            constraints=len(rhs),
+            nodes_explored=result.nodes_explored,
+            objective=round(float(result.objective), 6),
+            feasible=result.feasible,
+            budget=budget,
+        )
+        tracer.metrics.counter("mip_nodes_explored_total").inc(
+            result.nodes_explored
+        )
     if not result.feasible:
         raise SuspendBudgetInfeasibleError(
             f"no valid suspend plan fits within budget {budget}"
@@ -267,14 +280,15 @@ def choose_suspend_plan(
     if model is None:
         model = build_cost_model(runtime)
     topo = model.topology()
+    tracer = getattr(runtime, "tracer", None)
     if strategy == "lp":
-        return build_lp_plan(model, budget=budget)
+        return build_lp_plan(model, budget=budget, tracer=tracer)
     if strategy == "dp":
         from repro.core.tree_optimizer import build_dp_plan
 
         if budget != math.inf:
             # The DP cannot encode the global budget constraint.
-            return build_lp_plan(model, budget=budget)
+            return build_lp_plan(model, budget=budget, tracer=tracer)
         return build_dp_plan(model)
     if strategy == "exhaustive":
         return exhaustive_best_plan(model, budget=budget)

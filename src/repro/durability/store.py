@@ -35,6 +35,7 @@ from repro.common.errors import ReproError
 from repro.core.suspended_query import SuspendedQuery
 from repro.durability import codec
 from repro.durability.faults import FaultInjector
+from repro.obs.tracer import NULL_TRACER
 from repro.durability.format import (
     BLOB_PREFIX,
     CONTROL_NAME,
@@ -121,6 +122,7 @@ class ImageStore:
         store: StateStore,
         image_id: Optional[str] = None,
         meta: Optional[dict] = None,
+        tracer=None,
     ) -> ImageInfo:
         """Commit a suspend image; returns its :class:`ImageInfo`.
 
@@ -136,10 +138,12 @@ class ImageStore:
         directory = os.path.join(self.root, image_id)
         if os.path.exists(os.path.join(directory, MANIFEST_NAME)):
             raise ValueError(f"image {image_id!r} already exists")
+        tracer = tracer if tracer is not None else NULL_TRACER
         injector = self.injector
         injector.point("begin")
         os.makedirs(directory, exist_ok=True)
 
+        commit_start = tracer.now()
         files: dict[str, dict] = {}
         blobs: list[dict] = []
         total = 0
@@ -157,6 +161,14 @@ class ImageStore:
             blobs.append({"file": name, "key": key, "pages": pages})
             blob_pages += pages
             total += len(data)
+        if tracer.enabled:
+            tracer.event(
+                "image.commit_step",
+                image_id=image_id,
+                step="blobs",
+                files=len(blobs),
+                pages=blob_pages,
+            )
 
         control = dump_json(codec.suspended_query_to_dict(sq))
         atomic_write(directory, CONTROL_NAME, control, injector)
@@ -165,6 +177,13 @@ class ImageStore:
             "bytes": len(control),
         }
         total += len(control)
+        if tracer.enabled:
+            tracer.event(
+                "image.commit_step",
+                image_id=image_id,
+                step="control",
+                bytes=len(control),
+            )
 
         manifest = {
             "layout_version": LAYOUT_VERSION,
@@ -180,6 +199,22 @@ class ImageStore:
         atomic_write(directory, MANIFEST_NAME, data, injector)
         fsync_dir(self.root)
         injector.point("committed")
+        if tracer.enabled:
+            # payload_bytes excludes the manifest: its wall-clock
+            # created_at makes the manifest length vary between runs,
+            # and trace records must stay byte-deterministic.
+            tracer.event(
+                "image.commit",
+                ts=commit_start,
+                dur=round(tracer.now() - commit_start, 6),
+                image_id=image_id,
+                num_blobs=len(blobs),
+                blob_pages=blob_pages,
+                payload_bytes=total,
+            )
+            metrics = tracer.metrics
+            metrics.counter("image_commits_total").inc()
+            metrics.counter("image_payload_bytes_total").inc(total)
         return ImageInfo(
             image_id=image_id,
             path=directory,
@@ -316,7 +351,7 @@ class ImageStore:
     # ------------------------------------------------------------------
     # Recovery scan
     # ------------------------------------------------------------------
-    def recover(self) -> RecoveryReport:
+    def recover(self, tracer=None) -> RecoveryReport:
         """Classify every root entry; quarantine torn/orphaned ones.
 
         - *committed*: a directory whose manifest parses and whose files
@@ -332,6 +367,7 @@ class ImageStore:
         root sees only committed images. The scan itself never raises on
         bad content — that is its purpose.
         """
+        tracer = tracer if tracer is not None else NULL_TRACER
         report = RecoveryReport()
         for name in sorted(os.listdir(self.root)):
             if name == QUARANTINE_DIR:
@@ -340,20 +376,37 @@ class ImageStore:
             if not os.path.isdir(path):
                 report.orphaned.append(name)
                 self._quarantine(name, report)
-                continue
-            entries = os.listdir(path)
-            has_manifest = MANIFEST_NAME in entries
-            has_image_files = any(
-                is_image_file(e) or e.endswith(TMP_SUFFIX) for e in entries
-            )
-            if has_manifest and not self.validate(name):
-                report.committed.append(name)
-            elif has_image_files:
-                report.torn.append(name)
-                self._quarantine(name, report)
+                status = "orphaned"
             else:
-                report.orphaned.append(name)
-                self._quarantine(name, report)
+                entries = os.listdir(path)
+                has_manifest = MANIFEST_NAME in entries
+                has_image_files = any(
+                    is_image_file(e) or e.endswith(TMP_SUFFIX)
+                    for e in entries
+                )
+                if has_manifest and not self.validate(name):
+                    report.committed.append(name)
+                    status = "committed"
+                elif has_image_files:
+                    report.torn.append(name)
+                    self._quarantine(name, report)
+                    status = "torn"
+                else:
+                    report.orphaned.append(name)
+                    self._quarantine(name, report)
+                    status = "orphaned"
+            if tracer.enabled:
+                tracer.event(
+                    "image.recover_entry", image_id=name, status=status
+                )
+        if tracer.enabled:
+            tracer.event(
+                "image.recover",
+                committed=len(report.committed),
+                torn=len(report.torn),
+                orphaned=len(report.orphaned),
+                quarantined=len(report.quarantined),
+            )
         return report
 
     def _quarantine(self, name: str, report: RecoveryReport) -> None:

@@ -78,6 +78,12 @@ class Operator:
         #: migration, footnote 3 of the paper).
         self._pending_rows: deque = deque()
         runtime.register(self)
+        #: Tracer bound with this operator's identity, and the hot-path
+        #: flag for sampled ``next()`` spans — both resolved once here so
+        #: ``next()`` pays a single attribute check when tracing is off.
+        self._tr = runtime.tracer.bind(op=self.op_id, op_name=self.name)
+        self._trace_next = self._tr.trace_next
+        self._next_sample_every = self._tr.next_sample_every
 
     # ------------------------------------------------------------------
     # Iterator interface
@@ -96,6 +102,8 @@ class Operator:
     def next(self) -> Optional[Row]:
         """Return the next output row, or None when exhausted."""
         self.rt.poll()
+        if self._trace_next:
+            return self._next_traced()
         if self._pending_rows:
             row = self._pending_rows.popleft()
         else:
@@ -103,6 +111,29 @@ class Operator:
         if row is not None:
             self.tuples_emitted += 1
             self.charge_cpu(1)
+        return row
+
+    def _next_traced(self) -> Optional[Row]:
+        """``next()`` under an enabled tracer: every Nth call is a span."""
+        if self.tuples_emitted % self._next_sample_every != 0:
+            if self._pending_rows:
+                row = self._pending_rows.popleft()
+            else:
+                row = self._next()
+            if row is not None:
+                self.tuples_emitted += 1
+                self.charge_cpu(1)
+            return row
+        with self._tr.span("op.next", emitted=self.tuples_emitted) as rec:
+            row = None
+            if self._pending_rows:
+                row = self._pending_rows.popleft()
+            else:
+                row = self._next()
+            if row is not None:
+                self.tuples_emitted += 1
+                self.charge_cpu(1)
+            rec["produced"] = row is not None
         return row
 
     def close(self) -> None:
@@ -195,6 +226,12 @@ class Operator:
         if not self.rt.config.proactive_checkpointing:
             ck = self.rt.graph.latest_checkpoint(self.op_id)
             if ck is not None:
+                if self._tr.enabled:
+                    self._tr.event(
+                        "checkpoint.skipped",
+                        reason="proactive_checkpointing_disabled",
+                        emitted=self.tuples_emitted,
+                    )
                 return None  # ablation mode: keep only the initial checkpoint
         graph = self.rt.graph
         ckpt = Checkpoint(
@@ -209,19 +246,33 @@ class Operator:
         graph.add_checkpoint(ckpt)
         for child in self.children:
             child.sign_contract(anchor_ckpt=ckpt)
+        migrated = 0
         if self.rt.config.contract_migration:
-            graph.migrate_contracts(
+            migrated = graph.migrate_contracts(
                 self.op_id,
                 ckpt,
                 self.tuples_emitted,
                 self.control_state(),
                 self.work,
             )
-        graph.prune()
+        pruned = graph.prune()
         if self.rt.config.check_invariants:
             graph.check_theorem1_bound(
                 num_operators=len(self.rt.ops), height=self.rt.plan_height()
             )
+        if self._tr.enabled:
+            self._tr.event(
+                "checkpoint.taken",
+                ckpt_seq=ckpt.seq,
+                reactive=ckpt.reactive,
+                emitted=self.tuples_emitted,
+                work=round(self.work, 6),
+                migrated=migrated,
+                pruned=pruned,
+            )
+            self._tr.metrics.counter(
+                "checkpoints_taken_total", op=self.name
+            ).inc()
         return ckpt
 
     def sign_contract(
@@ -262,6 +313,21 @@ class Operator:
                 anchor_contract=contract
             )
         graph.add_contract(contract)
+        if self._tr.enabled:
+            self._tr.event(
+                "contract.signed",
+                parent=self.parent.op_id if self.parent else None,
+                anchor="checkpoint" if anchor_ckpt is not None else (
+                    "contract" if anchor_contract is not None else "root"
+                ),
+                fulfilling_op=fulfilling.op_id,
+                fulfilling_seq=fulfilling.seq,
+                reactive=fulfilling.reactive,
+                emitted=self.tuples_emitted,
+            )
+            self._tr.metrics.counter(
+                "contracts_signed_total", op=self.name
+            ).inc()
         return contract
 
     def _full_state_checkpoint(self) -> Checkpoint:
@@ -368,6 +434,7 @@ class Operator:
             saved_rows=list(self._pending_rows),
         )
         ctx.sq.add_entry(entry)
+        self._trace_suspend_entry(entry, handle)
         for child in self.children:
             child.do_suspend(ctx)
 
@@ -384,6 +451,7 @@ class Operator:
             saved_rows=list(contract.saved_rows),
         )
         ctx.sq.add_entry(entry)
+        self._trace_suspend_entry(entry, handle)
         # Heap children have not moved since the contract was signed (the
         # c_{i,j} restriction guarantees the same batch), so they suspend
         # to their current positions; stream children are repositioned via
@@ -447,6 +515,35 @@ class Operator:
             saved_rows=saved,
         )
         ctx.sq.add_entry(entry)
+        if self._tr.enabled:
+            self._tr.event(
+                "op.suspend",
+                kind=KIND_GOBACK,
+                ckpt_op=ckpt.op_id,
+                ckpt_seq=ckpt.seq,
+                saved_rows=len(saved),
+            )
+            self._tr.metrics.counter("suspend_goback_entries_total").inc()
+
+    def _trace_suspend_entry(self, entry: OpSuspendEntry, handle) -> None:
+        """Emit the ``op.suspend`` event for a dump-style entry."""
+        if not self._tr.enabled:
+            return
+        pages = handle.pages if handle is not None else 0
+        self._tr.event(
+            "op.suspend",
+            kind=entry.kind,
+            dump_pages=pages,
+            saved_rows=len(entry.saved_rows),
+        )
+        metrics = self._tr.metrics
+        metrics.counter("suspend_dump_entries_total").inc()
+        if pages:
+            metrics.counter("suspend_dump_pages_total").inc(pages)
+            page_bytes = self.rt.disk.cost_model.page_bytes
+            metrics.counter("heap_bytes_checkpointed_total").inc(
+                pages * page_bytes
+            )
 
     def _dump_heap_state(self, ctx: SuspendContext) -> Optional[DumpHandle]:
         """Write the heap state to the state store; None when empty."""
@@ -474,6 +571,7 @@ class Operator:
         self.is_open = True
         entry = ctx.sq.entry(self.op_id)
         self._pending_rows = deque(entry.saved_rows)
+        start = self.rt.disk.now
         if entry.kind in (KIND_DUMP, KIND_DUMP_TO_CONTRACT):
             payload = None
             if entry.dump_handle is not None:
@@ -482,6 +580,20 @@ class Operator:
             self._resume_from_dump(entry, payload, ctx)
         else:
             self._resume_goback(entry, ctx)
+        if self._tr.enabled:
+            # The span covers only this operator's own restore (children
+            # resumed above, before ``start``); for GoBack entries its
+            # duration is exactly the redo work Equation (2) charges.
+            redo = round(self.rt.disk.now - start, 6)
+            self._tr.event(
+                "op.resume", ts=start, dur=redo, kind=entry.kind
+            )
+            if entry.kind == KIND_GOBACK:
+                self._tr.metrics.histogram("resume_redo_work").observe(redo)
+            elif entry.dump_handle is not None:
+                self._tr.metrics.counter("resume_pages_loaded_total").inc(
+                    entry.dump_handle.pages
+                )
         # Output counting restarts at zero in the resumed process; only
         # deltas matter from here on.
 

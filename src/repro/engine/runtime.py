@@ -17,6 +17,7 @@ from repro.core.contract_graph import ContractGraph
 from repro.core.strategies import SuspendPlan
 from repro.core.suspended_query import SuspendedQuery
 from repro.engine.config import EngineConfig
+from repro.obs.tracer import Tracer, current_tracer
 from repro.storage.database import Database
 from repro.storage.disk import SimulatedDisk
 from repro.storage.statefile import StateStore
@@ -74,10 +75,22 @@ class SuspendController:
 class Runtime:
     """Shared execution context of one query."""
 
-    def __init__(self, db: Database, config: Optional[EngineConfig] = None):
+    def __init__(
+        self,
+        db: Database,
+        config: Optional[EngineConfig] = None,
+        tracer: Optional[Tracer] = None,
+        query: Optional[str] = None,
+    ):
         self.db = db
         self.config = config or EngineConfig()
-        self.graph = ContractGraph()
+        #: The runtime's tracer, bound to the virtual clock and (when
+        #: known) the query name. Defaults to the process-wide tracer
+        #: (:func:`repro.obs.tracer.current_tracer`), which is the no-op
+        #: NullTracer unless tracing was explicitly enabled.
+        base_tracer = tracer if tracer is not None else current_tracer()
+        self.tracer = base_tracer.bind(clock=db.disk.clock, query=query)
+        self.graph = ContractGraph(tracer=self.tracer)
         self.controller = SuspendController()
         self.ops: dict[int, "Operator"] = {}
         self.ops_by_name: dict[str, "Operator"] = {}

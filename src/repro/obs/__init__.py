@@ -1,0 +1,79 @@
+"""Observability: structured tracing, metrics, and trace exporters.
+
+The paper's machinery — proactive checkpoint placement (Section 4),
+contract-graph growth against the Theorem 1 bound, and the online MIP's
+per-operator DumpState-vs-GoBack decisions (Section 5) — runs inside
+operators where nothing external can see it. This package makes the
+whole suspend/resume lifecycle observable:
+
+- :class:`Tracer` (:mod:`repro.obs.tracer`) — typed span/event records
+  on the virtual clock, a no-op :class:`NullTracer` default so untraced
+  runs pay nothing, and ``bind()`` context propagation;
+- :class:`MetricsRegistry` (:mod:`repro.obs.metrics`) — counters,
+  gauges, fixed-bucket histograms; the scheduler's public stats are
+  views over one of these;
+- exporters (:mod:`repro.obs.export`) — deterministic JSONL, Chrome
+  ``trace_event`` JSON (opens in Perfetto), and a plain-text metrics
+  snapshot.
+
+Enable tracing for any block of code::
+
+    from repro.obs import Tracer, use_tracer, write_jsonl
+
+    tracer = Tracer(next_sample_every=64)
+    with use_tracer(tracer):
+        ...  # run sessions / schedulers as usual
+    write_jsonl(tracer.records, "out.jsonl")
+
+or pass a tracer explicitly to ``QuerySession(..., tracer=...)`` /
+``SchedulerConfig(tracer=...)``. The CLI exposes the same via
+``--trace``/``--metrics`` flags and the ``repro trace`` subcommand.
+"""
+
+from repro.obs.export import (
+    read_jsonl,
+    render_summary,
+    summarize,
+    to_chrome_trace,
+    trace_lines,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracer import (
+    NULL_TRACER,
+    TRACE_FORMAT_VERSION,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    set_current_tracer,
+    use_tracer,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "TRACE_FORMAT_VERSION",
+    "Tracer",
+    "current_tracer",
+    "read_jsonl",
+    "render_summary",
+    "set_current_tracer",
+    "summarize",
+    "to_chrome_trace",
+    "trace_lines",
+    "use_tracer",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -61,6 +61,20 @@ class PressurePolicy:
         return f"<{type(self).__name__} {self.name!r}>"
 
 
+def _trace_pressure(scheduler, record, excess, victims, action) -> None:
+    """Emit the victim-selection decision onto the scheduler's tracer."""
+    tracer = scheduler.tracer
+    if not tracer.enabled:
+        return
+    tracer.event(
+        "sched.pressure",
+        query=record.name,
+        excess=excess,
+        action=action,
+        victims=[v.name for v in victims],
+    )
+
+
 class SuspendResumePolicy(PressurePolicy):
     """Suspend victims with the online optimizer; resume them later."""
 
@@ -71,6 +85,7 @@ class SuspendResumePolicy(PressurePolicy):
         if excess <= 0:
             return True
         victims = select_victims(scheduler.victim_candidates(record), excess)
+        _trace_pressure(scheduler, record, excess, victims, "suspend")
         for victim in victims:
             scheduler.suspend_victim(victim)
         return scheduler.pressure_excess(record) <= 0
@@ -86,6 +101,7 @@ class KillRestartPolicy(PressurePolicy):
         if excess <= 0:
             return True
         victims = select_victims(scheduler.victim_candidates(record), excess)
+        _trace_pressure(scheduler, record, excess, victims, "kill")
         for victim in victims:
             scheduler.kill_victim(victim)
         return scheduler.pressure_excess(record) <= 0
@@ -97,7 +113,10 @@ class WaitPolicy(PressurePolicy):
     name = "wait"
 
     def make_room(self, scheduler, record):
-        return scheduler.pressure_excess(record) <= 0
+        excess = scheduler.pressure_excess(record)
+        if excess > 0:
+            _trace_pressure(scheduler, record, excess, [], "wait")
+        return excess <= 0
 
 
 POLICIES: dict[str, type[PressurePolicy]] = {

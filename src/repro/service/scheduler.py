@@ -43,6 +43,7 @@ from repro.core.lifecycle import (
 )
 from repro.core.suspended_query import SuspendedQuery
 from repro.engine.config import EngineConfig
+from repro.obs.tracer import Tracer, current_tracer
 from repro.service.policies import PressurePolicy, get_policy
 from repro.service.stats import QueryStats, SchedulerStats, TimelineEvent
 from repro.service.trace import ArrivalTrace, QueryArrival, Workload
@@ -95,6 +96,10 @@ class SchedulerConfig:
     engine_config: Optional[EngineConfig] = None
     collect_rows: bool = True
     image_store: Union["ImageStore", str, None] = None
+    #: Observability tracer for this run; defaults to the process-wide
+    #: tracer (:func:`repro.obs.tracer.current_tracer`), a no-op unless
+    #: tracing was explicitly enabled.
+    tracer: Optional[Tracer] = None
 
 
 @dataclass
@@ -133,7 +138,19 @@ class QueryScheduler:
         self.policy = get_policy(self.config.policy)
         self.image_store = self._resolve_image_store(self.config.image_store)
         self.records: list[QueryRecord] = []
-        self.stats = SchedulerStats(policy=self.policy.name)
+        base_tracer = (
+            self.config.tracer
+            if self.config.tracer is not None
+            else current_tracer()
+        )
+        self.tracer = base_tracer.bind(clock=db.disk.clock)
+        # With tracing on, the stats views and the tracer share one
+        # registry, so scheduler counters and tracer metrics are the same
+        # numbers; a NullTracer has no registry to share.
+        self.stats = SchedulerStats(
+            policy=self.policy.name,
+            registry=self.tracer.metrics if self.tracer.enabled else None,
+        )
         self._pending: list[QueryRecord] = []  # not yet admitted, by time
         self._ran = False
 
@@ -169,10 +186,8 @@ class QueryScheduler:
         record = QueryRecord(
             arrival=arrival,
             seq=len(self.records),
-            stats=QueryStats(
-                name=arrival.name,
-                priority=arrival.priority,
-                arrival_time=arrival.arrival_time,
+            stats=self.stats.track(
+                arrival.name, arrival.priority, arrival.arrival_time
             ),
         )
         self.records.append(record)
@@ -309,7 +324,6 @@ class QueryScheduler:
         victim.session = None
         victim.state = QueryState.SUSPENDED
         victim.stats.suspends += 1
-        self.stats.suspends += 1
         if self.image_store is not None:
             if victim.image_id is not None:
                 # Supersede the spill from an earlier suspend of this query.
@@ -319,10 +333,10 @@ class QueryScheduler:
                 self.db.state_store,
                 image_id=f"{victim.name}-s{victim.stats.suspends}",
                 meta={"query": victim.name, "priority": victim.priority},
+                tracer=self.tracer,
             )
             victim.image_id = info.image_id
             victim.stats.durable_spills += 1
-            self.stats.durable_spills += 1
             self._mark("spill", victim)
         self._mark("suspend", victim)
 
@@ -335,7 +349,6 @@ class QueryScheduler:
         victim.stats.rows_emitted = 0
         victim.state = QueryState.WAITING
         victim.stats.kills += 1
-        self.stats.kills += 1
         self._mark("kill", victim)
 
     # ------------------------------------------------------------------
@@ -380,6 +393,7 @@ class QueryScheduler:
             config=self.config.engine_config,
             priority=record.priority,
             name=record.name,
+            tracer=self.tracer if self.tracer.enabled else None,
         )
         record.state = QueryState.READY
         if record.stats.first_started_at is None:
@@ -395,6 +409,7 @@ class QueryScheduler:
             config=self.config.engine_config,
             priority=record.priority,
             name=record.name,
+            tracer=self.tracer if self.tracer.enabled else None,
         )
         arrived = self._admit_due()
         preempted = self.config.memory_budget is not None and any(
@@ -408,19 +423,27 @@ class QueryScheduler:
             # no new suspend phase is paid, only the wasted resume I/O.
             session.close()
             record.stats.discarded_resumes += 1
-            self.stats.discarded_resumes += 1
             self._mark("discard-resume", record)
             return False
         record.session = session
         record.sq = None
         record.state = QueryState.READY
         record.stats.resumes += 1
-        self.stats.resumes += 1
         self._mark("resume", record)
         return True
 
     def _quantum(self, record: QueryRecord) -> None:
-        result = record.session.execute(max_rows=self.config.quantum_rows)
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "sched.quantum", query=record.name
+            ) as span:
+                result = record.session.execute(
+                    max_rows=self.config.quantum_rows
+                )
+                span["rows"] = len(result.rows)
+                span["status"] = result.status.value
+        else:
+            result = record.session.execute(max_rows=self.config.quantum_rows)
         record.stats.rows_emitted += len(result.rows)
         if self.config.collect_rows:
             record.rows.extend(result.rows)
@@ -447,11 +470,16 @@ class QueryScheduler:
 
     def _mark(self, event: str, record: QueryRecord) -> None:
         self._note_memory()
+        memory = self.total_live_memory()
         self.stats.timeline.append(
             TimelineEvent(
                 time=self.db.now,
                 event=event,
                 query=record.name,
-                memory_bytes=self.total_live_memory(),
+                memory_bytes=memory,
             )
         )
+        if self.tracer.enabled:
+            self.tracer.event(
+                f"sched.{event}", query=record.name, memory_bytes=memory
+            )

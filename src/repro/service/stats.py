@@ -3,12 +3,24 @@
 Everything is exposed as plain dicts (``as_dict`` / ``query_rows``) so
 tests, the CLI, and the harness report tables consume the same numbers
 without reaching into scheduler internals.
+
+Both stats classes are *views over* a
+:class:`~repro.obs.metrics.MetricsRegistry` rather than bags of ints:
+each :class:`QueryStats` lifecycle counter is a labeled counter series
+(``query_suspends_total{query="q_lo"}`` and friends), and the
+whole-run aggregates on :class:`SchedulerStats` are **derived** — they
+sum the per-query series via :meth:`MetricsRegistry.total`. There is no
+second accumulation site, so the aggregate and per-query numbers (and
+any tracer metrics sharing the registry) cannot disagree; historically
+``durable_spills`` was incremented in two places and could drift.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -33,21 +45,61 @@ class TimelineEvent:
         }
 
 
-@dataclass
-class QueryStats:
-    """Lifecycle accounting for one admitted query."""
+#: QueryStats lifecycle counters, each backed by one registry series
+#: named ``query_<field>_total`` with a ``query=<name>`` label.
+QUERY_COUNTER_FIELDS = (
+    "suspends",
+    "resumes",
+    "kills",
+    "discarded_resumes",
+    "durable_spills",
+    "rows_emitted",
+)
 
-    name: str
-    priority: int
-    arrival_time: float
-    first_started_at: Optional[float] = None
-    completed_at: Optional[float] = None
-    suspends: int = 0
-    resumes: int = 0
-    kills: int = 0
-    discarded_resumes: int = 0
-    durable_spills: int = 0
-    rows_emitted: int = 0
+
+def _query_counter_property(field_name: str) -> property:
+    metric = f"query_{field_name}_total"
+
+    def getter(self):
+        return self._registry.counter(metric, query=self.name).value
+
+    def setter(self, value):
+        # Settable (not just incrementable) because a kill legitimately
+        # resets a query's emitted-row count to zero.
+        self._registry.counter(metric, query=self.name).set(value)
+
+    getter.__name__ = field_name
+    return property(getter, setter)
+
+
+class QueryStats:
+    """Lifecycle accounting for one admitted query.
+
+    The int-valued fields read and write labeled counters in the
+    scheduler's metrics registry; ``stats.suspends += 1`` still works,
+    it just lands in ``query_suspends_total{query=...}``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        priority: int,
+        arrival_time: float,
+        registry: Optional[MetricsRegistry] = None,
+    ):
+        self.name = name
+        self.priority = priority
+        self.arrival_time = arrival_time
+        self.first_started_at: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self._registry = registry if registry is not None else MetricsRegistry()
+
+    suspends = _query_counter_property("suspends")
+    resumes = _query_counter_property("resumes")
+    kills = _query_counter_property("kills")
+    discarded_resumes = _query_counter_property("discarded_resumes")
+    durable_spills = _query_counter_property("durable_spills")
+    rows_emitted = _query_counter_property("rows_emitted")
 
     @property
     def wait(self) -> Optional[float]:
@@ -81,23 +133,73 @@ class QueryStats:
         }
 
 
-@dataclass
-class SchedulerStats:
-    """Aggregate counters for one scheduler run."""
+def _derived_total_property(field_name: str) -> property:
+    metric = f"query_{field_name}_total"
 
-    policy: str
-    queries_admitted: int = 0
-    queries_completed: int = 0
-    suspends: int = 0
-    resumes: int = 0
-    kills: int = 0
-    discarded_resumes: int = 0
-    durable_spills: int = 0
-    peak_memory: int = 0
-    started_at: float = 0.0
-    finished_at: float = 0.0
-    per_query: dict[str, QueryStats] = field(default_factory=dict)
-    timeline: list[TimelineEvent] = field(default_factory=list)
+    def getter(self):
+        return int(self.registry.total(metric))
+
+    getter.__name__ = field_name
+    getter.__doc__ = (
+        f"Sum of ``{metric}`` across every tracked query (read-only)."
+    )
+    return property(getter)
+
+
+def _scheduler_counter_property(field_name: str) -> property:
+    metric = f"scheduler_{field_name}_total"
+
+    def getter(self):
+        return self.registry.counter(metric).value
+
+    def setter(self, value):
+        self.registry.counter(metric).set(value)
+
+    getter.__name__ = field_name
+    return property(getter, setter)
+
+
+class SchedulerStats:
+    """Aggregate counters for one scheduler run.
+
+    Per-event aggregates (``suspends``, ``resumes``, ``kills``,
+    ``discarded_resumes``, ``durable_spills``) are read-only sums of
+    the per-query counter series — there is nothing separate to
+    increment, and therefore nothing that can drift out of parity.
+    """
+
+    def __init__(
+        self, policy: str, registry: Optional[MetricsRegistry] = None
+    ):
+        self.policy = policy
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.started_at: float = 0.0
+        self.finished_at: float = 0.0
+        self.per_query: dict[str, QueryStats] = {}
+        self.timeline: list[TimelineEvent] = []
+
+    def track(
+        self, name: str, priority: int, arrival_time: float
+    ) -> QueryStats:
+        """A new :class:`QueryStats` wired to this run's registry."""
+        return QueryStats(name, priority, arrival_time, registry=self.registry)
+
+    queries_admitted = _scheduler_counter_property("queries_admitted")
+    queries_completed = _scheduler_counter_property("queries_completed")
+
+    suspends = _derived_total_property("suspends")
+    resumes = _derived_total_property("resumes")
+    kills = _derived_total_property("kills")
+    discarded_resumes = _derived_total_property("discarded_resumes")
+    durable_spills = _derived_total_property("durable_spills")
+
+    @property
+    def peak_memory(self) -> int:
+        return self.registry.gauge("scheduler_peak_memory_bytes").value
+
+    @peak_memory.setter
+    def peak_memory(self, value: int) -> None:
+        self.registry.gauge("scheduler_peak_memory_bytes").set(value)
 
     @property
     def makespan(self) -> float:

@@ -1,0 +1,119 @@
+"""Metrics registry unit tests: counters, gauges, histograms, snapshots."""
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, MetricsRegistry
+
+
+class TestCounter:
+    def test_inc_and_set(self):
+        reg = MetricsRegistry()
+        c = reg.counter("rows_total")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        c.set(2)
+        assert c.value == 2
+
+    def test_labels_make_distinct_series(self):
+        reg = MetricsRegistry()
+        reg.counter("rows_total", query="a").inc(1)
+        reg.counter("rows_total", query="b").inc(2)
+        assert reg.counter("rows_total", query="a").value == 1
+        assert reg.counter("rows_total", query="b").value == 2
+
+    def test_total_sums_all_series_of_a_name(self):
+        reg = MetricsRegistry()
+        reg.counter("rows_total", query="a").inc(1)
+        reg.counter("rows_total", query="b").inc(2)
+        reg.counter("other_total").inc(100)
+        reg.gauge("rows_total_gauge").set(50)
+        assert reg.total("rows_total") == 3
+        assert reg.total("missing") == 0
+
+
+class TestGauge:
+    def test_set_and_max(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("live_bytes")
+        g.set(10)
+        g.max(5)
+        assert g.value == 10
+        g.max(20)
+        assert g.value == 20
+
+
+class TestHistogram:
+    def test_observe_buckets_and_overflow(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("cost", boundaries=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        assert h.bucket_counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.sum == pytest.approx(106.5)
+        assert h.value == {"count": 4, "sum": 106.5}
+
+    def test_default_buckets_are_sorted_and_fixed(self):
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+        h = MetricsRegistry().histogram("cost")
+        assert h.boundaries == tuple(float(b) for b in DEFAULT_BUCKETS)
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("cost", boundaries=(5.0, 1.0))
+
+
+class TestRegistrySnapshots:
+    def test_same_name_different_kind_coexist(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.gauge("x").set(7)
+        assert reg.counter("x").value == 1
+        assert reg.gauge("x").value == 7
+
+    def test_as_dict_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("c_total", query="q").inc(3)
+        reg.gauge("g").set(9)
+        reg.histogram("h", boundaries=(1.0,)).observe(0.5)
+        snap = reg.as_dict()
+        assert snap["counters"] == {'c_total{query="q"}': 3}
+        assert snap["gauges"] == {"g": 9}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["histograms"]["h"]["buckets"] == {"1.0": 1, "+inf": 0}
+
+    def test_render_text_is_sorted_and_cumulative(self):
+        reg = MetricsRegistry()
+        reg.counter("b_total").inc(2)
+        reg.counter("a_total", query="q").inc(1)
+        h = reg.histogram("h", boundaries=(1.0, 2.0))
+        h.observe(0.5)
+        h.observe(1.5)
+        text = reg.render_text()
+        assert text.splitlines() == [
+            'a_total{query="q"} 1',
+            "b_total 2",
+            'h_bucket{le="1.0"} 1',
+            'h_bucket{le="2.0"} 2',
+            'h_bucket{le="+Inf"} 2',
+            "h_sum 2.0",
+            "h_count 2",
+        ]
+
+    def test_render_text_is_deterministic(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.counter("z_total").inc(1)
+            reg.counter("a_total").inc(2)
+            reg.histogram("h").observe(3.0)
+            return reg.render_text()
+
+        assert build() == build()
+
+    def test_len_counts_series(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        reg.counter("a", q="1")
+        reg.gauge("b")
+        assert len(reg) == 3

@@ -1,0 +1,111 @@
+"""Tracer unit tests: records, binding, spans, and the null path."""
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    TRACE_FORMAT_VERSION,
+    NullTracer,
+    Tracer,
+    current_tracer,
+    set_current_tracer,
+    use_tracer,
+)
+from repro.storage.disk import VirtualClock
+
+
+class TestTracer:
+    def test_root_opens_with_versioned_meta(self):
+        tracer = Tracer()
+        assert tracer.records[0] == {
+            "type": "trace.meta",
+            "ts": 0.0,
+            "seq": 0,
+            "version": TRACE_FORMAT_VERSION,
+        }
+
+    def test_event_envelope_and_sequence(self):
+        tracer = Tracer()
+        a = tracer.event("a", ts=1.5, detail="x")
+        b = tracer.event("b", ts=2.0)
+        assert a["type"] == "a" and a["detail"] == "x"
+        assert b["seq"] == a["seq"] + 1
+        assert tracer.records[-2:] == [a, b]
+
+    def test_bind_shares_sink_and_merges_fields(self):
+        tracer = Tracer()
+        bound = tracer.bind(query="q1")
+        nested = bound.bind(op=3)
+        nested.event("x", ts=0.0)
+        record = tracer.records[-1]
+        assert record["query"] == "q1" and record["op"] == 3
+
+    def test_bind_ignores_none_fields(self):
+        bound = Tracer().bind(query=None)
+        record = bound.event("x", ts=0.0)
+        assert "query" not in record
+
+    def test_bound_clock_drives_timestamps(self):
+        clock = VirtualClock()
+        tracer = Tracer().bind(clock=clock)
+        clock.advance(4.25)
+        assert tracer.event("x")["ts"] == 4.25
+
+    def test_span_measures_virtual_time_and_takes_result_fields(self):
+        clock = VirtualClock()
+        tracer = Tracer().bind(clock=clock)
+        with tracer.span("work", op=1) as rec:
+            clock.advance(3.0)
+            rec["rows"] = 7
+        record = tracer.records[-1]
+        assert record["dur"] == 3.0
+        assert record["rows"] == 7 and record["op"] == 1
+
+    def test_span_records_even_when_block_raises(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("work"):
+                raise RuntimeError("interrupted")
+        assert tracer.records[-1]["type"] == "work"
+
+    def test_metrics_registry_is_shared_across_bindings(self):
+        tracer = Tracer()
+        tracer.bind(query="q").metrics.counter("c").inc()
+        assert tracer.metrics.counter("c").value == 1
+
+
+class TestNullTracer:
+    def test_singleton_is_disabled_and_inert(self):
+        assert NULL_TRACER.enabled is False
+        assert NULL_TRACER.bind(query="q") is NULL_TRACER
+        assert NULL_TRACER.event("x") is None
+        assert NULL_TRACER.records == []
+        assert NULL_TRACER.trace_next is False
+        assert NULL_TRACER.next_sample_every == 0
+        with NULL_TRACER.span("x") as rec:
+            rec["anything"] = 1  # must tolerate writes
+
+    def test_metrics_are_throwaway(self):
+        NULL_TRACER.metrics.counter("c").inc()
+        assert NULL_TRACER.metrics.counter("c").value == 0
+
+    def test_null_is_a_tracer(self):
+        assert isinstance(NullTracer(), Tracer)
+
+
+class TestCurrentTracer:
+    def test_default_is_null(self):
+        assert current_tracer() is NULL_TRACER
+
+    def test_use_tracer_scopes_and_restores(self):
+        tracer = Tracer()
+        with use_tracer(tracer):
+            assert current_tracer() is tracer
+        assert current_tracer() is NULL_TRACER
+
+    def test_set_current_tracer_none_clears(self):
+        tracer = Tracer()
+        set_current_tracer(tracer)
+        assert current_tracer() is tracer
+        set_current_tracer(None)
+        assert current_tracer() is NULL_TRACER

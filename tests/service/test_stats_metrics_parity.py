@@ -1,0 +1,156 @@
+"""Stats-on-metrics parity: the public stats are views over a registry.
+
+``SchedulerStats``/``QueryStats`` keep their public fields, but every
+counter now lives in one :class:`~repro.obs.MetricsRegistry` and the
+scheduler-wide aggregates are *derived* by summing the per-query series.
+That makes the historical ``durable_spills`` double-count (the scheduler
+used to bump both a per-query and an aggregate counter by hand) is
+structurally impossible: there is only one counter per quantity.
+"""
+
+import os
+
+import pytest
+
+from repro.obs import MetricsRegistry, Tracer
+from repro.service import QueryScheduler, SchedulerConfig
+from repro.service.stats import QueryStats, SchedulerStats
+from repro.service.trace import ArrivalTrace
+from repro.workloads.plans import (
+    mixed_priority_trace,
+    mixed_q_hi_plan,
+    mixed_q_lo_plan,
+)
+
+AGGREGATES = (
+    "suspends",
+    "resumes",
+    "kills",
+    "discarded_resumes",
+    "durable_spills",
+)
+
+
+def run_mixed(policy, image_store=None, tracer=None):
+    workload = mixed_priority_trace(scale=4, seed=1)
+    config = SchedulerConfig(
+        policy=policy,
+        memory_budget=workload.memory_budget,
+        suspend_budget=workload.suspend_budget,
+        image_store=image_store,
+        tracer=tracer,
+    )
+    scheduler = QueryScheduler(workload.db_factory(), config)
+    scheduler.submit_trace(workload.trace)
+    return scheduler.run()
+
+
+class TestUnitViews:
+    def test_query_counters_live_in_the_registry(self):
+        registry = MetricsRegistry()
+        stats = QueryStats("q", 1, 0.0, registry=registry)
+        stats.suspends += 1
+        stats.rows_emitted += 10
+        assert registry.counter("query_suspends_total", query="q").value == 1
+        assert (
+            registry.counter("query_rows_emitted_total", query="q").value
+            == 10
+        )
+        stats.rows_emitted = 0  # kill-restart resets the emitted count
+        assert stats.rows_emitted == 0
+
+    def test_scheduler_aggregates_are_derived_sums(self):
+        stats = SchedulerStats(policy="x")
+        a = stats.track("a", 0, 0.0)
+        b = stats.track("b", 1, 0.0)
+        a.suspends += 2
+        b.suspends += 1
+        b.durable_spills += 1
+        assert stats.suspends == 3
+        assert stats.durable_spills == 1
+
+    def test_aggregates_are_read_only(self):
+        stats = SchedulerStats(policy="x")
+        for field in AGGREGATES:
+            with pytest.raises(AttributeError):
+                setattr(stats, field, 99)
+
+
+@pytest.mark.parametrize("policy", ("suspend-resume", "kill-restart", "wait"))
+class TestParityAcrossPolicies:
+    def test_aggregates_equal_per_query_sums(self, policy, tmp_path):
+        stats = run_mixed(policy, image_store=str(tmp_path))
+        for field in AGGREGATES:
+            per_query = sum(
+                getattr(q, field) for q in stats.per_query.values()
+            )
+            assert getattr(stats, field) == per_query, field
+
+    def test_tracer_metrics_and_stats_are_one_set_of_numbers(
+        self, policy, tmp_path
+    ):
+        tracer = Tracer()
+        stats = run_mixed(policy, image_store=str(tmp_path), tracer=tracer)
+        for field in AGGREGATES:
+            assert getattr(stats, field) == tracer.metrics.total(
+                f"query_{field}_total"
+            ), field
+        assert stats.queries_completed == tracer.metrics.total(
+            "scheduler_queries_completed_total"
+        )
+
+
+class TestSpillCountedExactlyOnce:
+    """A query spilled twice supersedes its first image; each spill must
+    count exactly once, and completion garbage-collects the image."""
+
+    @pytest.fixture()
+    def double_suspend_run(self, tmp_path):
+        workload = mixed_priority_trace(scale=4, seed=1)
+        hi_at = [
+            a.arrival_time
+            for a in workload.trace.arrivals
+            if a.name == "q_hi"
+        ][0]
+        solo = hi_at / 0.45
+        trace = ArrivalTrace(name="double")
+        trace.add("q_lo", mixed_q_lo_plan(4), arrival_time=0.0, priority=0)
+        trace.add(
+            "q_hi1", mixed_q_hi_plan(4), arrival_time=0.3 * solo, priority=10
+        )
+        trace.add(
+            "q_hi2", mixed_q_hi_plan(4), arrival_time=0.7 * solo, priority=10
+        )
+        config = SchedulerConfig(
+            policy="suspend-resume",
+            memory_budget=workload.memory_budget,
+            suspend_budget=workload.suspend_budget,
+            image_store=str(tmp_path),
+        )
+        scheduler = QueryScheduler(workload.db_factory(), config)
+        scheduler.submit_trace(trace)
+        return scheduler.run(), tmp_path
+
+    def test_supersede_counts_each_spill_once(self, double_suspend_run):
+        stats, _ = double_suspend_run
+        victim = stats.per_query["q_lo"]
+        assert victim.suspends == 2
+        assert victim.durable_spills == 2
+        assert stats.durable_spills == 2
+        assert stats.durable_spills == sum(
+            q.durable_spills for q in stats.per_query.values()
+        )
+        assert (
+            sum(1 for e in stats.timeline if e.event == "spill")
+            == stats.durable_spills
+        )
+
+    def test_completion_gc_leaves_no_images(self, double_suspend_run):
+        stats, image_root = double_suspend_run
+        assert stats.queries_completed == 3
+        leftover = [
+            name
+            for name in os.listdir(image_root)
+            if not name.startswith(".")
+        ]
+        assert leftover == []

@@ -1,8 +1,11 @@
 """Unit tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import EXPERIMENTS, build_parser, main, run_demo
+from repro.obs import NULL_TRACER, current_tracer, read_jsonl
 
 
 class TestParser:
@@ -56,3 +59,86 @@ class TestExperiments:
         out = capsys.readouterr().out
         assert "Figure 11" in out
         assert "GoBack" in out and "DumpState" in out
+
+
+class TestObservabilityFlags:
+    def test_experiment_serve_writes_trace_and_metrics(self, tmp_path):
+        trace_path = tmp_path / "out.jsonl"
+        metrics_path = tmp_path / "out.metrics"
+        assert (
+            main(
+                [
+                    "experiment",
+                    "serve",
+                    "--trace",
+                    str(trace_path),
+                    "--metrics",
+                    str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        records = read_jsonl(str(trace_path))
+        types = {r["type"] for r in records}
+        # The acceptance criterion: checkpoints, per-operator MIP
+        # decisions, and scheduler quanta in one trace file.
+        assert {
+            "checkpoint.taken",
+            "mip.decision",
+            "sched.quantum",
+        } <= types
+        assert records[0]["type"] == "trace.meta"
+        assert "query_suspends_total" in metrics_path.read_text()
+        # The process default tracer is cleared after the run.
+        assert current_tracer() is NULL_TRACER
+
+    def test_workload_keeps_arrival_trace_flag(self, tmp_path):
+        trace_path = tmp_path / "wl.jsonl"
+        assert (
+            main(
+                [
+                    "workload",
+                    "--trace",
+                    "mixed",
+                    "--policy",
+                    "wait",
+                    "--trace-out",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        assert any(
+            r["type"].startswith("sched.")
+            for r in read_jsonl(str(trace_path))
+        )
+
+    def test_trace_summary_and_convert(self, tmp_path, capsys):
+        trace_path = tmp_path / "out.jsonl"
+        assert main(["demo", "--rows", "5", "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+
+        assert main(["trace", "summary", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "records" in out and "checkpoint.taken" in out
+
+        chrome_path = tmp_path / "out.chrome.json"
+        assert (
+            main(
+                [
+                    "trace",
+                    "convert",
+                    str(trace_path),
+                    "-o",
+                    str(chrome_path),
+                ]
+            )
+            == 0
+        )
+        doc = json.loads(chrome_path.read_text())
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert {"M", "X", "i"} <= phases
+
+    def test_untraced_run_installs_no_tracer(self, capsys):
+        assert main(["demo", "--rows", "5"]) == 0
+        assert current_tracer() is NULL_TRACER
