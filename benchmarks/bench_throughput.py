@@ -1,0 +1,343 @@
+"""Batched-execution throughput: rows/sec, row path vs vectorized path.
+
+The vectorized path (``Operator.next_batch``) must be a pure wall-clock
+optimization: identical output rows, identical virtual-clock totals,
+identical suspend/resume costs. This benchmark measures both paths on
+four pipelines —
+
+- **scan_filter_project**: Project(Filter(Scan R)) with a compiled
+  predicate/projection fused over page segments;
+- **hash_join**: SimpleHashJoin probe drain with a compiled key extractor;
+- **aggregation**: HashGroupAggregate partition/emit drain;
+- **mixed_scheduler**: four concurrent queries served by the
+  QueryScheduler in 64-row quanta (one batched drain per quantum) —
+
+and one **suspend_resume** cycle (execute → LP suspend → resume → finish)
+whose simulated suspend/resume costs must match bit-for-bit.
+
+Timings are best-of-N wall clock over freshly built databases (table
+generation is off the clock). The snapshot lands in ``BENCH_perf.json``
+at the repo root; the CI perf-smoke job runs the reduced-size suite
+(``--quick`` / ``REPRO_BENCH_QUICK=1``) and fails if the virtual-clock
+results diverge between paths. The full suite additionally enforces the
+>=3x rows/sec target on scan_filter_project and hash_join.
+
+Run directly (``python benchmarks/bench_throughput.py [--quick]``) or via
+pytest (``pytest benchmarks/bench_throughput.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.core.checkpoint import Checkpoint, Contract
+from repro.core.lifecycle import QuerySession, SuspendOptions, SuspendStrategy
+from repro.core.suspended_query import OpSuspendEntry
+from repro.engine.config import EngineConfig
+from repro.engine.plan import (
+    FilterSpec,
+    HashGroupAggSpec,
+    NLJSpec,
+    ProjectSpec,
+    ScanSpec,
+    SimpleHashJoinSpec,
+)
+from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
+from repro.relational.expressions import EquiJoinCondition, UniformSelect
+from repro.service.scheduler import QueryScheduler, SchedulerConfig
+from repro.storage.database import Database
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+SPEEDUP_TARGET = 3.0
+SNAPSHOT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_perf.json"
+
+
+def _sizes():
+    if QUICK:
+        return {"r": 12_000, "s": 1_500, "sched_r": 3_000, "repeats": 2}
+    return {"r": 60_000, "s": 5_000, "sched_r": 8_000, "repeats": 3}
+
+
+def _rows_cache():
+    sizes = _sizes()
+    return {
+        "R": generate_uniform_table(sizes["r"], seed=1),
+        "S": generate_uniform_table(sizes["s"], seed=2),
+        "SR": generate_uniform_table(sizes["sched_r"], seed=3),
+        "SS": generate_uniform_table(max(400, sizes["s"] // 4), seed=4),
+    }
+
+
+_ROWS = None
+
+
+def _db(tables) -> Database:
+    global _ROWS
+    if _ROWS is None:
+        _ROWS = _rows_cache()
+    db = Database()
+    for name in tables:
+        db.create_table(name, BASE_SCHEMA, _ROWS[name])
+    return db
+
+
+def _pipelines():
+    yield "scan_filter_project", ("R",), ProjectSpec(
+        FilterSpec(ScanSpec("R"), UniformSelect(1, 0.5)), columns=(2, 0)
+    )
+    yield "hash_join", ("R", "S"), SimpleHashJoinSpec(
+        build=ScanSpec("S"),
+        probe=FilterSpec(ScanSpec("R"), UniformSelect(1, 0.6)),
+        condition=EquiJoinCondition(0, 0, modulus=2_000),
+        num_partitions=8,
+    )
+    yield "aggregation", ("R",), HashGroupAggSpec(
+        ScanSpec("R"),
+        group_columns=(1,),
+        agg_func="sum",
+        agg_column=0,
+        num_partitions=8,
+    )
+
+
+def _run_pipeline(tables, plan, batch: bool) -> dict:
+    db = _db(tables)
+    config = EngineConfig(batch_execution=batch)
+    session = QuerySession(db, plan, config=config)
+    start = time.perf_counter()
+    session.execute(collect=False)
+    elapsed = time.perf_counter() - start
+    return {
+        "count": _emitted(session),
+        "seconds": elapsed,
+        "vclock": repr(db.now),
+        "pages_read": db.disk.counters.pages_read,
+    }
+
+
+def _emitted(session) -> int:
+    return session.runtime.root().tuples_emitted
+
+
+def _run_scheduler(batch: bool) -> dict:
+    db = _db(("SR", "SS"))
+    config = SchedulerConfig(
+        quantum_rows=64,
+        engine_config=EngineConfig(batch_execution=batch),
+        collect_rows=False,
+    )
+    sched = QueryScheduler(db, config)
+    sched.submit(
+        "sfp",
+        ProjectSpec(
+            FilterSpec(ScanSpec("SR"), UniformSelect(1, 0.5)), columns=(2, 0)
+        ),
+    )
+    sched.submit(
+        "join",
+        SimpleHashJoinSpec(
+            build=ScanSpec("SS"),
+            probe=ScanSpec("SR"),
+            condition=EquiJoinCondition(0, 0, modulus=500),
+            num_partitions=4,
+        ),
+        arrival_time=1.0,
+    )
+    sched.submit(
+        "agg",
+        HashGroupAggSpec(
+            ScanSpec("SR"),
+            group_columns=(1,),
+            agg_func="max",
+            agg_column=0,
+            num_partitions=4,
+        ),
+        arrival_time=2.0,
+    )
+    sched.submit(
+        "nlj",
+        NLJSpec(
+            outer=FilterSpec(ScanSpec("SS"), UniformSelect(1, 0.3)),
+            inner=ScanSpec("SS"),
+            condition=EquiJoinCondition(0, 0, modulus=200),
+            buffer_tuples=500,
+        ),
+        arrival_time=3.0,
+    )
+    start = time.perf_counter()
+    stats = sched.run()
+    elapsed = time.perf_counter() - start
+    return {
+        "count": int(stats.registry.total("query_rows_emitted_total")),
+        "seconds": elapsed,
+        "vclock": repr(db.now),
+        "pages_read": db.disk.counters.pages_read,
+    }
+
+
+def _run_suspend_resume(batch: bool) -> dict:
+    db = _db(("R", "S"))
+    plan = SimpleHashJoinSpec(
+        build=ScanSpec("S"),
+        probe=FilterSpec(ScanSpec("R"), UniformSelect(1, 0.6)),
+        condition=EquiJoinCondition(0, 0, modulus=2_000),
+        num_partitions=8,
+    )
+    config = EngineConfig(batch_execution=batch)
+    session = QuerySession(db, plan, config=config)
+    start = time.perf_counter()
+    session.execute(max_rows=200, collect=False)
+    sq = session.suspend(SuspendOptions(strategy=SuspendStrategy.LP))
+    resumed = QuerySession.resume(db, sq, config=config)
+    resumed.execute(collect=False)
+    elapsed = time.perf_counter() - start
+    return {
+        "count": _emitted(resumed),
+        "seconds": elapsed,
+        "vclock": repr(db.now),
+        "suspend_cost": repr(session.last_suspend_cost),
+        "resume_cost": repr(resumed.last_resume_cost),
+    }
+
+
+def _best_of(fn, repeats: int) -> dict:
+    best = None
+    for _ in range(repeats):
+        result = fn()
+        if best is None or result["seconds"] < best["seconds"]:
+            best = result
+    return best
+
+
+def _slots_memory_note() -> dict:
+    """Per-instance size of the hot (now ``__slots__``-based) classes,
+    against a plain ``__dict__`` object carrying the same attributes."""
+
+    class _DictBased:
+        pass
+
+    def dict_cost(obj, fields) -> int:
+        clone = _DictBased()
+        for name in fields:
+            setattr(clone, name, getattr(obj, name))
+        return sys.getsizeof(clone) + sys.getsizeof(clone.__dict__)
+
+    ckpt = Checkpoint(op_id=1, seq=1, payload={}, work_at=0.0, emitted_at=0)
+    contract = Contract(
+        parent_op_id=1, child_op_id=2, control={}, child_ckpt_id=1,
+        anchor_ckpt_id=1,
+    )
+    entry = OpSuspendEntry(op_id=1, kind="dump", target_control={})
+    out = {}
+    for name, obj in (
+        ("Checkpoint", ckpt),
+        ("Contract", contract),
+        ("OpSuspendEntry", entry),
+    ):
+        fields = list(type(obj).__dataclass_fields__)
+        slotted = sys.getsizeof(obj)
+        dicted = dict_cost(obj, fields)
+        out[name] = {
+            "slots_bytes": slotted,
+            "dict_equiv_bytes": dicted,
+            "saved_bytes_per_instance": dicted - slotted,
+        }
+    return out
+
+
+def measure() -> dict:
+    sizes = _sizes()
+    repeats = sizes["repeats"]
+    benchmarks = {}
+    ok = True
+
+    for name, tables, plan in _pipelines():
+        row = _best_of(lambda: _run_pipeline(tables, plan, False), repeats)
+        batch = _best_of(lambda: _run_pipeline(tables, plan, True), repeats)
+        benchmarks[name] = _compare(name, row, batch)
+        ok = ok and benchmarks[name]["vclock_identical"]
+
+    row = _best_of(lambda: _run_scheduler(False), repeats)
+    batch = _best_of(lambda: _run_scheduler(True), repeats)
+    benchmarks["mixed_scheduler"] = _compare("mixed_scheduler", row, batch)
+    ok = ok and benchmarks["mixed_scheduler"]["vclock_identical"]
+
+    row = _best_of(lambda: _run_suspend_resume(False), repeats)
+    batch = _best_of(lambda: _run_suspend_resume(True), repeats)
+    sr = _compare("suspend_resume", row, batch)
+    sr["suspend_cost"] = batch["suspend_cost"]
+    sr["resume_cost"] = batch["resume_cost"]
+    sr["overheads_identical"] = (
+        row["suspend_cost"] == batch["suspend_cost"]
+        and row["resume_cost"] == batch["resume_cost"]
+    )
+    benchmarks["suspend_resume"] = sr
+    ok = ok and sr["vclock_identical"] and sr["overheads_identical"]
+
+    speedups_ok = all(
+        benchmarks[name]["speedup"] >= SPEEDUP_TARGET
+        for name in ("scan_filter_project", "hash_join")
+    )
+    return {
+        "benchmark": "batched_execution_throughput",
+        "quick": QUICK,
+        "sizes": sizes,
+        "speedup_target": SPEEDUP_TARGET,
+        "benchmarks": benchmarks,
+        "slots_memory": _slots_memory_note(),
+        "vclock_identical": ok,
+        "speedups_ok": speedups_ok,
+        "pass": ok and (speedups_ok or QUICK),
+    }
+
+
+def _compare(name: str, row: dict, batch: dict) -> dict:
+    count = batch["count"]
+    out = {
+        "rows_out": count,
+        "row_seconds": round(row["seconds"], 4),
+        "batch_seconds": round(batch["seconds"], 4),
+        "row_rows_per_sec": round(count / row["seconds"]) if count else 0,
+        "batch_rows_per_sec": round(count / batch["seconds"]) if count else 0,
+        "speedup": round(row["seconds"] / batch["seconds"], 2),
+        "vclock": batch["vclock"],
+        "vclock_identical": (
+            row["vclock"] == batch["vclock"]
+            and row["count"] == batch["count"]
+            and row.get("pages_read") == batch.get("pages_read")
+        ),
+    }
+    return out
+
+
+def run_and_snapshot() -> dict:
+    result = measure()
+    SNAPSHOT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def test_batched_throughput(benchmark):
+    from benchmarks.conftest import once
+
+    result = once(benchmark, run_and_snapshot)
+    print(json.dumps(result, indent=2))
+    assert result["vclock_identical"], "batch/row virtual-clock drift"
+    assert result["benchmarks"]["suspend_resume"]["overheads_identical"]
+    if not QUICK:
+        assert result["speedups_ok"], (
+            "batched path below the "
+            f"{SPEEDUP_TARGET}x rows/sec target on a headline pipeline"
+        )
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv[1:]:
+        QUICK = True
+    snapshot = run_and_snapshot()
+    print(json.dumps(snapshot, indent=2))
+    print(f"[saved to {SNAPSHOT_PATH}]")
+    raise SystemExit(0 if snapshot["pass"] else 1)

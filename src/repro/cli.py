@@ -208,9 +208,10 @@ def run_workload(
     return "\n".join(lines)
 
 
-def run_demo(rows_before_suspend: int = 20) -> str:
+def run_demo(rows_before_suspend: int = 20, row_path: bool = False) -> str:
     """One suspend/resume cycle on a small join, narrated."""
     from repro import Database, QuerySession, SuspendOptions, SuspendStrategy
+    from repro.engine.config import EngineConfig
     from repro.engine.plan import FilterSpec, NLJSpec, ScanSpec
     from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
     from repro.relational.expressions import EquiJoinCondition, UniformSelect
@@ -227,8 +228,9 @@ def run_demo(rows_before_suspend: int = 20) -> str:
         buffer_tuples=300,
         label="join",
     )
+    config = EngineConfig(batch_execution=not row_path)
     lines = []
-    session = QuerySession(db, plan)
+    session = QuerySession(db, plan, config=config)
     first = session.execute(max_rows=rows_before_suspend)
     lines.append(
         f"executed: {len(first.rows)} rows in {first.elapsed:.1f} time units"
@@ -241,7 +243,7 @@ def run_demo(rows_before_suspend: int = 20) -> str:
             {0: "join", 1: "filter", 2: "scan_R", 3: "scan_S"}
         )
     )
-    resumed = QuerySession.resume(db, sq)
+    resumed = QuerySession.resume(db, sq, config=config)
     lines.append(f"resumed in {resumed.last_resume_cost:.1f} time units")
     rest = resumed.execute()
     lines.append(
@@ -259,13 +261,16 @@ def run_suspend_to_image(
     seed: int = 0,
     image_id: Optional[str] = None,
     as_json: bool = False,
+    row_path: bool = False,
 ) -> str:
     """Run a recipe partway, suspend, and commit a durable image."""
     from repro.core.lifecycle import QuerySession
     from repro.durability import build_recipe
+    from repro.engine.config import EngineConfig
 
     db, plan = build_recipe(recipe, scale=scale, seed=seed)
-    session = QuerySession(db, plan, name=recipe)
+    config = EngineConfig(batch_execution=not row_path)
+    session = QuerySession(db, plan, name=recipe, config=config)
     result = session.execute(max_rows=rows)
     session.suspend(
         persist_to=images,
@@ -461,6 +466,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="one suspend/resume cycle, narrated")
     demo.add_argument("--rows", type=int, default=20)
+    demo.add_argument(
+        "--row-path",
+        action="store_true",
+        help="use the tuple-at-a-time execution path instead of the "
+        "vectorized batch path (results are bit-identical; see DESIGN.md)",
+    )
     _add_obs_flags(demo)
 
     from repro.workloads.plans import TRACES
@@ -511,6 +522,12 @@ def build_parser() -> argparse.ArgumentParser:
     susp.add_argument("--seed", type=int, default=0)
     susp.add_argument("--id", default=None, help="explicit image id")
     susp.add_argument("--json", action="store_true")
+    susp.add_argument(
+        "--row-path",
+        action="store_true",
+        help="use the tuple-at-a-time execution path instead of the "
+        "vectorized batch path",
+    )
     _add_obs_flags(susp)
 
     res = sub.add_parser(
@@ -611,7 +628,7 @@ def _dispatch(args) -> int:
         print(EXPERIMENTS[args.name](args))
         return 0
     if args.command == "demo":
-        print(run_demo(args.rows))
+        print(run_demo(args.rows, row_path=args.row_path))
         return 0
     if args.command in ("workload", "serve"):
         print(
@@ -633,6 +650,7 @@ def _dispatch(args) -> int:
                 seed=args.seed,
                 image_id=args.id,
                 as_json=args.json,
+                row_path=args.row_path,
             )
         )
         return 0

@@ -78,7 +78,7 @@ def _heap_rows(value) -> int:
     return 1
 
 
-@dataclass
+@dataclass(slots=True)
 class Checkpoint:
     """A restore point for one operator.
 
@@ -106,16 +106,26 @@ class Checkpoint:
     reactive: bool = False
     created_at: float = 0.0
     ckpt_id: int = field(default_factory=lambda: next(_ckpt_ids))
+    #: Memoized ``(payload, value)`` pair for :meth:`nominal_bytes`; the
+    #: payload is written once at creation, so identity is the cache key.
+    _bytes_cache: Optional[tuple] = field(
+        default=None, repr=False, compare=False
+    )
 
     def nominal_bytes(self) -> int:
-        return CHECKPOINT_BASE_BYTES + control_state_bytes(self.payload)
+        cached = self._bytes_cache
+        if cached is not None and cached[0] is self.payload:
+            return cached[1]
+        value = CHECKPOINT_BASE_BYTES + control_state_bytes(self.payload)
+        self._bytes_cache = (self.payload, value)
+        return value
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         kind = "reactive" if self.reactive else "proactive"
         return f"Ckpt({self.ckpt_id}, op={self.op_id}, seq={self.seq}, {kind})"
 
 
-@dataclass
+@dataclass(slots=True)
 class Contract:
     """An agreement letting ``child_op_id`` regenerate output from a point.
 
@@ -152,6 +162,13 @@ class Contract:
     nested: dict = field(default_factory=dict)
     saved_rows: list = field(default_factory=list)
     contract_id: int = field(default_factory=lambda: next(_contract_ids))
+    #: Memoized key/value pair for :meth:`nominal_bytes`. Contract
+    #: migration *replaces* ``control`` and ``saved_rows`` (it never
+    #: mutates them in place) and drops nested contracts wholesale, so
+    #: object identity plus the collection lengths form a sound cache key.
+    _bytes_cache: Optional[tuple] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self):
         anchors = (self.anchor_ckpt_id is not None) + (
@@ -164,10 +181,26 @@ class Contract:
             )
 
     def nominal_bytes(self, bytes_per_saved_row: int = 200) -> int:
+        key = (
+            self.control,
+            self.saved_rows,
+            len(self.saved_rows),
+            len(self.nested),
+            bytes_per_saved_row,
+        )
+        cached = self._bytes_cache
+        if (
+            cached is not None
+            and cached[0] is key[0]
+            and cached[1] is key[1]
+            and cached[2:5] == key[2:]
+        ):
+            return cached[5]
         total = control_state_bytes(self.control, bytes_per_saved_row)
         total += len(self.saved_rows) * bytes_per_saved_row
         for sub in self.nested.values():
             total += sub.nominal_bytes(bytes_per_saved_row)
+        self._bytes_cache = key + (total,)
         return total
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

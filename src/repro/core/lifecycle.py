@@ -114,6 +114,12 @@ def _legacy_suspend_options(
     )
 
 
+#: Root-drain batch size used by ``execute()`` when no ``max_rows`` bound
+#: caps the request. Purely a wall-clock knob: batches are invisible to the
+#: virtual clock and the checkpoint/contract protocol.
+BATCH_ROWS = 1024
+
+
 @dataclass
 class ExecutionResult:
     """What one ``execute()`` call produced."""
@@ -179,17 +185,42 @@ class QuerySession:
         start = self.db.now
         tracer = self.runtime.tracer
         io_before = self.db.disk.counters.snapshot() if tracer.enabled else None
+        controller = self.runtime.controller
+        fired_before = controller.fired
         try:
-            while True:
-                row = self.root.next()
-                if row is None:
-                    self.status = QueryStatus.COMPLETED
-                    break
-                count += 1
-                if collect:
-                    produced.append(row)
-                if max_rows is not None and count >= max_rows:
-                    break
+            if self.config.batch_execution:
+                # Vectorized path: a drain is a handful of next_batch()
+                # calls instead of one interpreted next() per root row.
+                # Operators return short batches at checkpoint/phase
+                # boundaries and partial batches when a suspend condition
+                # fires mid-batch (the produced rows are kept, exactly as
+                # the row loop below keeps rows produced before the raise).
+                while True:
+                    need = BATCH_ROWS if max_rows is None else max_rows - count
+                    if need <= 0:
+                        break
+                    batch = self.root.next_batch(min(need, BATCH_ROWS))
+                    if batch:
+                        count += len(batch)
+                        if collect:
+                            produced.extend(batch)
+                    if controller.fired and not fired_before:
+                        self.status = QueryStatus.SUSPEND_PENDING
+                        break
+                    if not batch:
+                        self.status = QueryStatus.COMPLETED
+                        break
+            else:
+                while True:
+                    row = self.root.next()
+                    if row is None:
+                        self.status = QueryStatus.COMPLETED
+                        break
+                    count += 1
+                    if collect:
+                        produced.append(row)
+                    if max_rows is not None and count >= max_rows:
+                        break
         except SuspendRequested:
             self.status = QueryStatus.SUSPEND_PENDING
         finally:
@@ -206,6 +237,17 @@ class QuerySession:
                 pages_read=io.pages_read,
                 pages_written=io.pages_written,
             )
+            pool = self.db.buffer_pool
+            if pool is not None:
+                pool.publish_metrics(tracer.metrics)
+                tracer.event(
+                    "pool.stats",
+                    ts=self.db.now,
+                    hits=pool.hits,
+                    misses=pool.misses,
+                    evictions=pool.evictions,
+                    hit_rate=round(pool.hit_rate, 6),
+                )
         return ExecutionResult(
             status=self.status, rows=produced, elapsed=self.db.now - start
         )

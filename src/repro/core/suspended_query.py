@@ -35,7 +35,7 @@ KIND_GOBACK = "goback"
 _VALID_KINDS = (KIND_DUMP, KIND_DUMP_TO_CONTRACT, KIND_GOBACK)
 
 
-@dataclass
+@dataclass(slots=True)
 class OpSuspendEntry:
     """Per-operator resume information.
 

@@ -30,7 +30,7 @@ from collections import deque
 from contextlib import contextmanager
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
-from repro.common.errors import ContractError, ReproError
+from repro.common.errors import ContractError, ReproError, SuspendRequested
 from repro.core.checkpoint import Checkpoint, Contract, control_state_bytes
 from repro.core.strategies import Strategy
 from repro.core.suspended_query import (
@@ -135,6 +135,90 @@ class Operator:
                 self.charge_cpu(1)
             rec["produced"] = row is not None
         return row
+
+    def next_batch(self, max_rows: int) -> list:
+        """Return up to ``max_rows`` output rows (the vectorized path).
+
+        Semantics are identical to ``max_rows`` calls to :meth:`next`:
+
+        - at most ``max_rows`` rows are returned;
+        - an **empty** list means the operator is exhausted *unless* the
+          suspend controller fired mid-batch (drivers check
+          ``rt.controller.fired`` before treating empty as done);
+        - a short non-empty batch means "call again" — operators end a
+          batch early at checkpoint/phase boundaries so a batch never
+          spans a checkpoint point: the checkpoint is then taken at the
+          start of the next call, at the exact virtual-clock instant and
+          operator state the row path would take it.
+
+        While a suspend condition is armed or per-``next()`` tracing is
+        on, this degrades to a per-row loop over :meth:`next`, so polls,
+        sampled spans and charges happen at the exact row boundaries the
+        row path uses (a suspend fired mid-batch keeps the rows produced
+        before it, exactly like the row path's driver loop). Otherwise
+        ``poll()`` is provably a no-op and subclass fast paths may
+        amortize bookkeeping — provided they charge the identical
+        virtual-clock costs in the identical order across I/O events
+        (same-constant CPU charges between two I/O charges may be folded
+        with :func:`repro.storage.disk.add_each`; nothing may move across
+        an I/O charge).
+        """
+        if max_rows <= 0:
+            return []
+        if self.rt.controller.armed or self._trace_next:
+            return self._next_batch_rowloop(max_rows)
+        return self._next_batch_fast(max_rows)
+
+    def _next_batch_rowloop(self, max_rows: int) -> list:
+        """Per-row fallback preserving exact poll/trace row boundaries."""
+        rows: list = []
+        if self._trace_next:
+            with self._tr.span(
+                "op.next_batch", emitted=self.tuples_emitted, max_rows=max_rows
+            ) as rec:
+                try:
+                    while len(rows) < max_rows:
+                        row = self.next()
+                        if row is None:
+                            break
+                        rows.append(row)
+                except SuspendRequested:
+                    pass  # rt.controller.fired tells the driver
+                rec["produced"] = len(rows)
+            return rows
+        try:
+            while len(rows) < max_rows:
+                row = self.next()
+                if row is None:
+                    break
+                rows.append(row)
+        except SuspendRequested:
+            pass  # rt.controller.fired tells the driver
+        return rows
+
+    def _next_batch_fast(self, max_rows: int) -> list:
+        """Default unarmed fast path: the row loop with the poll and
+        trace checks hoisted out of it.
+
+        Charges stay per-row because ``_next`` may interleave I/O charges
+        with the per-tuple CPU charge; subclasses whose production has
+        known I/O-free runs override this with truly vectorized loops.
+        """
+        rows: list = []
+        append = rows.append
+        pending = self._pending_rows
+        _next = self._next
+        charge = self.rt.disk.charge_cpu_tuples
+        n = 0
+        while n < max_rows:
+            row = pending.popleft() if pending else _next()
+            if row is None:
+                break
+            append(row)
+            self.tuples_emitted += 1
+            self.work += charge(1)
+            n += 1
+        return rows
 
     def close(self) -> None:
         self._do_close()

@@ -23,8 +23,16 @@ class EngineConfig:
         proactive_checkpointing: enable proactive checkpoints at
             minimal-heap-state points. Disabling degrades every GoBack to
             the initial checkpoints only — used by ablations.
+        batch_execution: drive sessions through ``Operator.next_batch``
+            (vectorized path) instead of one ``next()`` per root row. Both
+            paths charge bit-identical virtual-clock costs and produce
+            identical checkpoint/contract sequences; this flag only trades
+            Python interpreter overhead for batch bookkeeping, and exists
+            so benchmarks and the equivalence property test can pin either
+            path explicitly.
     """
 
     contract_migration: bool = True
     check_invariants: bool = True
     proactive_checkpointing: bool = True
+    batch_execution: bool = True

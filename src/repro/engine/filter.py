@@ -16,8 +16,10 @@ from typing import Optional
 
 from repro.engine.base import Operator, Row
 from repro.engine.runtime import Runtime
-from repro.relational.expressions import Predicate
+from repro.engine.scan import TableScan
+from repro.relational.expressions import Predicate, compile_predicate
 from repro.relational.schema import Schema
+from repro.storage.disk import add_each
 
 
 class Filter(Operator):
@@ -54,6 +56,73 @@ class Filter(Operator):
 
     def rewind(self) -> None:
         self.child.rewind()
+
+    def _has_open_contracts(self) -> bool:
+        """A contract signed since the last emission could migrate on the
+        next match; the fused batch loop defers to the row-exact loop
+        while one exists (none can *appear* mid-batch: contracts are only
+        created at checkpoints, and a batch never spans one)."""
+        return any(
+            c.emitted_at_signing == self.tuples_emitted and not c.saved_rows
+            for c in self.rt.graph.contracts_of_child(self.op_id)
+        )
+
+    def _next_batch_fast(self, max_rows: int) -> list:
+        """Scan-filter fusion: drive the child's cursor page-by-page with
+        a compiled predicate instead of one ``child.next()`` per examined
+        row.
+
+        Row-path charge sequence per page: the page read, then per
+        examined row one child-wrapper CPU charge plus one filter-examine
+        charge, plus one filter-wrapper charge per match — everything
+        after the read is the same constant, so the segment's charges fold
+        into one bulk charge with identical float results.
+        """
+        child = self.child
+        if (
+            not isinstance(child, TableScan)
+            or child._pending_rows
+            or self._pending_rows
+            or (self.rt.config.contract_migration and self._has_open_contracts())
+        ):
+            return super()._next_batch_fast(max_rows)
+        disk = self.rt.disk
+        cursor = child._cursor
+        pred = compile_predicate(self.predicate)
+        charge_each = disk.charge_cpu_tuples_each
+        c = disk.cost_model.cpu_tuple_cost
+        out: list = []
+        append = out.append
+        need = max_rows
+        while need > 0:
+            before = disk.now
+            page = cursor.current_page()
+            after = disk.now
+            if after != before:
+                child.work += after - before
+            if page is None:
+                break
+            slot = cursor.position().slot
+            limit = len(page)
+            matched = 0
+            i = slot
+            while i < limit:
+                row = page[i]
+                i += 1
+                if pred(row):
+                    append(row)
+                    matched += 1
+                    if matched == need:
+                        break
+            examined = i - slot
+            cursor.advance(examined)
+            charge_each(2 * examined + matched)
+            child.work = add_each(child.work, c, examined)
+            child.tuples_emitted += examined
+            self.work = add_each(self.work, c, examined + matched)
+            self.tuples_emitted += matched
+            need -= matched
+        return out
 
     def _migrate_open_contracts(self, row: Row) -> None:
         """Footnote-3 migration: save the matching tuple in any contract

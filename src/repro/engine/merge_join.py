@@ -31,6 +31,7 @@ from repro.core.suspended_query import OpSuspendEntry
 from repro.engine.base import Operator, Row
 from repro.engine.runtime import ResumeContext, Runtime
 from repro.relational.expressions import EquiJoinCondition
+from repro.storage.disk import add_each
 
 STATE_ADVANCE = "advance"
 STATE_COLLECT_LEFT = "collect_left"
@@ -201,6 +202,71 @@ class MergeJoin(Operator):
             self.r_idx = 0
             self.l_idx += 1
         return row
+
+    def _next_batch_fast(self, max_rows: int) -> list:
+        """Vectorized cross-product drain of the current packet pair.
+
+        Emitting charges only the per-row wrapper CPU constant, so a run
+        folds into one bulk charge. Packet exhaustion ends a non-empty
+        batch (the minimal-heap-state checkpoint then fires at the start
+        of the next call, at the row path's exact instant); advance and
+        collect steps pull children with interleaved charges, so they run
+        through the row-exact ``_next``.
+        """
+        if self._pending_rows:
+            return super()._next_batch_fast(max_rows)
+        disk = self.rt.disk
+        c = disk.cost_model.cpu_tuple_cost
+        out: list = []
+        need = max_rows
+        while need > 0:
+            if self.state == STATE_EMIT:
+                lp = self.left_packet
+                rp = self.right_packet
+                ln, rn = len(lp), len(rp)
+                l_idx, r_idx = self.l_idx, self.r_idx
+                remaining = (ln - l_idx) * rn - r_idx
+                if remaining > 0:
+                    take = min(remaining, need)
+                    k = 0
+                    while k < take:
+                        row_l = lp[l_idx]
+                        run = min(rn - r_idx, take - k)
+                        out.extend(
+                            [row_l + rp[j] for j in range(r_idx, r_idx + run)]
+                        )
+                        k += run
+                        r_idx += run
+                        if r_idx >= rn:
+                            r_idx = 0
+                            l_idx += 1
+                    self.l_idx = l_idx
+                    self.r_idx = r_idx
+                    self.tuples_emitted += take
+                    disk.charge_cpu_tuples_each(take)
+                    self.work = add_each(self.work, c, take)
+                    need -= take
+                    continue
+                if out:
+                    break
+                # Packet pair exhausted: minimal-heap-state point (the
+                # row path's transition, verbatim).
+                self.left_packet = []
+                self.right_packet = []
+                self.l_idx = 0
+                self.r_idx = 0
+                self.state = STATE_ADVANCE
+                self.make_checkpoint()
+            if self.state == STATE_DONE:
+                break
+            row = self._next()  # advance/collect: row-exact child pulls
+            if row is None:
+                break
+            out.append(row)
+            self.tuples_emitted += 1
+            self.work += disk.charge_cpu_tuples(1)
+            need -= 1
+        return out
 
     # ------------------------------------------------------------------
     # Generalized per-child suspend plans (Section 3.4)

@@ -29,7 +29,8 @@ from repro.common.errors import ContractError
 from repro.core.suspended_query import OpSuspendEntry
 from repro.engine.base import Operator, Row
 from repro.engine.runtime import ResumeContext, Runtime
-from repro.relational.expressions import EquiJoinCondition
+from repro.relational.expressions import EquiJoinCondition, compile_join_matches
+from repro.storage.disk import add_each
 
 PHASE_FILL = "fill"
 PHASE_JOIN = "join"
@@ -117,6 +118,110 @@ class BlockNLJ(Operator):
                     return None
                 self.make_checkpoint()
                 self.phase = PHASE_FILL
+
+    def _next_batch_fast(self, max_rows: int) -> list:
+        """Vectorized inner loop: compiled join condition, hoisted buffer
+        scan, and same-constant CPU charges folded between inner pulls.
+
+        Inner pulls (which may read pages) flush the pending CPU run
+        first, keeping the charge order across I/O events identical to
+        the row path. A pass boundary ends a non-empty batch with the
+        state of the last emitted row persisted — the tail scan and the
+        exhausted inner pull are chargeless and side-effect-free, so the
+        next call replays them and fires the end-of-pass checkpoint at
+        the row path's exact instant.
+        """
+        if self._pending_rows:
+            return super()._next_batch_fast(max_rows)
+        disk = self.rt.disk
+        c = disk.cost_model.cpu_tuple_cost
+        charge_each = disk.charge_cpu_tuples_each
+        matches = compile_join_matches(self.condition)
+        out: list = []
+        append = out.append
+        need = max_rows
+        crun = 0
+        while need > 0:
+            if self.phase == PHASE_DONE:
+                break
+            if self.phase == PHASE_FILL:
+                if crun:
+                    charge_each(crun)
+                    self.work = add_each(self.work, c, crun)
+                    crun = 0
+                self._fill_buffer()  # row-exact outer pulls
+                if not self.buffer:
+                    self.phase = PHASE_DONE
+                    break
+                self.inner.rewind()
+                self.inner_row = None
+                self.cursor = 0
+                self.phase = PHASE_JOIN
+            buffer = self.buffer
+            nbuf = len(buffer)
+            inner_next = self.inner.next
+            inner_row = self.inner_row
+            cursor = self.cursor
+            last_cursor = cursor
+            last_inner = inner_row
+            pass_done = False
+            while True:
+                if inner_row is None:
+                    if crun:
+                        charge_each(crun)
+                        self.work = add_each(self.work, c, crun)
+                        crun = 0
+                    nxt = inner_next()
+                    if nxt is None:
+                        pass_done = True
+                        break
+                    crun += 1  # the row path's inner-consume charge
+                    inner_row = nxt
+                    cursor = 0
+                while cursor < nbuf:
+                    outer_row = buffer[cursor]
+                    cursor += 1
+                    if matches(outer_row, inner_row):
+                        append(outer_row + inner_row)
+                        self.tuples_emitted += 1
+                        crun += 1  # the wrapper charge
+                        need -= 1
+                        last_cursor = cursor
+                        last_inner = inner_row
+                        if need == 0:
+                            break
+                if need == 0:
+                    break
+                if cursor >= nbuf:
+                    inner_row = None
+            if pass_done and out:
+                # Rows were produced this batch (necessarily from this
+                # pass: any earlier boundary ended the batch); persist the
+                # post-last-emit state and let the next call replay the
+                # chargeless tail and run the boundary transition.
+                self.inner_row = last_inner
+                self.cursor = last_cursor
+                break
+            self.inner_row = inner_row
+            self.cursor = cursor
+            if pass_done:
+                # The row path's end-of-pass transition, verbatim (crun is
+                # zero: it was flushed before the exhausted inner pull).
+                self.buffer = []
+                self.cursor = 0
+                self.inner_row = None
+                self.passes += 1
+                if self.outer_exhausted:
+                    self.phase = PHASE_DONE
+                    break
+                self.make_checkpoint()
+                self.phase = PHASE_FILL
+                continue
+            break  # need == 0
+        if crun:
+            charge_each(crun)
+            self.work = add_each(self.work, c, crun)
+        return out
 
     def _fill_buffer(self) -> None:
         while len(self.buffer) < self.buffer_tuples and not self.outer_exhausted:

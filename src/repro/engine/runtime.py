@@ -54,6 +54,18 @@ class SuspendController:
     def fired(self) -> bool:
         return self._fired
 
+    @property
+    def armed(self) -> bool:
+        """True while a live condition could still fire.
+
+        The batched execution path checks this once per batch: when no
+        condition is armed, ``poll()`` is a no-op and the vectorized fast
+        loops may skip it wholesale; when armed, operators degrade to the
+        per-row loop so the poll happens at the exact row boundaries the
+        row path polls at.
+        """
+        return self._condition is not None and not self._fired
+
     def suppress(self) -> None:
         """Disable polling (used inside the suspend and resume phases)."""
         self._suppressed += 1

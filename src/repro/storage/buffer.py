@@ -25,6 +25,8 @@ from repro.storage.disk import SimulatedDisk
 class BufferPool:
     """Fixed-capacity LRU cache of page identities."""
 
+    __slots__ = ("_disk", "capacity", "_lru", "hits", "misses", "evictions")
+
     def __init__(self, disk: SimulatedDisk, capacity_pages: int):
         if capacity_pages <= 0:
             raise ValueError("capacity_pages must be positive")
@@ -69,3 +71,14 @@ class BufferPool:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def publish_metrics(self, metrics) -> None:
+        """Mirror the pool's cumulative totals into a MetricsRegistry.
+
+        The pool keeps plain ints on the hot path; callers (the query
+        lifecycle, the CLI exporters) publish them into the registry so
+        they ride along in metrics snapshots and trace summaries.
+        """
+        metrics.counter("buffer_pool_hits_total").set(self.hits)
+        metrics.counter("buffer_pool_misses_total").set(self.misses)
+        metrics.counter("buffer_pool_evictions_total").set(self.evictions)

@@ -12,8 +12,23 @@ and independent of Python's execution speed.
 
 from __future__ import annotations
 
+import itertools
 import math
 from dataclasses import dataclass, field
+
+
+def add_each(start: float, unit: float, n: int) -> float:
+    """Add ``unit`` to ``start`` exactly ``n`` times, left to right.
+
+    This is the bit-identical bulk form of ``for _ in range(n): start += unit``:
+    ``sum`` folds left-to-right in C, producing the same partial-sum sequence
+    (and therefore the same final float) as the Python loop, just much faster.
+    The batched execution path relies on this to amortize per-tuple CPU
+    charges without drifting from the row path's float accumulation.
+    """
+    if n <= 0:
+        return start
+    return sum(itertools.repeat(unit, n), start)
 
 
 @dataclass
@@ -61,6 +76,17 @@ class VirtualClock:
             raise ValueError(f"cannot advance clock by negative amount {units}")
         self._now += units
         return units
+
+    def advance_each(self, unit: float, n: int) -> float:
+        """Advance by ``unit``, ``n`` times — bit-identical to ``n`` calls
+        to :meth:`advance` with the same ``unit`` (see :func:`add_each`).
+        Returns the per-step ``unit``."""
+        if unit < 0:
+            raise ValueError(f"cannot advance clock by negative amount {unit}")
+        if n < 0:
+            raise ValueError(f"negative step count {n}")
+        self._now = add_each(self._now, unit, n)
+        return unit
 
 
 @dataclass
@@ -145,6 +171,20 @@ class SimulatedDisk:
             raise ValueError(f"negative tuple count {n}")
         self.counters.cpu_tuples += n
         return self.clock.advance(n * self.cost_model.cpu_tuple_cost)
+
+    def charge_cpu_tuples_each(self, n: int) -> float:
+        """Charge CPU for ``n`` tuples as ``n`` separate unit charges.
+
+        Bit-identical to ``n`` calls to ``charge_cpu_tuples(1)`` (the batched
+        execution path must reproduce the row path's float accumulation
+        exactly; ``n * cost`` in one step rounds differently). Returns the
+        per-tuple unit cost so callers can fold it into per-operator ``work``
+        accumulators with :func:`add_each`.
+        """
+        if n < 0:
+            raise ValueError(f"negative tuple count {n}")
+        self.counters.cpu_tuples += n
+        return self.clock.advance_each(self.cost_model.cpu_tuple_cost, n)
 
     def cost_of_page_reads(self, n: int) -> float:
         """Cost of ``n`` page reads without charging (for estimation)."""
