@@ -1,0 +1,278 @@
+"""Image data path: codec v2 vs v1, delta images, parallel commit.
+
+The suspend-image fast path must be a pure wall-clock/bytes
+optimization: identical resumed output, identical virtual-clock costs,
+regardless of codec, delta chaining, or commit parallelism. This
+benchmark proves the equivalences and measures the wins on one large
+external-sort suspend (many sublist blobs — the image shape the paper's
+dump strategy produces):
+
+- **codec**: ``ImageStore.save`` + ``load`` wall clock and on-disk bytes,
+  v1 tagged-JSON vs v2 binary columnar; both images resumed to
+  completion in fresh databases and the outputs compared to the
+  uninterrupted reference run.
+- **delta**: suspend → save base → resume in place → suspend again →
+  save; the repeat image commits against the base and must write a small
+  fraction of the full re-commit's bytes.
+- **parallel**: ``save_many`` of several independent suspends, serial vs
+  a 4-worker pool; manifests (minus wall-clock timestamps) must match
+  byte for byte.
+
+The snapshot lands in ``BENCH_image.json`` at the repo root; the CI
+image-perf-smoke job runs the reduced suite (``--quick`` /
+``REPRO_BENCH_QUICK=1``) and fails if v2 is not faster/smaller than v1
+or any resume output diverges. The full-size run additionally enforces
+the >=5x encode+commit and >=3x size targets.
+
+Run directly (``python benchmarks/bench_image_path.py [--quick]``) or
+via pytest (``pytest benchmarks/bench_image_path.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.core.lifecycle import QuerySession
+from repro.durability import CODEC_V1, CODEC_V2, ImageStore, SaveRequest
+from repro.engine.plan import FilterSpec, ScanSpec, SortSpec
+from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
+from repro.relational.expressions import UniformSelect
+from repro.storage.database import Database
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+SPEED_TARGET = 5.0
+SIZE_TARGET = 3.0
+REPEATS = 3
+SNAPSHOT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_image.json"
+
+
+def _sizes():
+    if QUICK:
+        return {"rows": 4_000, "buffer": 400, "suspend_at": 300}
+    return {"rows": 40_000, "buffer": 2_000, "suspend_at": 2_000}
+
+
+def build_db(seed: int = 7):
+    sizes = _sizes()
+    db = Database()
+    db.create_table(
+        "R", BASE_SCHEMA, generate_uniform_table(sizes["rows"], seed=seed)
+    )
+    db.catalog.set_predicate_selectivity("R", "uniform", 0.8)
+    plan = SortSpec(
+        FilterSpec(
+            ScanSpec("R", label="scan_R"), UniformSelect(1, 0.8), label="f"
+        ),
+        key_columns=(0,),
+        buffer_tuples=sizes["buffer"],
+        label="sort",
+    )
+    return db, plan
+
+
+def suspend_partway(seed: int = 7):
+    db, plan = build_db(seed)
+    session = QuerySession(db, plan, name=f"bench-{seed}")
+    prefix = session.execute(max_rows=_sizes()["suspend_at"]).rows
+    return db, plan, session, prefix
+
+
+def reference_rows(seed: int = 7):
+    db, plan = build_db(seed)
+    return QuerySession(db, plan).execute().rows
+
+
+def best_of(fn, repeats: int = REPEATS) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def bench_codec(workdir: pathlib.Path, reference) -> dict:
+    db, plan, session, prefix = suspend_partway()
+    sq = session.suspend()
+    out = {}
+    for name, codec in (("v1", CODEC_V1), ("v2", CODEC_V2)):
+        root = workdir / f"codec-{name}"
+
+        def commit():
+            shutil.rmtree(root, ignore_errors=True)
+            store = ImageStore(str(root), codec_version=codec)
+            store.save(sq, db.state_store, image_id="img")
+
+        commit_s = best_of(commit)
+        store = ImageStore(str(root), codec_version=codec)
+        info = store.info("img")
+        load_s = best_of(lambda s=store: s.load("img"))
+
+        clock_before = db.now
+        fresh_db, _ = build_db()
+        resumed = QuerySession.resume(fresh_db, store.load("img"))
+        rest = resumed.execute().rows
+        out[name] = {
+            "commit_seconds": round(commit_s, 4),
+            "load_seconds": round(load_s, 4),
+            "bytes": info.total_bytes,
+            "num_blobs": info.num_blobs,
+            "resume_cost": resumed.last_resume_cost,
+            "rows_match_reference": prefix + rest == reference,
+            "save_advanced_virtual_clock": db.now != clock_before,
+        }
+    out["commit_speedup"] = round(
+        out["v1"]["commit_seconds"] / max(out["v2"]["commit_seconds"], 1e-9), 2
+    )
+    out["load_speedup"] = round(
+        out["v1"]["load_seconds"] / max(out["v2"]["load_seconds"], 1e-9), 2
+    )
+    out["size_ratio"] = round(
+        out["v1"]["bytes"] / max(out["v2"]["bytes"], 1), 2
+    )
+    return out
+
+
+def bench_delta(workdir: pathlib.Path) -> dict:
+    db, plan, session, _ = suspend_partway()
+    sq1 = session.suspend()
+    store = ImageStore(str(workdir / "delta"))
+    base = store.save(sq1, db.state_store, image_id="base")
+
+    resumed = QuerySession.resume(db, sq1)
+    resumed.execute(max_rows=_sizes()["suspend_at"] // 2)
+    sq2 = resumed.suspend()
+    full = store.save(sq2, db.state_store, image_id="full")
+    delta = store.save(
+        sq2, db.state_store, image_id="delta", base_image_id="base"
+    )
+    return {
+        "base_bytes": base.total_bytes,
+        "full_recommit_bytes": full.total_bytes,
+        "delta_bytes": delta.total_bytes,
+        "delta_reused_bytes": delta.reused_bytes,
+        "delta_ratio": round(
+            delta.total_bytes / max(full.total_bytes, 1), 4
+        ),
+        "chain_length": delta.chain_length,
+    }
+
+
+def bench_parallel(workdir: pathlib.Path) -> dict:
+    suspends = []
+    for seed in (11, 12, 13, 14):
+        db, plan, session, _ = suspend_partway(seed)
+        suspends.append((db, session.suspend()))
+
+    def requests():
+        return [
+            SaveRequest(sq, db.state_store, image_id=f"img-{i}")
+            for i, (db, sq) in enumerate(suspends)
+        ]
+
+    results = {}
+    manifests = {}
+    for label, workers in (("serial", 0), ("parallel", 4)):
+        root = workdir / f"commit-{label}"
+
+        def commit():
+            shutil.rmtree(root, ignore_errors=True)
+            store = ImageStore(str(root), commit_workers=workers)
+            store.save_many(requests())
+
+        results[f"{label}_seconds"] = round(best_of(commit), 4)
+        store = ImageStore(str(root))
+        manifests[label] = {}
+        for i in range(len(suspends)):
+            manifest = dict(store.manifest(f"img-{i}"))
+            manifest.pop("created_at")
+            manifests[label][f"img-{i}"] = manifest
+    results["images"] = len(suspends)
+    results["speedup"] = round(
+        results["serial_seconds"] / max(results["parallel_seconds"], 1e-9), 2
+    )
+    results["bytes_identical"] = manifests["serial"] == manifests["parallel"]
+    return results
+
+
+def measure() -> dict:
+    reference = reference_rows()
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="bench-image-"))
+    try:
+        codec = bench_codec(workdir, reference)
+        delta = bench_delta(workdir)
+        parallel = bench_parallel(workdir)
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+    equivalent = (
+        codec["v1"]["rows_match_reference"]
+        and codec["v2"]["rows_match_reference"]
+        and codec["v1"]["resume_cost"] == codec["v2"]["resume_cost"]
+        and not codec["v1"]["save_advanced_virtual_clock"]
+        and not codec["v2"]["save_advanced_virtual_clock"]
+        and parallel["bytes_identical"]
+    )
+    faster_and_smaller = (
+        codec["commit_speedup"] > 1.0
+        and codec["size_ratio"] > 1.0
+        and delta["delta_ratio"] < 1.0
+    )
+    targets_met = (
+        codec["commit_speedup"] >= SPEED_TARGET
+        and codec["size_ratio"] >= SIZE_TARGET
+    )
+    return {
+        "benchmark": "image_path",
+        "workload": {
+            "shape": "external sort suspend image (sublist blobs)",
+            **_sizes(),
+            "repeats": REPEATS,
+            "timer": "best-of wall clock (s)",
+        },
+        "quick": QUICK,
+        "codec": codec,
+        "delta": delta,
+        "parallel_commit": parallel,
+        "equivalent": equivalent,
+        "speed_target": SPEED_TARGET,
+        "size_target": SIZE_TARGET,
+        "targets_met": targets_met,
+        # Quick mode only gates on correctness plus "v2 strictly wins";
+        # the 5x/3x targets are enforced by the full-size run.
+        "pass": equivalent and faster_and_smaller and (targets_met or QUICK),
+    }
+
+
+def run_and_snapshot() -> dict:
+    result = measure()
+    SNAPSHOT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def test_image_path_fast_and_equivalent(benchmark):
+    from benchmarks.conftest import once
+
+    result = once(benchmark, run_and_snapshot)
+    print(json.dumps(result, indent=2))
+    assert result["equivalent"], "codec/delta/parallel equivalence broken"
+    assert result["pass"], (
+        f"v2 speedup {result['codec']['commit_speedup']}x / size ratio "
+        f"{result['codec']['size_ratio']}x below targets "
+        f"({SPEED_TARGET}x / {SIZE_TARGET}x)"
+    )
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv[1:]:
+        QUICK = True
+    snapshot = run_and_snapshot()
+    print(json.dumps(snapshot, indent=2))
+    print(f"[saved to {SNAPSHOT_PATH}]")
+    raise SystemExit(0 if snapshot["pass"] else 1)

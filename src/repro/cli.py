@@ -253,6 +253,10 @@ def run_demo(rows_before_suspend: int = 20, row_path: bool = False) -> str:
     return "\n".join(lines)
 
 
+#: ``--codec`` flag values to manifest codec versions.
+CODEC_NAMES = {"v1": 1, "v2": 2}
+
+
 def run_suspend_to_image(
     recipe: str,
     images: str,
@@ -262,18 +266,24 @@ def run_suspend_to_image(
     image_id: Optional[str] = None,
     as_json: bool = False,
     row_path: bool = False,
+    codec: Optional[str] = None,
 ) -> str:
     """Run a recipe partway, suspend, and commit a durable image."""
     from repro.core.lifecycle import QuerySession
-    from repro.durability import build_recipe
+    from repro.durability import ImageStore, build_recipe
     from repro.engine.config import EngineConfig
 
     db, plan = build_recipe(recipe, scale=scale, seed=seed)
     config = EngineConfig(batch_execution=not row_path)
     session = QuerySession(db, plan, name=recipe, config=config)
     result = session.execute(max_rows=rows)
+    store = (
+        ImageStore(images, codec_version=CODEC_NAMES[codec])
+        if codec is not None
+        else images
+    )
     session.suspend(
-        persist_to=images,
+        persist_to=store,
         image_id=image_id,
         image_meta={
             "recipe": recipe,
@@ -379,9 +389,15 @@ def run_images(
     lines = []
     for row in rows:
         status = "ok" if row["valid"] else "INVALID: " + "; ".join(row["problems"])
+        chain = (
+            f", delta of {row['base_image_id']} (chain {row['chain_length']})"
+            if row.get("base_image_id")
+            else ""
+        )
         lines.append(
-            f"{row['image_id']}: {row['total_bytes']} bytes, "
-            f"{row['num_blobs']} blobs, meta={row['meta']} [{status}]"
+            f"{row['image_id']}: codec v{row['codec_version']}, "
+            f"{row['total_bytes']} bytes, "
+            f"{row['num_blobs']} blobs{chain}, meta={row['meta']} [{status}]"
         )
     return "\n".join(lines)
 
@@ -528,6 +544,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the tuple-at-a-time execution path instead of the "
         "vectorized batch path",
     )
+    susp.add_argument(
+        "--codec",
+        choices=sorted(CODEC_NAMES),
+        default=None,
+        help="image codec version (v1 tagged-JSON or v2 binary columnar; "
+        "default: the store default, v2)",
+    )
     _add_obs_flags(susp)
 
     res = sub.add_parser(
@@ -605,7 +628,9 @@ def _export_tracer(tracer, args) -> None:
     metrics_out = getattr(args, "metrics_out", None)
     if metrics_out:
         with open(metrics_out, "w", encoding="utf-8") as fh:
-            fh.write(tracer.metrics.render_text())
+            # Wall-clock (volatile) metrics are fine here: determinism
+            # checks compare trace files, never this snapshot.
+            fh.write(tracer.metrics.render_text(include_volatile=True))
         print(f"wrote metrics snapshot to {metrics_out}", file=sys.stderr)
 
 
@@ -651,6 +676,7 @@ def _dispatch(args) -> int:
                 image_id=args.id,
                 as_json=args.json,
                 row_path=args.row_path,
+                codec=args.codec,
             )
         )
         return 0

@@ -141,6 +141,20 @@ class SuspendedQuery:
 
         return codec.suspended_query_from_dict(data)
 
+    def to_record(self) -> dict:
+        """Codec-v2 control record: like :meth:`to_dict` but keeps tuples
+        and DumpHandles as objects (the binary codec encodes them natively
+        instead of JSON-tagging them)."""
+        from repro.durability import codec2  # local: import cycle
+
+        return codec2.suspended_query_to_record(self)
+
+    @classmethod
+    def from_record(cls, data: dict) -> "SuspendedQuery":
+        from repro.durability import codec2  # local: import cycle
+
+        return codec2.suspended_query_from_record(data)
+
     # ------------------------------------------------------------------
     # Migration support (the Grid scenario)
     # ------------------------------------------------------------------

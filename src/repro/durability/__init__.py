@@ -12,6 +12,9 @@ Layers, bottom up:
   injection, threaded through every file operation;
 - :mod:`~repro.durability.codec` — stable tagged-JSON codecs for the
   SuspendedQuery control record and plan specs (``FORMAT_VERSION``);
+- :mod:`~repro.durability.codec2` — the v2 binary columnar codec
+  (typed column segments, string interning, CRC'd zlib frames,
+  streaming chunked writes), selected per image via ``codec_version``;
 - :mod:`~repro.durability.format` — the directory layout, the atomic
   tmp+fsync+rename write discipline, and manifest checksums
   (``LAYOUT_VERSION``);
@@ -24,6 +27,7 @@ Layers, bottom up:
 """
 
 from repro.durability.codec import FORMAT_VERSION, CodecError
+from repro.durability.codec2 import CODEC_V1, CODEC_V2, V2_FORMAT_VERSION
 from repro.durability.faults import (
     FaultInjector,
     InjectedCrash,
@@ -35,6 +39,7 @@ from repro.durability.harness import (
     CrashOutcome,
     enumerate_faults,
     run_crash_matrix,
+    run_delta_crash_matrix,
 )
 from repro.durability.recipes import RECIPES, build_recipe
 from repro.durability.store import (
@@ -42,10 +47,14 @@ from repro.durability.store import (
     ImageNotFoundError,
     ImageStore,
     RecoveryReport,
+    SaveRequest,
 )
 
 __all__ = [
     "FORMAT_VERSION",
+    "V2_FORMAT_VERSION",
+    "CODEC_V1",
+    "CODEC_V2",
     "LAYOUT_VERSION",
     "CodecError",
     "ImageFormatError",
@@ -57,9 +66,11 @@ __all__ = [
     "ImageStore",
     "ImageInfo",
     "RecoveryReport",
+    "SaveRequest",
     "CrashOutcome",
     "enumerate_faults",
     "run_crash_matrix",
+    "run_delta_crash_matrix",
     "RECIPES",
     "build_recipe",
 ]

@@ -1,0 +1,580 @@
+"""Codec v2: the binary columnar image encoding.
+
+Where the v1 codec (:mod:`repro.durability.codec`) turns every value into
+tagged JSON — readable, but paying Python-level per-value dispatch on both
+sides plus JSON text overhead — v2 is a binary format built for the
+suspend path's actual data: big, regular collections of rows (saved rows,
+dumped heap state, sort sublists, hash partitions) plus small irregular
+control dicts. Design points:
+
+- **Columnar row blocks.** A list of same-arity tuples whose columns are
+  uniformly typed (the common case for every dump payload) is encoded as
+  typed column segments: one ``struct`` bulk pack per int64/float64
+  column instead of one dispatch per cell. Mixed columns fall back to
+  per-cell encoding inside the block, so the fast path never changes
+  what round-trips.
+- **String interning.** Every short string is written once (``SDEF``) and
+  referenced by index afterwards (``SREF``); operator labels, dict keys,
+  and dataclass field names collapse to one-byte varints.
+- **Frames.** The encoded byte stream is chunked into frames of bounded
+  size, each carrying its own CRC32 and an optional zlib-compressed
+  payload, behind a fixed stream magic. Frames are pure transport: the
+  value encoding runs straight through frame boundaries, so the encoder
+  can stream chunks to disk and its peak buffered memory is one chunk.
+- **Determinism.** Encoding the same value twice — in the same or a
+  different process — yields byte-identical output (PROTOCOL.md §7's
+  determinism rule, extended to image bytes): dict order is insertion
+  order (deterministic for everything the suspend path builds), set
+  members are sorted by ``repr``, floats are packed exactly, zlib runs at
+  a fixed level.
+
+The value domain is exactly v1's: scalars, lists, tuples, dicts with
+arbitrary keys, sets/frozensets, :class:`DumpHandle` references, and the
+registered spec/predicate dataclasses. ``CODEC_V2`` is recorded in the
+image manifest as ``codec_version``; v1 images remain fully readable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import struct
+import zlib
+from typing import Any, Callable, Iterator
+
+from repro.core.strategies import OpDecision, Strategy, SuspendPlan
+from repro.core.suspended_query import OpSuspendEntry, SuspendedQuery
+from repro.durability.codec import _DATACLASSES, CodecError
+from repro.storage.statefile import DumpHandle
+
+#: Codec identifiers recorded in the image manifest.
+CODEC_V1 = 1
+CODEC_V2 = 2
+
+#: Record-level version stamped inside the v2 control record.
+V2_FORMAT_VERSION = 2
+
+#: First bytes of every v2-encoded file.
+STREAM_MAGIC = b"RIMG2\x00"
+FRAME_MAGIC = b"F2"
+FRAME_HEADER = struct.Struct("<2sBIII")  # magic, flags, raw, stored, crc32
+FLAG_ZLIB = 0x01
+
+#: Target uncompressed frame payload size; the encoder's peak buffered
+#: memory is bounded by (roughly) one chunk.
+DEFAULT_CHUNK_BYTES = 256 * 1024
+#: zlib level: 1 trades a little ratio for a lot of speed, which is the
+#: right trade for a suspend path racing a wall clock.
+ZLIB_LEVEL = 1
+
+#: Strings longer than this are not interned (one-shot payloads would
+#: only bloat the intern table).
+INTERN_MAX_BYTES = 512
+
+#: Minimum row count before a list of tuples becomes a columnar block.
+ROWS_MIN = 4
+ROWS_MAX_ARITY = 64
+
+_I64_MIN = -(2**63)
+_I64_MAX = 2**63 - 1
+
+# Value tags ------------------------------------------------------------
+T_NONE = 0
+T_TRUE = 1
+T_FALSE = 2
+T_INT = 3
+T_FLOAT = 4
+T_SDEF = 5  # define a new interned string (implicitly assigns next id)
+T_SREF = 6  # reference an interned string by id
+T_SLONG = 7  # long string, never interned
+T_LIST = 8
+T_TUPLE = 9
+T_DICT = 10
+T_SET = 11
+T_FSET = 12
+T_HANDLE = 13
+T_OBJ = 14
+T_ROWS = 15  # columnar block: list of same-arity tuples
+
+# Column types inside a T_ROWS block
+C_GEN = 0
+C_I64 = 1
+C_F64 = 2
+C_STR = 3
+
+
+def _zigzag(n: int) -> int:
+    return (n << 1) if n >= 0 else ((-n << 1) - 1)
+
+
+def _unzigzag(u: int) -> int:
+    return (u >> 1) if not (u & 1) else -((u + 1) >> 1)
+
+
+class _Encoder:
+    """Streaming value encoder: fills a buffer, flushes frames to a sink."""
+
+    __slots__ = ("buf", "sink", "chunk_bytes", "compress", "strings")
+
+    def __init__(
+        self,
+        sink: Callable[[bytes], None],
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        compress: bool = True,
+    ):
+        self.buf = bytearray()
+        self.sink = sink
+        self.chunk_bytes = max(1024, chunk_bytes)
+        self.compress = compress
+        self.strings: dict[str, int] = {}
+
+    # -- low-level emitters -------------------------------------------
+    def uvarint(self, n: int) -> None:
+        buf = self.buf
+        while True:
+            b = n & 0x7F
+            n >>= 7
+            if n:
+                buf.append(b | 0x80)
+            else:
+                buf.append(b)
+                return
+
+    def string(self, s: str) -> None:
+        data = s.encode("utf-8")
+        if len(data) > INTERN_MAX_BYTES:
+            self.buf.append(T_SLONG)
+            self.uvarint(len(data))
+            self.buf += data
+            return
+        index = self.strings.get(s)
+        if index is None:
+            self.strings[s] = len(self.strings)
+            self.buf.append(T_SDEF)
+            self.uvarint(len(data))
+            self.buf += data
+        else:
+            self.buf.append(T_SREF)
+            self.uvarint(index)
+
+    # -- frames --------------------------------------------------------
+    def _flush(self, force: bool = False) -> None:
+        if not self.buf or (not force and len(self.buf) < self.chunk_bytes):
+            return
+        raw = bytes(self.buf)
+        self.buf.clear()
+        flags = 0
+        payload = raw
+        if self.compress:
+            packed = zlib.compress(raw, ZLIB_LEVEL)
+            if len(packed) < len(raw):
+                flags = FLAG_ZLIB
+                payload = packed
+        header = FRAME_HEADER.pack(
+            FRAME_MAGIC, flags, len(raw), len(payload), zlib.crc32(payload)
+        )
+        self.sink(header + payload)
+
+    def maybe_flush(self) -> None:
+        if len(self.buf) >= self.chunk_bytes:
+            self._flush()
+
+    # -- values --------------------------------------------------------
+    def value(self, v: Any) -> None:
+        buf = self.buf
+        t = type(v)
+        if v is None:
+            buf.append(T_NONE)
+        elif t is bool:
+            buf.append(T_TRUE if v else T_FALSE)
+        elif t is int:
+            buf.append(T_INT)
+            self.uvarint(_zigzag(v))
+        elif t is float:
+            buf.append(T_FLOAT)
+            buf += struct.pack("<d", v)
+        elif t is str:
+            self.string(v)
+        elif t is list:
+            if _rows_shape(v):
+                self._rows(v)
+            else:
+                buf.append(T_LIST)
+                self.uvarint(len(v))
+                for item in v:
+                    self.value(item)
+                    self.maybe_flush()
+        elif t is tuple:
+            buf.append(T_TUPLE)
+            self.uvarint(len(v))
+            for item in v:
+                self.value(item)
+                self.maybe_flush()
+        elif t is dict:
+            buf.append(T_DICT)
+            self.uvarint(len(v))
+            for key, item in v.items():
+                self.value(key)
+                self.value(item)
+                self.maybe_flush()
+        elif t is set or t is frozenset:
+            buf.append(T_SET if t is set else T_FSET)
+            self.uvarint(len(v))
+            for item in sorted(v, key=repr):
+                self.value(item)
+                self.maybe_flush()
+        elif t is DumpHandle:
+            buf.append(T_HANDLE)
+            self.string(v.key)
+            self.uvarint(v.pages)
+        elif dataclasses.is_dataclass(v) and t.__name__ in _DATACLASSES:
+            buf.append(T_OBJ)
+            self.string(t.__name__)
+            fields = dataclasses.fields(v)
+            self.uvarint(len(fields))
+            for f in fields:
+                self.string(f.name)
+                self.value(getattr(v, f.name))
+                self.maybe_flush()
+        elif isinstance(v, bool):  # bool subclasses (paranoia)
+            buf.append(T_TRUE if v else T_FALSE)
+        else:
+            raise CodecError(
+                f"cannot encode value of type {t.__name__!r} into an image"
+            )
+
+    def _rows(self, rows: list) -> None:
+        """Columnar block: per-column typed segments, struct bulk packs."""
+        buf = self.buf
+        buf.append(T_ROWS)
+        nrows = len(rows)
+        arity = len(rows[0])
+        self.uvarint(nrows)
+        self.uvarint(arity)
+        for col in range(arity):
+            values = [row[col] for row in rows]
+            ctype = _column_type(values)
+            buf.append(ctype)
+            if ctype == C_I64:
+                buf += struct.pack(f"<{nrows}q", *values)
+            elif ctype == C_F64:
+                buf += struct.pack(f"<{nrows}d", *values)
+            elif ctype == C_STR:
+                for s in values:
+                    self.string(s)
+            else:
+                for item in values:
+                    self.value(item)
+            self.maybe_flush()
+
+
+def _rows_shape(v: list) -> bool:
+    """Whether ``v`` qualifies for the columnar block encoding."""
+    if len(v) < ROWS_MIN or type(v[0]) is not tuple:
+        return False
+    arity = len(v[0])
+    if not 1 <= arity <= ROWS_MAX_ARITY:
+        return False
+    return all(type(row) is tuple and len(row) == arity for row in v)
+
+
+def _column_type(values: list) -> int:
+    first = type(values[0])
+    if first is int:
+        if all(
+            type(x) is int and _I64_MIN <= x <= _I64_MAX for x in values
+        ):
+            return C_I64
+        return C_GEN
+    if first is float:
+        if all(type(x) is float for x in values):
+            return C_F64
+        return C_GEN
+    if first is str:
+        if all(type(x) is str for x in values):
+            return C_STR
+        return C_GEN
+    return C_GEN
+
+
+class _Decoder:
+    """Mirror of :class:`_Encoder` over one contiguous value buffer."""
+
+    __slots__ = ("data", "pos", "strings")
+
+    def __init__(self, data: bytes):
+        self.data = data
+        self.pos = 0
+        self.strings: list[str] = []
+
+    def uvarint(self) -> int:
+        data, pos = self.data, self.pos
+        shift = 0
+        result = 0
+        while True:
+            b = data[pos]
+            pos += 1
+            result |= (b & 0x7F) << shift
+            if not (b & 0x80):
+                break
+            shift += 7
+        self.pos = pos
+        return result
+
+    def _string_tail(self, tag: int) -> str:
+        if tag == T_SREF:
+            return self.strings[self.uvarint()]
+        n = self.uvarint()
+        raw = bytes(self.data[self.pos : self.pos + n])
+        self.pos += n
+        s = raw.decode("utf-8")
+        if tag == T_SDEF:
+            self.strings.append(s)
+        return s
+
+    def value(self) -> Any:
+        tag = self.data[self.pos]
+        self.pos += 1
+        if tag == T_NONE:
+            return None
+        if tag == T_TRUE:
+            return True
+        if tag == T_FALSE:
+            return False
+        if tag == T_INT:
+            return _unzigzag(self.uvarint())
+        if tag == T_FLOAT:
+            v = struct.unpack_from("<d", self.data, self.pos)[0]
+            self.pos += 8
+            return v
+        if tag in (T_SDEF, T_SREF, T_SLONG):
+            return self._string_tail(tag)
+        if tag == T_LIST:
+            return [self.value() for _ in range(self.uvarint())]
+        if tag == T_TUPLE:
+            return tuple(self.value() for _ in range(self.uvarint()))
+        if tag == T_DICT:
+            n = self.uvarint()
+            out = {}
+            for _ in range(n):
+                key = self.value()
+                out[key] = self.value()
+            return out
+        if tag == T_SET:
+            return set(self.value() for _ in range(self.uvarint()))
+        if tag == T_FSET:
+            return frozenset(self.value() for _ in range(self.uvarint()))
+        if tag == T_HANDLE:
+            key_tag = self.data[self.pos]
+            self.pos += 1
+            key = self._string_tail(key_tag)
+            return DumpHandle(store_id=-1, key=key, pages=self.uvarint())
+        if tag == T_OBJ:
+            name_tag = self.data[self.pos]
+            self.pos += 1
+            name = self._string_tail(name_tag)
+            cls = _DATACLASSES.get(name)
+            if cls is None:
+                raise CodecError(f"image references unknown class {name!r}")
+            fields = {}
+            for _ in range(self.uvarint()):
+                field_tag = self.data[self.pos]
+                self.pos += 1
+                fname = self._string_tail(field_tag)
+                fields[fname] = self.value()
+            return cls(**fields)
+        if tag == T_ROWS:
+            return self._rows()
+        raise CodecError(f"unknown v2 value tag {tag!r}")
+
+    def _rows(self) -> list:
+        nrows = self.uvarint()
+        arity = self.uvarint()
+        columns = []
+        for _ in range(arity):
+            ctype = self.data[self.pos]
+            self.pos += 1
+            if ctype == C_I64:
+                col = struct.unpack_from(f"<{nrows}q", self.data, self.pos)
+                self.pos += 8 * nrows
+            elif ctype == C_F64:
+                col = struct.unpack_from(f"<{nrows}d", self.data, self.pos)
+                self.pos += 8 * nrows
+            elif ctype == C_STR:
+                col = []
+                for _ in range(nrows):
+                    tag = self.data[self.pos]
+                    self.pos += 1
+                    col.append(self._string_tail(tag))
+            elif ctype == C_GEN:
+                col = [self.value() for _ in range(nrows)]
+            else:
+                raise CodecError(f"unknown v2 column type {ctype!r}")
+            columns.append(col)
+        return list(zip(*columns))
+
+
+# ----------------------------------------------------------------------
+# Stream API
+# ----------------------------------------------------------------------
+def encode_to_stream(
+    value: Any,
+    sink: Callable[[bytes], None],
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    compress: bool = True,
+) -> None:
+    """Encode ``value`` as magic + frames, pushing chunks into ``sink``.
+
+    The sink receives the stream magic first, then one ``bytes`` object
+    per frame as the encoder's buffer fills; peak buffered memory is
+    bounded by roughly one chunk.
+    """
+    sink(STREAM_MAGIC)
+    enc = _Encoder(sink, chunk_bytes=chunk_bytes, compress=compress)
+    enc.value(value)
+    enc._flush(force=True)
+
+
+def encode_bytes(
+    value: Any,
+    chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    compress: bool = True,
+) -> bytes:
+    """Encode ``value`` into one in-memory byte string."""
+    chunks: list[bytes] = []
+    encode_to_stream(
+        value, chunks.append, chunk_bytes=chunk_bytes, compress=compress
+    )
+    return b"".join(chunks)
+
+
+def iter_frame_payloads(data: bytes) -> Iterator[bytes]:
+    """Yield each frame's raw (decompressed) payload, verifying CRCs."""
+    if not data.startswith(STREAM_MAGIC):
+        raise CodecError("not a v2 image stream (bad magic)")
+    view = memoryview(data)
+    pos = len(STREAM_MAGIC)
+    end = len(data)
+    while pos < end:
+        if end - pos < FRAME_HEADER.size:
+            raise CodecError("truncated v2 frame header")
+        magic, flags, raw_len, stored_len, crc = FRAME_HEADER.unpack_from(
+            view, pos
+        )
+        if magic != FRAME_MAGIC:
+            raise CodecError("corrupt v2 frame (bad frame magic)")
+        pos += FRAME_HEADER.size
+        if end - pos < stored_len:
+            raise CodecError("truncated v2 frame payload")
+        payload = bytes(view[pos : pos + stored_len])
+        pos += stored_len
+        if zlib.crc32(payload) != crc:
+            raise CodecError("v2 frame CRC mismatch (torn or corrupt frame)")
+        if flags & FLAG_ZLIB:
+            try:
+                payload = zlib.decompress(payload)
+            except zlib.error as exc:
+                raise CodecError(f"v2 frame decompression failed: {exc}") from exc
+        if len(payload) != raw_len:
+            raise CodecError("v2 frame length mismatch")
+        yield payload
+
+
+def decode_bytes(data: bytes) -> Any:
+    """Decode one value from a v2 stream produced by :func:`encode_bytes`."""
+    try:
+        buffer = b"".join(iter_frame_payloads(data))
+        dec = _Decoder(buffer)
+        value = dec.value()
+    except (IndexError, struct.error) as exc:
+        raise CodecError(f"truncated v2 value stream: {exc}") from exc
+    if dec.pos != len(buffer):
+        raise CodecError("trailing bytes after v2 value")
+    return value
+
+
+# ----------------------------------------------------------------------
+# SuspendedQuery records (the v2 control file)
+# ----------------------------------------------------------------------
+def suspended_query_to_record(sq: SuspendedQuery) -> dict:
+    """Raw-value control record; v2 needs no JSON tagging of values."""
+    plan = sq.suspend_plan
+    return {
+        "format_version": V2_FORMAT_VERSION,
+        "plan_spec": sq.plan_spec,
+        "suspend_plan": {
+            "source": plan.source,
+            "decisions": [
+                (
+                    op_id,
+                    plan.decisions[op_id].strategy.value,
+                    plan.decisions[op_id].goback_anchor,
+                    tuple(plan.decisions[op_id].dump_children),
+                )
+                for op_id in sorted(plan.decisions)
+            ],
+        },
+        "entries": [
+            {
+                "op": e.op_id,
+                "kind": e.kind,
+                "target_control": e.target_control,
+                "ckpt_payload": e.ckpt_payload,
+                "dump_handle": e.dump_handle,
+                "current_control": e.current_control,
+                "saved_rows": list(e.saved_rows),
+            }
+            for e in (sq.entries[op_id] for op_id in sorted(sq.entries))
+        ],
+        "root_rows_emitted": sq.root_rows_emitted,
+        "suspended_at": sq.suspended_at,
+    }
+
+
+def suspended_query_from_record(record: dict) -> SuspendedQuery:
+    version = record.get("format_version")
+    if version != V2_FORMAT_VERSION:
+        raise CodecError(
+            f"unsupported v2 record version {version!r} "
+            f"(this build reads version {V2_FORMAT_VERSION})"
+        )
+    plan_data = record["suspend_plan"]
+    decisions = {
+        op_id: OpDecision(
+            strategy=Strategy(strategy),
+            goback_anchor=anchor,
+            dump_children=tuple(children),
+        )
+        for op_id, strategy, anchor, children in plan_data["decisions"]
+    }
+    sq = SuspendedQuery(
+        plan_spec=record["plan_spec"],
+        suspend_plan=SuspendPlan(
+            decisions=decisions, source=plan_data.get("source", "manual")
+        ),
+        root_rows_emitted=record["root_rows_emitted"],
+        suspended_at=record["suspended_at"],
+    )
+    for item in record["entries"]:
+        sq.add_entry(
+            OpSuspendEntry(
+                op_id=item["op"],
+                kind=item["kind"],
+                target_control=item["target_control"],
+                ckpt_payload=item["ckpt_payload"],
+                dump_handle=item["dump_handle"],
+                current_control=item["current_control"],
+                saved_rows=item["saved_rows"],
+            )
+        )
+    return sq
+
+
+def encode_suspended_query(
+    sq: SuspendedQuery, chunk_bytes: int = DEFAULT_CHUNK_BYTES
+) -> bytes:
+    """One-call control-record encode (tests and benchmarks)."""
+    return encode_bytes(suspended_query_to_record(sq), chunk_bytes=chunk_bytes)
+
+
+def decode_suspended_query(data: bytes) -> SuspendedQuery:
+    return suspended_query_from_record(decode_bytes(data))

@@ -27,13 +27,15 @@ from __future__ import annotations
 import hashlib
 import json
 import os
-from typing import Any, Optional
+from typing import Any, Callable, Optional
 
 from repro.common.errors import ReproError
 from repro.durability.faults import FaultInjector, InjectedCrash
 
 MANIFEST_NAME = "MANIFEST.json"
 CONTROL_NAME = "control.json"
+#: Control-record filename for codec-v2 (binary) images.
+CONTROL_NAME_V2 = "control.bin"
 BLOB_PREFIX = "blob-"
 BLOB_SUFFIX = ".bin"
 TMP_SUFFIX = ".tmp"
@@ -57,7 +59,7 @@ def blob_filename(index: int) -> str:
 
 def is_image_file(name: str) -> bool:
     """Whether ``name`` is a file the commit protocol writes (final form)."""
-    return name == MANIFEST_NAME or name == CONTROL_NAME or (
+    return name in (MANIFEST_NAME, CONTROL_NAME, CONTROL_NAME_V2) or (
         name.startswith(BLOB_PREFIX) and name.endswith(BLOB_SUFFIX)
     )
 
@@ -104,6 +106,62 @@ def atomic_write(
     os.replace(tmp_path, final_path)
     fsync_dir(directory)
     injector.point(f"renamed:{name}")
+
+
+def atomic_write_stream(
+    directory: str,
+    name: str,
+    producer: "Callable[[Callable[[bytes], None]], None]",
+    injector: Optional[FaultInjector] = None,
+) -> tuple[str, int]:
+    """Stream-write ``directory/name`` with the atomic discipline.
+
+    The streaming sibling of :func:`atomic_write` for codec-v2 files:
+    ``producer(sink)`` pushes chunks (stream magic, then frames) into the
+    sink as it encodes, so peak memory stays bounded by one chunk, and
+    the SHA-256 the manifest needs is folded in on the way through.
+    Returns ``(sha256_hex, total_bytes)``.
+
+    The injector sees the same crash points as :func:`atomic_write`
+    (``before:``/``written:``/``renamed:``) plus the same per-file torn
+    label; a torn write here truncates mid-chunk — i.e. *inside* a v2
+    frame — leaving a partial frame whose CRC cannot verify.
+    """
+    injector = injector or FaultInjector()
+    injector.point(f"before:{name}")
+    tmp_path = os.path.join(directory, name + TMP_SUFFIX)
+    final_path = os.path.join(directory, name)
+    torn = injector.wants_torn(name)
+    digest = hashlib.sha256()
+    total = 0
+    with open(tmp_path, "wb") as fh:
+
+        def sink(chunk: bytes) -> None:
+            nonlocal total
+            if torn:
+                # The crash struck mid-write: a prefix of this chunk —
+                # half a frame — reaches the file, then the process
+                # dies. The partial temp file stays behind.
+                fh.write(chunk[: max(1, len(chunk) // 2)])
+                fh.flush()
+                os.fsync(fh.fileno())
+                raise InjectedCrash(f"torn:{name}")
+            fh.write(chunk)
+            digest.update(chunk)
+            total += len(chunk)
+
+        producer(sink)
+        if torn:
+            # The producer finished without offering a chunk to tear
+            # (empty stream); tear as an empty partial file.
+            raise InjectedCrash(f"torn:{name}")
+        fh.flush()
+        os.fsync(fh.fileno())
+    injector.point(f"written:{name}")
+    os.replace(tmp_path, final_path)
+    fsync_dir(directory)
+    injector.point(f"renamed:{name}")
+    return digest.hexdigest(), total
 
 
 def dump_json(value: Any) -> bytes:
@@ -154,6 +212,30 @@ def validate_manifest_dict(manifest: Any) -> None:
     for field in ("image_id", "files", "blobs", "control_file"):
         if field not in manifest:
             raise ImageFormatError(f"manifest lacks required field {field!r}")
+    # codec_version is absent from images written before codec v2 existed;
+    # absence means the v1 tagged-JSON codec.
+    codec_version = manifest.get("codec_version", 1)
+    if codec_version not in (1, 2):
+        raise ImageFormatError(
+            f"unsupported codec version {codec_version!r} "
+            "(this build reads versions 1 and 2)"
+        )
+    base = manifest.get("base_image_id")
+    if base is not None and not isinstance(base, str):
+        raise ImageFormatError("malformed base_image_id (must be a string)")
     for name, entry in manifest["files"].items():
         if not isinstance(entry, dict) or not {"sha256", "bytes"} <= set(entry):
             raise ImageFormatError(f"malformed file entry for {name!r}")
+    for blob in manifest["blobs"]:
+        if not isinstance(blob, dict) or "key" not in blob:
+            raise ImageFormatError("malformed blob entry in manifest")
+        if "file" not in blob and "ref" not in blob:
+            raise ImageFormatError(
+                f"blob {blob.get('key')!r} has neither a local file nor a "
+                "base-chain reference"
+            )
+
+
+def manifest_codec_version(manifest: dict) -> int:
+    """Codec version of a validated manifest (absence means v1)."""
+    return manifest.get("codec_version", 1)

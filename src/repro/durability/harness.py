@@ -15,12 +15,25 @@ lists every crash point and torn-write opportunity the protocol actually
 passes (so the matrix cannot drift out of sync with the code), then each
 fault is injected into a fresh image root and the aftermath is put
 through recovery and classified.
+
+The matrix is parametric in two new dimensions since codec v2:
+
+- ``codec_version`` — v1 saves pass through :func:`atomic_write` (torn
+  writes truncate JSON mid-document), v2 through
+  :func:`atomic_write_stream` (torn writes truncate *inside a CRC'd
+  frame*); both must classify as torn, never silently corrupt;
+- the **delta matrix** (:func:`run_delta_crash_matrix`) — a base image
+  is committed cleanly, one payload's generation is bumped, and the
+  fault strikes the *delta* commit. The claim strengthens: the delta is
+  torn/quarantined as usual AND the base image must remain committed and
+  loadable — a crashed delta can never take its chain down with it.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.core.suspended_query import SuspendedQuery
 from repro.durability.faults import FaultInjector, InjectedCrash
@@ -47,19 +60,58 @@ class CrashOutcome:
     #: The failure the claim forbids: classified committed but broken.
     silent_corruption: bool
     detail: str = ""
+    #: Delta matrix only: the pre-existing base image survived intact.
+    base_intact: bool = True
+
+
+def _make_store(
+    root: str,
+    injector: Optional[FaultInjector] = None,
+    codec_version: Optional[int] = None,
+) -> ImageStore:
+    if codec_version is None:
+        return ImageStore(root, injector=injector)
+    return ImageStore(root, injector=injector, codec_version=codec_version)
 
 
 def enumerate_faults(
-    sq: SuspendedQuery, store: StateStore, scratch_root: str
+    sq: SuspendedQuery,
+    store: StateStore,
+    scratch_root: str,
+    codec_version: Optional[int] = None,
 ) -> tuple[list[str], list[str]]:
     """Record every crash point and torn-write label one save passes."""
     recorder = FaultInjector()
-    ImageStore(scratch_root, injector=recorder).save(
+    _make_store(scratch_root, recorder, codec_version).save(
         sq, store, image_id="probe"
     )
     points = list(dict.fromkeys(recorder.observed_points))
     torn = list(dict.fromkeys(recorder.observed_torn))
     return points, torn
+
+
+def _classify(report, image_id: str) -> str:
+    if image_id in report.committed:
+        return "committed"
+    if image_id in report.torn:
+        return "torn"
+    if image_id in report.orphaned:
+        return "orphaned"
+    return "absent"
+
+
+def _check_committed(
+    survivor: ImageStore, sq: SuspendedQuery, image_id: str
+) -> tuple[bool, bool, str]:
+    """Validate+load a committed image; returns (loaded, silent, detail)."""
+    problems = survivor.validate(image_id)
+    if problems:
+        return False, True, "; ".join(problems)
+    try:
+        recovered = survivor.load(image_id)
+        return bool(recovered.entries) or not sq.entries, False, ""
+    except Exception as exc:  # any load failure is corruption
+        return False, True, str(exc)
 
 
 def run_one_fault(
@@ -68,12 +120,15 @@ def run_one_fault(
     root: str,
     injector: FaultInjector,
     fault: str,
+    codec_version: Optional[int] = None,
 ) -> CrashOutcome:
     """Inject one fault into a save under a fresh ``root``; classify."""
     crashed = False
     detail = ""
     try:
-        ImageStore(root, injector=injector).save(sq, store, image_id="img")
+        _make_store(root, injector, codec_version).save(
+            sq, store, image_id="img"
+        )
     except InjectedCrash as exc:
         crashed = True
         detail = str(exc)
@@ -81,29 +136,13 @@ def run_one_fault(
     # A new process starts: scan the root with no injector configured.
     survivor = ImageStore(root)
     report = survivor.recover()
-    if "img" in report.committed:
-        classification = "committed"
-    elif "img" in report.torn:
-        classification = "torn"
-    elif "img" in report.orphaned:
-        classification = "orphaned"
-    else:
-        classification = "absent"
+    classification = _classify(report, "img")
 
     loaded = False
     silent = False
     if classification == "committed":
-        problems = survivor.validate("img")
-        if problems:
-            silent = True
-            detail = "; ".join(problems)
-        else:
-            try:
-                recovered = survivor.load("img")
-                loaded = bool(recovered.entries) or not sq.entries
-            except Exception as exc:  # any load failure is corruption
-                silent = True
-                detail = str(exc)
+        loaded, silent, problem = _check_committed(survivor, sq, "img")
+        detail = problem or detail
         # A crash strictly before the manifest rename must not leave a
         # committed image behind — that would mean the commit point leaked.
         post_commit = {f"crash:{p}" for p in _POST_COMMIT_POINTS}
@@ -121,7 +160,9 @@ def run_one_fault(
 
 
 def run_crash_matrix(
-    make_suspended: "callable", root: str
+    make_suspended: "Callable",
+    root: str,
+    codec_version: Optional[int] = None,
 ) -> list[CrashOutcome]:
     """Run the full fault matrix; returns one outcome per fault.
 
@@ -133,7 +174,7 @@ def run_crash_matrix(
     """
     sq, store = make_suspended()
     points, torn_labels = enumerate_faults(
-        sq, store, os.path.join(root, "probe")
+        sq, store, os.path.join(root, "probe"), codec_version
     )
     outcomes: list[CrashOutcome] = []
     for index, point in enumerate(points):
@@ -145,6 +186,7 @@ def run_crash_matrix(
                 os.path.join(root, f"crash-{index:02d}"),
                 FaultInjector.crashing_at(point),
                 fault=f"crash:{point}",
+                codec_version=codec_version,
             )
         )
     for index, label in enumerate(torn_labels):
@@ -156,6 +198,144 @@ def run_crash_matrix(
                 os.path.join(root, f"torn-{index:02d}"),
                 FaultInjector.tearing(label),
                 fault=f"torn:{label}",
+                codec_version=codec_version,
+            )
+        )
+    return outcomes
+
+
+# ----------------------------------------------------------------------
+# Delta-commit matrix
+# ----------------------------------------------------------------------
+def bump_one_generation(sq: SuspendedQuery, store: StateStore) -> None:
+    """Re-dump one referenced payload so the next delta must rewrite it.
+
+    The payload bytes are unchanged but its write generation advances,
+    which is exactly what a repeat suspend after more execution looks
+    like to the delta planner — so the delta commit carries one local
+    blob alongside its base-chain references.
+    """
+    handles = sq.referenced_handles()
+    if not handles:
+        return
+    key = sorted(handles)[0]
+    payload, pages = store.export_payload(handles[key])
+    store.dump(key, payload, pages)
+
+
+def _commit_base(
+    sq: SuspendedQuery,
+    store: StateStore,
+    root: str,
+    codec_version: Optional[int],
+) -> None:
+    _make_store(root, None, codec_version).save(sq, store, image_id="base")
+    bump_one_generation(sq, store)
+
+
+def enumerate_delta_faults(
+    make_suspended: "Callable",
+    scratch_root: str,
+    codec_version: Optional[int] = None,
+) -> tuple[list[str], list[str]]:
+    """Crash points / torn labels a *delta* commit actually passes."""
+    sq, store = make_suspended()
+    _commit_base(sq, store, scratch_root, codec_version)
+    recorder = FaultInjector()
+    _make_store(scratch_root, recorder, codec_version).save(
+        sq, store, image_id="probe", base_image_id="base"
+    )
+    points = list(dict.fromkeys(recorder.observed_points))
+    torn = list(dict.fromkeys(recorder.observed_torn))
+    return points, torn
+
+
+def run_one_delta_fault(
+    make_suspended: "Callable",
+    root: str,
+    injector: FaultInjector,
+    fault: str,
+    codec_version: Optional[int] = None,
+) -> CrashOutcome:
+    """Commit a base cleanly, then inject ``fault`` into the delta commit.
+
+    Beyond the usual no-silent-corruption claim, the base image must
+    survive every mid-chain crash: it was durably committed before the
+    delta began, and nothing the delta does may disturb it.
+    """
+    sq, store = make_suspended()
+    _commit_base(sq, store, root, codec_version)
+    crashed = False
+    detail = ""
+    try:
+        _make_store(root, injector, codec_version).save(
+            sq, store, image_id="img", base_image_id="base"
+        )
+    except InjectedCrash as exc:
+        crashed = True
+        detail = str(exc)
+
+    survivor = ImageStore(root)
+    report = survivor.recover()
+    classification = _classify(report, "img")
+    base_loaded, base_broken, base_problem = (
+        _check_committed(survivor, sq, "base")
+        if "base" in report.committed
+        else (False, True, "base image not committed after delta crash")
+    )
+    base_intact = base_loaded and not base_broken
+
+    loaded = False
+    silent = False
+    if classification == "committed":
+        loaded, silent, problem = _check_committed(survivor, sq, "img")
+        detail = problem or detail
+        post_commit = {f"crash:{p}" for p in _POST_COMMIT_POINTS}
+        if crashed and fault not in post_commit:
+            silent = True
+            detail = detail or "pre-commit crash left a committed delta"
+    if not base_intact:
+        silent = True
+        detail = detail or base_problem
+    return CrashOutcome(
+        fault=fault,
+        crashed=crashed,
+        classification=classification,
+        loaded=loaded,
+        silent_corruption=silent,
+        detail=detail,
+        base_intact=base_intact,
+    )
+
+
+def run_delta_crash_matrix(
+    make_suspended: "Callable",
+    root: str,
+    codec_version: Optional[int] = None,
+) -> list[CrashOutcome]:
+    """The delta-commit fault sweep: every fault, base must survive."""
+    points, torn_labels = enumerate_delta_faults(
+        make_suspended, os.path.join(root, "probe"), codec_version
+    )
+    outcomes: list[CrashOutcome] = []
+    for index, point in enumerate(points):
+        outcomes.append(
+            run_one_delta_fault(
+                make_suspended,
+                os.path.join(root, f"crash-{index:02d}"),
+                FaultInjector.crashing_at(point),
+                fault=f"crash:{point}",
+                codec_version=codec_version,
+            )
+        )
+    for index, label in enumerate(torn_labels):
+        outcomes.append(
+            run_one_delta_fault(
+                make_suspended,
+                os.path.join(root, f"torn-{index:02d}"),
+                FaultInjector.tearing(label),
+                fault=f"torn:{label}",
+                codec_version=codec_version,
             )
         )
     return outcomes

@@ -10,7 +10,23 @@ Responsibilities:
 
 - :meth:`ImageStore.save` — export every payload a SuspendedQuery
   references, encode the control record, and commit the image with the
-  atomic manifest protocol of :mod:`repro.durability.format`;
+  atomic manifest protocol of :mod:`repro.durability.format`. Two codecs
+  are supported, selected per store or per save and recorded in the
+  manifest as ``codec_version``: the v1 tagged-JSON codec
+  (:mod:`repro.durability.codec`, human-readable) and the v2 binary
+  columnar codec (:mod:`repro.durability.codec2`, the fast path);
+- **delta images** — ``save(..., base_image_id=...)`` commits only the
+  blobs whose ``(key, pages, generation)`` triple is not already
+  persisted somewhere in the base image's chain; unchanged payloads
+  become manifest *references* into the ancestor image. Resume
+  materializes the base+delta chain transparently, and
+  :meth:`delete_chain` / :meth:`gc` collect whole chains together;
+- **parallel durable commit** — :meth:`save_many` serializes and fsyncs
+  several victims' images on a bounded thread pool (``commit_workers``).
+  A pure wall-clock optimization: on-disk bytes, virtual-clock charges,
+  and trace/metric records are identical to the serial path, because
+  exports happen up front on the calling thread and all tracing is
+  emitted after the barrier, in submission order;
 - :meth:`ImageStore.load` — verify checksums and reconstruct the
   SuspendedQuery with its payloads staged for import (the existing
   migration path charges the simulated-disk writes on resume, so cost
@@ -28,28 +44,33 @@ import os
 import shutil
 import time
 import uuid
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.common.errors import ReproError
 from repro.core.suspended_query import SuspendedQuery
-from repro.durability import codec
+from repro.durability import codec, codec2
+from repro.durability.codec2 import CODEC_V1, CODEC_V2
 from repro.durability.faults import FaultInjector
 from repro.obs.tracer import NULL_TRACER
 from repro.durability.format import (
     BLOB_PREFIX,
     CONTROL_NAME,
+    CONTROL_NAME_V2,
     LAYOUT_VERSION,
     MANIFEST_NAME,
     QUARANTINE_DIR,
     TMP_SUFFIX,
     ImageFormatError,
     atomic_write,
+    atomic_write_stream,
     blob_filename,
     dump_json,
     fsync_dir,
     is_image_file,
     load_json,
+    manifest_codec_version,
     read_file_checked,
     sha256_hex,
     validate_manifest_dict,
@@ -59,6 +80,10 @@ from repro.storage.statefile import StateStore
 
 class ImageNotFoundError(ReproError):
     """Raised when an image id does not name a committed image."""
+
+
+#: Hard ceiling on base+delta chain traversal (cycle/corruption guard).
+MAX_CHAIN_WALK = 64
 
 
 @dataclass(frozen=True)
@@ -72,6 +97,14 @@ class ImageInfo:
     num_blobs: int
     blob_pages: int
     total_bytes: int
+    #: Which codec wrote the image (1 = tagged JSON, 2 = binary columnar).
+    codec_version: int = CODEC_V1
+    #: For delta images: the image this one's references resolve into.
+    base_image_id: Optional[str] = None
+    #: Number of images in the base+delta chain, this one included.
+    chain_length: int = 1
+    #: Bytes this commit *reused* from ancestors instead of rewriting.
+    reused_bytes: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -82,6 +115,10 @@ class ImageInfo:
             "num_blobs": self.num_blobs,
             "blob_pages": self.blob_pages,
             "total_bytes": self.total_bytes,
+            "codec_version": self.codec_version,
+            "base_image_id": self.base_image_id,
+            "chain_length": self.chain_length,
+            "reused_bytes": self.reused_bytes,
         }
 
 
@@ -103,14 +140,64 @@ class RecoveryReport:
         }
 
 
+@dataclass
+class SaveRequest:
+    """One image commit, as submitted to :meth:`ImageStore.save_many`."""
+
+    sq: SuspendedQuery
+    store: StateStore
+    image_id: Optional[str] = None
+    meta: Optional[dict] = None
+    codec_version: Optional[int] = None
+    base_image_id: Optional[str] = None
+
+
+@dataclass
+class _PreparedSave:
+    """Main-thread snapshot of everything a worker needs to write."""
+
+    image_id: str
+    directory: str
+    codec_version: int
+    base_image_id: Optional[str]
+    #: Local blobs to encode+write: (filename, key, pages, gen, payload).
+    local_blobs: list
+    #: Manifest entries for payloads reused from the base chain.
+    ref_blobs: list
+    reused_bytes: int
+    sq: SuspendedQuery
+    meta: dict
+
+
 class ImageStore:
-    """Durable suspend images under ``root``, one directory per image."""
+    """Durable suspend images under ``root``, one directory per image.
+
+    ``codec_version`` selects the default encoding for new images (v2,
+    the binary columnar codec, unless told otherwise); every image
+    records its own codec in the manifest, so a root may mix versions
+    and old v1 images stay fully readable. ``commit_workers`` bounds the
+    thread pool :meth:`save_many` uses for parallel durable commits
+    (``<= 1`` means serial). ``max_chain`` caps base+delta chain length:
+    a save whose chain would grow past it is promoted to a full image.
+    """
 
     def __init__(
-        self, root: str, injector: Optional[FaultInjector] = None
+        self,
+        root: str,
+        injector: Optional[FaultInjector] = None,
+        codec_version: int = CODEC_V2,
+        commit_workers: int = 0,
+        max_chain: int = 8,
+        compress: bool = True,
     ):
+        if codec_version not in (CODEC_V1, CODEC_V2):
+            raise ValueError(f"unknown codec version {codec_version!r}")
         self.root = os.fspath(root)
         self.injector = injector or FaultInjector()
+        self.codec_version = codec_version
+        self.commit_workers = commit_workers
+        self.max_chain = max(1, max_chain)
+        self.compress = compress
         os.makedirs(self.root, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -123,6 +210,8 @@ class ImageStore:
         image_id: Optional[str] = None,
         meta: Optional[dict] = None,
         tracer=None,
+        codec_version: Optional[int] = None,
+        base_image_id: Optional[str] = None,
     ) -> ImageInfo:
         """Commit a suspend image; returns its :class:`ImageInfo`.
 
@@ -131,98 +220,295 @@ class ImageStore:
         dumped, and the image is the durable representation of that same
         simulated disk. The commit order is blobs, control record,
         manifest; the manifest rename is the commit point.
+
+        With ``base_image_id`` set, payloads already persisted in the
+        base chain (same key, pages, and state-store generation) are
+        *referenced* instead of rewritten — a delta image. The base must
+        stay on disk for the delta to load; use :meth:`delete_chain` /
+        :meth:`gc` to collect chains together.
         """
-        image_id = image_id or f"img-{uuid.uuid4().hex[:12]}"
+        prep = self._prepare_save(
+            SaveRequest(
+                sq=sq,
+                store=store,
+                image_id=image_id,
+                meta=meta,
+                codec_version=codec_version,
+                base_image_id=base_image_id,
+            )
+        )
+        result = self._write_image(prep)
+        return self._finish_save(prep, result, tracer)
+
+    def save_many(
+        self, requests: list[SaveRequest], tracer=None
+    ) -> list[ImageInfo]:
+        """Commit several images, serializing+fsyncing them concurrently.
+
+        Preparation (payload export, id allocation, delta planning) and
+        all trace/metric emission happen on the calling thread in request
+        order, so the produced bytes and records are identical to running
+        :meth:`save` in a loop; only the encode and file I/O in between
+        run on the pool. The call is a barrier: it returns after every
+        image is durably committed. With ``commit_workers <= 1``, a
+        single request, or any configured fault injection, the writes
+        run serially (fault injection is ordering-sensitive).
+        """
+        preps = [self._prepare_save(req) for req in requests]
+        faults_armed = bool(
+            self.injector.crash_points or self.injector.torn_points
+        )
+        if self.commit_workers > 1 and len(preps) > 1 and not faults_armed:
+            with ThreadPoolExecutor(
+                max_workers=min(self.commit_workers, len(preps))
+            ) as pool:
+                results = list(pool.map(self._write_image, preps))
+        else:
+            results = [self._write_image(prep) for prep in preps]
+        return [
+            self._finish_save(prep, result, tracer)
+            for prep, result in zip(preps, results)
+        ]
+
+    def _prepare_save(self, req: SaveRequest) -> _PreparedSave:
+        image_id = req.image_id or f"img-{uuid.uuid4().hex[:12]}"
         if os.sep in image_id or image_id.startswith("."):
             raise ValueError(f"invalid image id {image_id!r}")
         directory = os.path.join(self.root, image_id)
         if os.path.exists(os.path.join(directory, MANIFEST_NAME)):
             raise ValueError(f"image {image_id!r} already exists")
-        tracer = tracer if tracer is not None else NULL_TRACER
+        codec_version = (
+            req.codec_version
+            if req.codec_version is not None
+            else self.codec_version
+        )
+        if codec_version not in (CODEC_V1, CODEC_V2):
+            raise ValueError(f"unknown codec version {codec_version!r}")
+
+        base_image_id = req.base_image_id
+        persisted: dict[str, dict] = {}
+        if base_image_id is not None:
+            chain = self.chain(base_image_id)
+            if len(chain) >= self.max_chain:
+                # Rebase: a full image caps the resume/validate fan-out.
+                base_image_id = None
+            else:
+                persisted = self._chain_blob_map(chain)
+
+        local_blobs = []
+        ref_blobs = []
+        reused_bytes = 0
+        handles = req.sq.referenced_handles()
+        next_file = 0
+        for key in sorted(handles):
+            handle = handles[key]
+            payload, pages = req.store.export_payload(handle)
+            gen = req.store.generation(key)
+            prior = persisted.get(key)
+            if (
+                prior is not None
+                and prior["pages"] == pages
+                and prior.get("gen", -1) == gen
+                and gen > 0
+            ):
+                # Dump payloads are immutable once stored; an identical
+                # (key, pages, generation) triple in the base chain means
+                # the bytes are already durable — reference, don't rewrite.
+                ref_blobs.append(
+                    {
+                        "key": key,
+                        "pages": pages,
+                        "gen": gen,
+                        "ref": {
+                            "image_id": prior["image_id"],
+                            "file": prior["file"],
+                        },
+                    }
+                )
+                reused_bytes += prior["bytes"]
+            else:
+                name = blob_filename(next_file)
+                next_file += 1
+                local_blobs.append((name, key, pages, gen, payload))
+        return _PreparedSave(
+            image_id=image_id,
+            directory=directory,
+            codec_version=codec_version,
+            base_image_id=base_image_id,
+            local_blobs=local_blobs,
+            ref_blobs=ref_blobs,
+            reused_bytes=reused_bytes,
+            sq=req.sq,
+            meta=dict(req.meta or {}),
+        )
+
+    def _write_image(self, prep: _PreparedSave) -> dict:
+        """Encode and durably write one prepared image (worker-safe:
+        touches only ``prep``, the injector, and the filesystem)."""
         injector = self.injector
         injector.point("begin")
-        os.makedirs(directory, exist_ok=True)
+        os.makedirs(prep.directory, exist_ok=True)
+        start = time.perf_counter()
+        v2 = prep.codec_version == CODEC_V2
 
-        commit_start = tracer.now()
         files: dict[str, dict] = {}
         blobs: list[dict] = []
         total = 0
-        handles = sq.referenced_handles()
         blob_pages = 0
-        for index, key in enumerate(sorted(handles)):
-            handle = handles[key]
-            payload, pages = store.export_payload(handle)
-            name = blob_filename(index)
-            data = dump_json(
-                {"key": key, "pages": pages, "payload": codec.encode_value(payload)}
-            )
-            atomic_write(directory, name, data, injector)
-            files[name] = {"sha256": sha256_hex(data), "bytes": len(data)}
-            blobs.append({"file": name, "key": key, "pages": pages})
-            blob_pages += pages
-            total += len(data)
-        if tracer.enabled:
-            tracer.event(
-                "image.commit_step",
-                image_id=image_id,
-                step="blobs",
-                files=len(blobs),
-                pages=blob_pages,
-            )
+        for name, key, pages, gen, payload in prep.local_blobs:
+            if v2:
+                record = {"key": key, "pages": pages, "payload": payload}
 
-        control = dump_json(codec.suspended_query_to_dict(sq))
-        atomic_write(directory, CONTROL_NAME, control, injector)
-        files[CONTROL_NAME] = {
-            "sha256": sha256_hex(control),
-            "bytes": len(control),
-        }
-        total += len(control)
-        if tracer.enabled:
-            tracer.event(
-                "image.commit_step",
-                image_id=image_id,
-                step="control",
-                bytes=len(control),
+                def produce(sink, record=record):
+                    codec2.encode_to_stream(
+                        record, sink, compress=self.compress
+                    )
+
+                digest, nbytes = atomic_write_stream(
+                    prep.directory, name, produce, injector
+                )
+            else:
+                data = dump_json(
+                    {
+                        "key": key,
+                        "pages": pages,
+                        "payload": codec.encode_value(payload),
+                    }
+                )
+                atomic_write(prep.directory, name, data, injector)
+                digest, nbytes = sha256_hex(data), len(data)
+            files[name] = {"sha256": digest, "bytes": nbytes}
+            blobs.append(
+                {"file": name, "key": key, "pages": pages, "gen": gen}
             )
+            blob_pages += pages
+            total += nbytes
+        for entry in prep.ref_blobs:
+            blobs.append(dict(entry))
+            blob_pages += entry["pages"]
+        blobs.sort(key=lambda b: b["key"])
+
+        control_name = CONTROL_NAME_V2 if v2 else CONTROL_NAME
+        if v2:
+            record = codec2.suspended_query_to_record(prep.sq)
+
+            def produce_control(sink, record=record):
+                codec2.encode_to_stream(record, sink, compress=self.compress)
+
+            digest, control_bytes = atomic_write_stream(
+                prep.directory, control_name, produce_control, injector
+            )
+        else:
+            control = dump_json(codec.suspended_query_to_dict(prep.sq))
+            atomic_write(prep.directory, control_name, control, injector)
+            digest, control_bytes = sha256_hex(control), len(control)
+        files[control_name] = {"sha256": digest, "bytes": control_bytes}
+        total += control_bytes
+        blob_bytes = total - control_bytes
 
         manifest = {
             "layout_version": LAYOUT_VERSION,
-            "format_version": codec.FORMAT_VERSION,
-            "image_id": image_id,
+            "format_version": (
+                codec2.V2_FORMAT_VERSION if v2 else codec.FORMAT_VERSION
+            ),
+            "codec_version": prep.codec_version,
+            "base_image_id": prep.base_image_id,
+            "image_id": prep.image_id,
             "created_at": time.time(),
-            "meta": dict(meta or {}),
-            "control_file": CONTROL_NAME,
+            "meta": prep.meta,
+            "control_file": control_name,
             "files": files,
             "blobs": blobs,
         }
         data = dump_json(manifest)
-        atomic_write(directory, MANIFEST_NAME, data, injector)
+        atomic_write(prep.directory, MANIFEST_NAME, data, injector)
         fsync_dir(self.root)
         injector.point("committed")
+        return {
+            "manifest": manifest,
+            "manifest_bytes": len(data),
+            "payload_bytes": total,
+            "blob_bytes": blob_bytes,
+            "control_bytes": control_bytes,
+            "blob_pages": blob_pages,
+            "num_local_blobs": len(prep.local_blobs),
+            "encode_seconds": time.perf_counter() - start,
+        }
+
+    def _finish_save(
+        self, prep: _PreparedSave, result: dict, tracer
+    ) -> ImageInfo:
+        tracer = tracer if tracer is not None else NULL_TRACER
+        manifest = result["manifest"]
+        total = result["payload_bytes"]
+        written = total
+        delta_ratio = (
+            written / (written + prep.reused_bytes)
+            if (written + prep.reused_bytes) > 0
+            else 1.0
+        )
         if tracer.enabled:
-            # payload_bytes excludes the manifest: its wall-clock
-            # created_at makes the manifest length vary between runs,
-            # and trace records must stay byte-deterministic.
+            now = tracer.now()
+            tracer.event(
+                "image.commit_step",
+                image_id=prep.image_id,
+                step="blobs",
+                files=len(manifest["blobs"]),
+                pages=result["blob_pages"],
+            )
+            tracer.event(
+                "image.commit_step",
+                image_id=prep.image_id,
+                step="control",
+                bytes=result["control_bytes"],
+            )
+            # payload_bytes/bytes_written exclude the manifest: its
+            # wall-clock created_at makes the manifest length vary
+            # between runs, and trace records must stay byte-
+            # deterministic. encode_seconds is wall clock, so it goes to
+            # the volatile metrics only, never into trace records.
             tracer.event(
                 "image.commit",
-                ts=commit_start,
-                dur=round(tracer.now() - commit_start, 6),
-                image_id=image_id,
-                num_blobs=len(blobs),
-                blob_pages=blob_pages,
+                ts=now,
+                dur=0.0,
+                image_id=prep.image_id,
+                codec_version=prep.codec_version,
+                base_image_id=prep.base_image_id,
+                num_blobs=len(manifest["blobs"]),
+                reused_blobs=len(prep.ref_blobs),
+                blob_pages=result["blob_pages"],
                 payload_bytes=total,
+                bytes_written=written,
+                reused_bytes=prep.reused_bytes,
+                delta_ratio=round(delta_ratio, 6),
             )
             metrics = tracer.metrics
             metrics.counter("image_commits_total").inc()
             metrics.counter("image_payload_bytes_total").inc(total)
+            metrics.counter("image_bytes_written_total").inc(written)
+            metrics.counter(
+                "image_reused_bytes_total"
+            ).inc(prep.reused_bytes)
+            metrics.gauge("image_delta_ratio").set(round(delta_ratio, 6))
+            metrics.histogram(
+                "image_encode_seconds", volatile=True
+            ).observe(result["encode_seconds"])
         return ImageInfo(
-            image_id=image_id,
-            path=directory,
+            image_id=prep.image_id,
+            path=prep.directory,
             created_at=manifest["created_at"],
             meta=manifest["meta"],
-            num_blobs=len(blobs),
-            blob_pages=blob_pages,
-            total_bytes=total + len(data),
+            num_blobs=len(manifest["blobs"]),
+            blob_pages=result["blob_pages"],
+            total_bytes=total + result["manifest_bytes"],
+            codec_version=prep.codec_version,
+            base_image_id=prep.base_image_id,
+            chain_length=(
+                1
+                if prep.base_image_id is None
+                else len(self.chain(prep.image_id))
+            ),
+            reused_bytes=prep.reused_bytes,
         )
 
     # ------------------------------------------------------------------
@@ -240,38 +526,103 @@ class ImageStore:
         validate_manifest_dict(manifest)
         return manifest
 
+    def chain(self, image_id: str) -> list[str]:
+        """The base+delta chain, tip first, ending at the full image."""
+        chain: list[str] = []
+        current: Optional[str] = image_id
+        while current is not None:
+            if current in chain or len(chain) >= MAX_CHAIN_WALK:
+                raise ImageFormatError(
+                    f"image chain at {image_id!r} is cyclic or too deep"
+                )
+            chain.append(current)
+            current = self.manifest(current).get("base_image_id")
+        return chain
+
+    def _chain_blob_map(self, chain: list[str]) -> dict[str, dict]:
+        """Newest-wins map of every payload persisted along a chain:
+        key -> {pages, gen, image_id (owner of the file), file, bytes}."""
+        persisted: dict[str, dict] = {}
+        for ancestor in reversed(chain):  # oldest first; tip overrides
+            manifest = self.manifest(ancestor)
+            for blob in manifest["blobs"]:
+                if "file" in blob:
+                    owner, fname = ancestor, blob["file"]
+                    nbytes = manifest["files"][fname]["bytes"]
+                else:
+                    ref = blob["ref"]
+                    owner, fname = ref["image_id"], ref["file"]
+                    prior = persisted.get(blob["key"])
+                    nbytes = prior["bytes"] if prior else 0
+                persisted[blob["key"]] = {
+                    "pages": blob["pages"],
+                    "gen": blob.get("gen", -1),
+                    "image_id": owner,
+                    "file": fname,
+                    "bytes": nbytes,
+                }
+        return persisted
+
+    def _decode_control(self, manifest: dict, directory: str) -> SuspendedQuery:
+        data = read_file_checked(directory, manifest["control_file"], manifest)
+        if manifest_codec_version(manifest) == CODEC_V2:
+            return codec2.decode_suspended_query(data)
+        del data  # checksum verified above; reparse for clarity
+        record = load_json(os.path.join(directory, manifest["control_file"]))
+        return codec.suspended_query_from_dict(record)
+
+    def _decode_blob(self, data: bytes, codec_version: int) -> dict:
+        if codec_version == CODEC_V2:
+            decoded = codec2.decode_bytes(data)
+        else:
+            import json
+
+            decoded = json.loads(data.decode("utf-8"))
+            decoded["payload"] = codec.decode_value(decoded["payload"])
+        if not isinstance(decoded, dict) or not {
+            "key",
+            "pages",
+            "payload",
+        } <= set(decoded):
+            raise ImageFormatError("malformed image blob record")
+        return decoded
+
     def load(self, image_id: str) -> SuspendedQuery:
         """Verify and decode an image into a resumable SuspendedQuery.
 
-        Every file is checksum-verified before anything is decoded. The
-        returned structure has its dump payloads staged in
-        ``migrated_payloads``; ``QuerySession.resume`` imports them into
-        the target database's state store, charging the page writes there
-        exactly as a migration to a replica would.
+        Every file is checksum-verified before anything is decoded; for
+        delta images the base chain is walked and referenced blobs are
+        verified against *their* owning image's manifest. The returned
+        structure has its dump payloads staged in ``migrated_payloads``;
+        ``QuerySession.resume`` imports them into the target database's
+        state store, charging the page writes there exactly as a
+        migration to a replica would.
         """
         manifest = self.manifest(image_id)
         directory = self._image_dir(image_id)
-        control_data = read_file_checked(
-            directory, manifest["control_file"], manifest
-        )
-        record = load_json(
-            os.path.join(directory, manifest["control_file"])
-        )
-        del control_data  # checksum verified above; reparse for clarity
-        sq = codec.suspended_query_from_dict(record)
+        sq = self._decode_control(manifest, directory)
+        manifests: dict[str, dict] = {image_id: manifest}
         payloads: dict = {}
         for blob in manifest["blobs"]:
-            data = read_file_checked(directory, blob["file"], manifest)
-            decoded = load_json(os.path.join(directory, blob["file"]))
+            if "file" in blob:
+                owner_id, fname = image_id, blob["file"]
+            else:
+                ref = blob["ref"]
+                owner_id, fname = ref["image_id"], ref["file"]
+            owner_manifest = manifests.get(owner_id)
+            if owner_manifest is None:
+                owner_manifest = self.manifest(owner_id)
+                manifests[owner_id] = owner_manifest
+            owner_dir = self._image_dir(owner_id)
+            data = read_file_checked(owner_dir, fname, owner_manifest)
+            decoded = self._decode_blob(
+                data, manifest_codec_version(owner_manifest)
+            )
             if decoded["key"] != blob["key"] or decoded["pages"] != blob["pages"]:
                 raise ImageFormatError(
-                    f"blob {blob['file']!r} does not match its manifest entry"
+                    f"blob {fname!r} does not match its manifest entry"
                 )
-            payloads[blob["key"]] = (
-                codec.decode_value(decoded["payload"]),
-                blob["pages"],
-            )
-            del data
+            payloads[blob["key"]] = (decoded["payload"], blob["pages"])
         sq.migrated_payloads = payloads
         return sq
 
@@ -280,6 +631,21 @@ class ImageStore:
         directory = self._image_dir(image_id)
         total = sum(e["bytes"] for e in manifest["files"].values())
         total += os.path.getsize(os.path.join(directory, MANIFEST_NAME))
+        base = manifest.get("base_image_id")
+        reused = 0
+        for blob in manifest["blobs"]:
+            if "ref" in blob:
+                try:
+                    ref_manifest = self.manifest(blob["ref"]["image_id"])
+                    reused += ref_manifest["files"][blob["ref"]["file"]][
+                        "bytes"
+                    ]
+                except (ImageNotFoundError, ImageFormatError, KeyError):
+                    pass  # validate() reports broken refs in detail
+        try:
+            chain_length = len(self.chain(image_id)) if base else 1
+        except (ImageNotFoundError, ImageFormatError):
+            chain_length = 1
         return ImageInfo(
             image_id=manifest["image_id"],
             path=directory,
@@ -288,6 +654,10 @@ class ImageStore:
             num_blobs=len(manifest["blobs"]),
             blob_pages=sum(b["pages"] for b in manifest["blobs"]),
             total_bytes=total,
+            codec_version=manifest_codec_version(manifest),
+            base_image_id=base,
+            chain_length=chain_length,
+            reused_bytes=reused,
         )
 
     def list_images(self) -> list[ImageInfo]:
@@ -307,7 +677,13 @@ class ImageStore:
         return infos
 
     def validate(self, image_id: str) -> list[str]:
-        """Full verification; returns a list of problems (empty = ok)."""
+        """Full verification; returns a list of problems (empty = ok).
+
+        Delta images additionally require every chain reference to
+        resolve: the ancestor image must exist, its manifest must carry
+        the referenced file, and the file must verify against the
+        ancestor's checksums.
+        """
         problems: list[str] = []
         try:
             manifest = self.manifest(image_id)
@@ -326,6 +702,25 @@ class ImageStore:
                 continue
             if name not in manifest["files"]:
                 problems.append(f"unmanifested file {name!r} in image")
+        if manifest.get("base_image_id") is not None:
+            try:
+                self.chain(image_id)
+            except (ImageNotFoundError, ImageFormatError) as exc:
+                problems.append(f"broken image chain: {exc}")
+        for blob in manifest["blobs"]:
+            if "ref" not in blob:
+                continue
+            ref = blob["ref"]
+            try:
+                ref_manifest = self.manifest(ref["image_id"])
+                read_file_checked(
+                    self._image_dir(ref["image_id"]), ref["file"], ref_manifest
+                )
+            except (ImageNotFoundError, ImageFormatError) as exc:
+                problems.append(
+                    f"unresolvable blob reference {blob['key']!r} -> "
+                    f"{ref['image_id']}/{ref['file']}: {exc}"
+                )
         return problems
 
     # ------------------------------------------------------------------
@@ -338,12 +733,76 @@ class ImageStore:
         shutil.rmtree(directory)
         fsync_dir(self.root)
 
+    def dependents(self, image_id: str) -> list[str]:
+        """Committed images whose ``base_image_id`` is ``image_id``."""
+        out = []
+        for info in self.list_images():
+            if info.base_image_id == image_id:
+                out.append(info.image_id)
+        return out
+
+    def delete_chain(self, image_id: str) -> list[str]:
+        """Delete an image together with its whole base+delta chain.
+
+        Ancestors still referenced by a surviving delta outside the
+        chain are kept; everything else — the tip, its ancestors, and
+        any dependents of the tip — is removed. Returns deleted ids,
+        tip-most first.
+        """
+        try:
+            chain = self.chain(image_id)
+        except (ImageNotFoundError, ImageFormatError):
+            chain = [image_id]
+        doomed = set(chain)
+        # Grow downward too: deltas built *on top of* any doomed image
+        # cannot survive their base.
+        grew = True
+        while grew:
+            grew = False
+            for info in self.list_images():
+                if (
+                    info.base_image_id in doomed
+                    and info.image_id not in doomed
+                ):
+                    doomed.add(info.image_id)
+                    grew = True
+        # Keep ancestors that some surviving delta still references.
+        survivors = [
+            info for info in self.list_images() if info.image_id not in doomed
+        ]
+        protected: set[str] = set()
+        for info in survivors:
+            try:
+                protected.update(self.chain(info.image_id))
+            except (ImageNotFoundError, ImageFormatError):
+                continue
+        deleted = []
+        for iid in chain + sorted(doomed - set(chain)):
+            if iid in protected:
+                continue
+            try:
+                self.delete(iid)
+                deleted.append(iid)
+            except ImageNotFoundError:
+                continue
+        return deleted
+
     def gc(self, keep: Optional[set] = None) -> list[str]:
-        """Delete committed images not in ``keep``; returns deleted ids."""
-        keep = keep or set()
+        """Delete committed images not in ``keep``; returns deleted ids.
+
+        Chains are collected together: keeping a delta image implicitly
+        keeps every ancestor it needs to load.
+        """
+        keep = set(keep or ())
+        protected: set[str] = set()
+        for iid in keep:
+            try:
+                protected.update(self.chain(iid))
+            except (ImageNotFoundError, ImageFormatError):
+                protected.add(iid)
         deleted = []
         for info in self.list_images():
-            if info.image_id not in keep:
+            if info.image_id not in protected:
                 self.delete(info.image_id)
                 deleted.append(info.image_id)
         return deleted
@@ -355,10 +814,11 @@ class ImageStore:
         """Classify every root entry; quarantine torn/orphaned ones.
 
         - *committed*: a directory whose manifest parses and whose files
-          all verify — safe to resume from;
+          all verify — safe to resume from; for delta images this
+          includes every base-chain reference resolving;
         - *torn*: an interrupted or corrupted commit — a directory with
           image files (or temp files) but no valid, fully verified
-          manifest;
+          manifest, or a delta whose chain is broken;
         - *orphaned*: anything else at the root — stray files, empty or
           unrecognizable directories.
 
@@ -366,6 +826,13 @@ class ImageStore:
         (never deleted: they are evidence), so a subsequent scan of the
         root sees only committed images. The scan itself never raises on
         bad content — that is its purpose.
+
+        A crash mid-way through a *delta* commit quarantines only the
+        torn tip: its base chain was committed earlier, still verifies,
+        and remains resumable. Deltas are scanned after their bases
+        (chain walks look upward only), so a quarantined base also takes
+        its now-unresolvable deltas to quarantine on the same scan or
+        the next one.
         """
         tracer = tracer if tracer is not None else NULL_TRACER
         report = RecoveryReport()
@@ -399,6 +866,17 @@ class ImageStore:
                 tracer.event(
                     "image.recover_entry", image_id=name, status=status
                 )
+        # A base quarantined on this pass strands deltas scanned before
+        # it; sweep until the set of committed images is self-consistent.
+        swept = True
+        while swept:
+            swept = False
+            for name in list(report.committed):
+                if self.validate(name):
+                    report.committed.remove(name)
+                    report.torn.append(name)
+                    self._quarantine(name, report)
+                    swept = True
         if tracer.enabled:
             tracer.event(
                 "image.recover",

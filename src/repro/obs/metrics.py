@@ -58,12 +58,13 @@ class Counter:
     views can model resettable quantities (a killed query's emitted-row
     count restarts from zero)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "volatile")
 
     def __init__(self, name: str, labels: tuple):
         self.name = name
         self.labels = labels
         self.value = 0
+        self.volatile = False
 
     def inc(self, amount=1):
         self.value += amount
@@ -75,12 +76,13 @@ class Counter:
 class Gauge:
     """A point-in-time value (e.g. live contract-graph node count)."""
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "value", "volatile")
 
     def __init__(self, name: str, labels: tuple):
         self.name = name
         self.labels = labels
         self.value = 0
+        self.volatile = False
 
     def set(self, value):
         self.value = value
@@ -94,7 +96,15 @@ class Gauge:
 class Histogram:
     """Cumulative histogram over fixed bucket upper bounds."""
 
-    __slots__ = ("name", "labels", "boundaries", "bucket_counts", "sum", "count")
+    __slots__ = (
+        "name",
+        "labels",
+        "boundaries",
+        "bucket_counts",
+        "sum",
+        "count",
+        "volatile",
+    )
 
     def __init__(self, name: str, labels: tuple, boundaries=DEFAULT_BUCKETS):
         if list(boundaries) != sorted(boundaries):
@@ -106,6 +116,7 @@ class Histogram:
         self.bucket_counts = [0] * (len(self.boundaries) + 1)
         self.sum = 0.0
         self.count = 0
+        self.volatile = False
 
     def observe(self, value: float) -> None:
         self.sum += value
@@ -128,26 +139,29 @@ class MetricsRegistry:
     def __init__(self):
         self._metrics: dict[tuple, object] = {}
 
-    def _get(self, cls, name: str, labels: dict, **kwargs):
+    def _get(self, cls, name: str, labels: dict, volatile=False, **kwargs):
         key = (cls.__name__, name, _label_key(labels))
         metric = self._metrics.get(key)
         if metric is None:
             metric = cls(name, _label_key(labels), **kwargs)
+            metric.volatile = volatile
             self._metrics[key] = metric
         return metric
 
-    def counter(self, name: str, **labels) -> Counter:
-        return self._get(Counter, name, labels)
+    def counter(self, name: str, volatile: bool = False, **labels) -> Counter:
+        return self._get(Counter, name, labels, volatile=volatile)
 
-    def gauge(self, name: str, **labels) -> Gauge:
-        return self._get(Gauge, name, labels)
+    def gauge(self, name: str, volatile: bool = False, **labels) -> Gauge:
+        return self._get(Gauge, name, labels, volatile=volatile)
 
     def histogram(
-        self, name: str, boundaries=None, **labels
+        self, name: str, boundaries=None, volatile: bool = False, **labels
     ) -> Histogram:
         if boundaries is None:
-            return self._get(Histogram, name, labels)
-        return self._get(Histogram, name, labels, boundaries=boundaries)
+            return self._get(Histogram, name, labels, volatile=volatile)
+        return self._get(
+            Histogram, name, labels, volatile=volatile, boundaries=boundaries
+        )
 
     def total(self, name: str) -> float:
         """Sum of every counter value registered under ``name``.
@@ -168,10 +182,18 @@ class MetricsRegistry:
     # ------------------------------------------------------------------
     # Snapshots
     # ------------------------------------------------------------------
-    def as_dict(self) -> dict:
-        """Nested deterministic snapshot: kind -> series -> value."""
+    def as_dict(self, include_volatile: bool = False) -> dict:
+        """Nested deterministic snapshot: kind -> series -> value.
+
+        *Volatile* metrics carry wall-clock measurements (e.g. image
+        encode seconds) and so vary between identical runs; they are
+        excluded by default so the snapshot stays byte-deterministic, and
+        included only when a consumer asks (CLI exports for humans).
+        """
         out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
         for (kind, name, labels), metric in sorted(self._metrics.items()):
+            if metric.volatile and not include_volatile:
+                continue
             series = f"{name}{_format_labels(labels)}"
             if kind == "Counter":
                 out["counters"][series] = metric.value
@@ -193,10 +215,17 @@ class MetricsRegistry:
                 }
         return out
 
-    def render_text(self) -> str:
-        """Plain-text metrics snapshot (Prometheus-flavoured, sorted)."""
+    def render_text(self, include_volatile: bool = False) -> str:
+        """Plain-text metrics snapshot (Prometheus-flavoured, sorted).
+
+        Volatile (wall-clock) metrics are excluded unless asked for —
+        this render is byte-compared across runs by the determinism
+        tests, so only simulation-derived values may appear by default.
+        """
         lines: list[str] = []
         for (kind, name, labels), metric in sorted(self._metrics.items()):
+            if metric.volatile and not include_volatile:
+                continue
             series = f"{name}{_format_labels(labels)}"
             if kind in ("Counter", "Gauge"):
                 value = metric.value

@@ -86,8 +86,10 @@ class SuspendResumePolicy(PressurePolicy):
             return True
         victims = select_victims(scheduler.victim_candidates(record), excess)
         _trace_pressure(scheduler, record, excess, victims, "suspend")
-        for victim in victims:
-            scheduler.suspend_victim(victim)
+        # One batch: the in-memory suspends run in victim order (virtual
+        # clock unchanged vs. a loop), and the durable spill images commit
+        # through the store's bounded pool when one is configured.
+        scheduler.suspend_victims(victims)
         return scheduler.pressure_excess(record) <= 0
 
 

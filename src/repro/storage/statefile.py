@@ -45,6 +45,10 @@ class StateStore:
         self._store_id = next(self._ids)
         self._objects: dict[str, tuple[Any, int]] = {}
         self._key_seq = itertools.count(1)
+        # Per-key write generation: bumped every time a key is (re)dumped.
+        # Delta suspend images use it to prove a payload is byte-identical
+        # to the one a base image already persisted without re-encoding it.
+        self._generations: dict[str, int] = {}
 
     def fresh_key(self, prefix: str) -> str:
         """Generate a unique key with the given prefix."""
@@ -56,6 +60,7 @@ class StateStore:
             raise ValueError(f"negative page count {pages}")
         self._disk.write_pages(pages)
         self._objects[key] = (payload, pages)
+        self._generations[key] = self._generations.get(key, 0) + 1
         return DumpHandle(self._store_id, key, pages)
 
     def dump_tuples(
@@ -113,6 +118,16 @@ class StateStore:
         """Release a payload. Freeing is not charged (deallocation)."""
         self._check_handle(handle)
         del self._objects[handle.key]
+
+    def generation(self, key: str) -> int:
+        """Write generation of ``key`` (0 = never dumped here).
+
+        Dump payloads are immutable once stored (the paper treats them as
+        materialization points), so ``(key, pages, generation)`` equality
+        against an earlier export proves the payload bytes are unchanged —
+        the test the delta-image path uses to skip re-encoding.
+        """
+        return self._generations.get(key, 0)
 
     def exists(self, key: str) -> bool:
         return key in self._objects

@@ -467,8 +467,64 @@ def burst_trace(
     )
 
 
+def repeat_suspend_trace(
+    scale: int = 1,
+    seed: int = 1,
+    arrival_fractions: tuple[float, ...] = (0.3, 0.6),
+) -> Workload:
+    """Repeatedly evict one long join over a sorted intermediate.
+
+    The victim is a block NLJ whose outer is an external sort: during the
+    (long) emission phase the NLJ holds its outer buffer in memory — so
+    memory pressure can evict it — while the sort's unconsumed sublists
+    sit unchanged in the state store. Each high-priority arrival forces
+    another suspend of the same query, so this is the canonical workload
+    for delta spill images: a repeat suspend re-dumps only the in-memory
+    buffer and shares the sublist blobs with the previous image.
+    """
+    factory = _mixed_db_factory(scale, seed)
+    victim_plan = NLJSpec(
+        outer=SortSpec(
+            FilterSpec(
+                ScanSpec("facts", label="scan_facts"),
+                UniformSelect(1, 0.8),
+                label="filter",
+            ),
+            key_columns=(0,),
+            buffer_tuples=_scaled(MIXED_BUFFER_TUPLES, scale),
+            label="sort_facts",
+        ),
+        inner=ScanSpec("dims", label="scan_dims"),
+        condition=EquiJoinCondition(0, 0, modulus=500),
+        buffer_tuples=_scaled(MIXED_BUFFER_TUPLES, scale),
+        label="q_nlj_sort",
+    )
+    solo_time, peak = _solo_profile(factory(), victim_plan)
+    trace = ArrivalTrace(name="repeat-suspend")
+    trace.add("q_nlj_sort", victim_plan, arrival_time=0.0, priority=0)
+    for k, fraction in enumerate(arrival_fractions, start=1):
+        trace.add(
+            f"q_hi_{k}",
+            mixed_q_hi_plan(scale),
+            arrival_time=fraction * solo_time,
+            priority=10,
+        )
+    return Workload(
+        name="repeat-suspend",
+        db_factory=factory,
+        trace=trace,
+        memory_budget=max(1, peak // 2),
+        suspend_budget=0.2 * solo_time,
+        description=(
+            "staggered high-priority arrivals repeatedly evict one "
+            "long external sort (the delta-image workload)"
+        ),
+    )
+
+
 #: Trace-generator registry (the CLI's ``workload --trace`` choices).
 TRACES: dict[str, Callable[..., Workload]] = {
     "mixed": mixed_priority_trace,
     "burst": burst_trace,
+    "repeat-suspend": repeat_suspend_trace,
 }

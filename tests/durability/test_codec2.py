@@ -1,0 +1,333 @@
+"""Codec v2 unit and property tests.
+
+Round-trip identity over the full value domain, the columnar rows fast
+path, frame/CRC integrity, and — the PROTOCOL.md §7 determinism rule
+extended to image bytes — byte-identical re-encode, including across two
+interpreter processes.
+"""
+
+import hashlib
+import os
+import struct
+import subprocess
+import sys
+import zlib
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.lifecycle import QuerySession
+from repro.durability import build_recipe
+from repro.durability.codec import CodecError
+from repro.durability.codec2 import (
+    FLAG_ZLIB,
+    FRAME_HEADER,
+    STREAM_MAGIC,
+    T_ROWS,
+    decode_bytes,
+    decode_suspended_query,
+    encode_bytes,
+    encode_suspended_query,
+    iter_frame_payloads,
+)
+from repro.engine.plan import ScanSpec, SortSpec
+from repro.storage.statefile import DumpHandle
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+    "src",
+)
+
+
+def roundtrip(value, **kwargs):
+    data = encode_bytes(value, **kwargs)
+    return decode_bytes(data), data
+
+
+class TestValueRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            2**70,
+            -(2**70),
+            0.0,
+            -0.5,
+            1e300,
+            "",
+            "hello",
+            "x" * 2000,  # beyond INTERN_MAX_BYTES: the long-string path
+            [],
+            [1, "two", None, 3.0],
+            (1, 2),
+            {"a": 1, "b": [2, 3]},
+            {(1, 2): "tuple key", 7: "int key"},
+            {1, 2, 3},
+            frozenset({"a", "b"}),
+            [[1], [2, [3, {"deep": (4,)}]]],
+        ],
+    )
+    def test_scalar_and_container_identity(self, value):
+        decoded, _ = roundtrip(value)
+        assert decoded == value
+        assert type(decoded) is type(value)
+
+    def test_bool_and_int_stay_distinct(self):
+        decoded, _ = roundtrip([True, 1, False, 0])
+        assert [type(v) for v in decoded] == [bool, int, bool, int]
+
+    def test_dump_handle(self):
+        decoded, _ = roundtrip(DumpHandle(store_id=3, key="sub#1", pages=9))
+        assert decoded == DumpHandle(store_id=-1, key="sub#1", pages=9)
+
+    def test_registered_dataclass(self):
+        spec = SortSpec(ScanSpec("R"), key_columns=(0,), buffer_tuples=10)
+        decoded, _ = roundtrip(spec)
+        assert decoded == spec
+
+    def test_string_interning_shrinks_repeats(self):
+        repeated = ["the-same-label"] * 500
+        _, data = roundtrip(repeated, compress=False)
+        # One SDEF carries the bytes; 499 SREFs are ~2 bytes each.
+        assert len(data) < 500 * len("the-same-label")
+
+
+class TestColumnarRows:
+    def test_i64_f64_str_rows(self):
+        rows = [(i, i * 0.5, f"s{i % 3}") for i in range(100)]
+        decoded, data = roundtrip(rows, compress=False)
+        assert decoded == rows
+        assert all(type(r) is tuple for r in decoded)
+        payload = b"".join(iter_frame_payloads(data))
+        assert payload[0] == T_ROWS
+
+    def test_rows_use_bulk_packs(self):
+        rows = [(i, float(i)) for i in range(1000)]
+        _, data = roundtrip(rows, compress=False)
+        payload = b"".join(iter_frame_payloads(data))
+        # Two fixed-width column segments dominate: ~16 bytes per row,
+        # nowhere near a per-cell tagged encoding.
+        assert len(payload) < 1000 * 18
+
+    def test_mixed_column_falls_back(self):
+        rows = [(1, "a"), (2, "b"), ("three", "c"), (4, "d")]
+        decoded, _ = roundtrip(rows)
+        assert decoded == rows
+
+    def test_huge_int_column_falls_back(self):
+        rows = [(2**80 + i,) for i in range(8)]
+        decoded, _ = roundtrip(rows)
+        assert decoded == rows
+
+    def test_bool_column_stays_bool(self):
+        rows = [(True, 1), (False, 2), (True, 3), (False, 4)]
+        decoded, _ = roundtrip(rows)
+        assert decoded == rows
+        assert type(decoded[0][0]) is bool
+
+    def test_short_or_ragged_lists_take_generic_path(self):
+        for value in ([(1,), (2,)], [(1,), (2, 3), (4,), (5,)]):
+            decoded, _ = roundtrip(value)
+            assert decoded == value
+
+
+class TestFrames:
+    def test_stream_magic_and_multiple_frames(self):
+        rows = [(i, float(i), "payload") for i in range(5000)]
+        data = encode_bytes(rows, chunk_bytes=4096, compress=False)
+        assert data.startswith(STREAM_MAGIC)
+        frames = 0
+        pos = len(STREAM_MAGIC)
+        while pos < len(data):
+            _, _, _, stored, _ = FRAME_HEADER.unpack_from(data, pos)
+            pos += FRAME_HEADER.size + stored
+            frames += 1
+        assert frames > 1
+        assert decode_bytes(data) == rows
+
+    def test_compression_marks_flag_and_shrinks(self):
+        rows = [(i % 5, 0.25, "label") for i in range(2000)]
+        plain = encode_bytes(rows, compress=False)
+        packed = encode_bytes(rows, compress=True)
+        assert len(packed) < len(plain)
+        flags = packed[len(STREAM_MAGIC) + 2]
+        assert flags & FLAG_ZLIB
+        assert decode_bytes(packed) == rows
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(CodecError, match="magic"):
+            decode_bytes(b"NOPE" + encode_bytes([1, 2, 3])[4:])
+
+    def test_crc_flip_detected(self):
+        data = bytearray(encode_bytes({"k": list(range(50))}))
+        data[-1] ^= 0xFF
+        with pytest.raises(CodecError, match="CRC"):
+            decode_bytes(bytes(data))
+
+    def test_truncation_detected_at_every_cut(self):
+        data = encode_bytes([(i, float(i)) for i in range(64)])
+        for cut in (3, len(STREAM_MAGIC) + 4, len(data) // 2, len(data) - 1):
+            with pytest.raises(CodecError):
+                decode_bytes(data[:cut])
+
+    def test_trailing_garbage_detected(self):
+        payload = zlib.compress(b"\x00", 1)  # valid frame, bogus tail value
+        data = encode_bytes("x") + FRAME_HEADER.pack(
+            b"F2", FLAG_ZLIB, 1, len(payload), zlib.crc32(payload)
+        ) + payload
+        with pytest.raises(CodecError):
+            decode_bytes(data)
+
+
+# ----------------------------------------------------------------------
+# Property tests (PROTOCOL.md §7 determinism, extended to image bytes)
+# ----------------------------------------------------------------------
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**70), max_value=2**70),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+)
+
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=8),
+        st.lists(
+            st.tuples(
+                st.integers(-(2**63), 2**63 - 1), st.floats(allow_nan=False)
+            ),
+            min_size=4,
+            max_size=30,
+        ),
+        st.dictionaries(
+            st.one_of(scalars.filter(lambda v: v == v)), children, max_size=6
+        ),
+        st.sets(
+            st.integers() | st.text(max_size=10), max_size=6
+        ),
+        st.builds(
+            DumpHandle,
+            store_id=st.just(1),
+            key=st.text(max_size=12),
+            pages=st.integers(0, 1000),
+        ),
+    ),
+    max_leaves=40,
+)
+
+PROP = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def normalize_handles(value):
+    """Decoded DumpHandles carry store_id=-1 (unresolved); mirror that."""
+    if isinstance(value, DumpHandle):
+        return DumpHandle(store_id=-1, key=value.key, pages=value.pages)
+    if isinstance(value, dict):
+        return {
+            normalize_handles(k): normalize_handles(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        out = [normalize_handles(v) for v in value]
+        return out if isinstance(value, list) else tuple(out)
+    if isinstance(value, (set, frozenset)):
+        rebuilt = {normalize_handles(v) for v in value}
+        return rebuilt if isinstance(value, set) else frozenset(rebuilt)
+    return value
+
+
+@PROP
+@given(value=values)
+def test_property_roundtrip_identity_and_deterministic_reencode(value):
+    data = encode_bytes(value)
+    decoded = decode_bytes(data)
+    assert decoded == normalize_handles(value)
+    # Re-encoding the *decoded* value must reproduce the bytes exactly:
+    # nothing about the trip through the codec may perturb the encoding.
+    assert encode_bytes(decoded) == encode_bytes(normalize_handles(value))
+    # And encoding is a pure function of the value.
+    assert encode_bytes(value) == data
+
+
+@PROP
+@given(
+    value=values,
+    chunk=st.sampled_from([1024, 4096, 256 * 1024]),
+    compress=st.booleans(),
+)
+def test_property_framing_never_changes_the_value(value, chunk, compress):
+    data = encode_bytes(value, chunk_bytes=chunk, compress=compress)
+    assert decode_bytes(data) == normalize_handles(value)
+
+
+# ----------------------------------------------------------------------
+# SuspendedQuery round trip + cross-process byte identity
+# ----------------------------------------------------------------------
+def make_suspended(recipe="sort", rows=150):
+    db, plan = build_recipe(recipe)
+    session = QuerySession(db, plan)
+    session.execute(max_rows=rows)
+    return session.suspend(), db
+
+
+_ENCODE_SNIPPET = """
+import hashlib
+from repro.core.lifecycle import QuerySession
+from repro.durability import build_recipe
+from repro.durability.codec2 import encode_suspended_query
+db, plan = build_recipe({recipe!r})
+session = QuerySession(db, plan)
+session.execute(max_rows={rows})
+sq = session.suspend()
+print(hashlib.sha256(encode_suspended_query(sq)).hexdigest())
+"""
+
+
+@pytest.mark.parametrize("recipe", ("sort", "hashjoin", "hashagg"))
+def test_suspended_query_roundtrip(recipe):
+    sq, _ = make_suspended(recipe, rows=6 if recipe == "hashagg" else 40)
+    data = encode_suspended_query(sq)
+    back = decode_suspended_query(data)
+    assert back.root_rows_emitted == sq.root_rows_emitted
+    assert back.suspended_at == sq.suspended_at
+    assert set(back.entries) == set(sq.entries)
+    assert back.suspend_plan.decisions == sq.suspend_plan.decisions
+    for op_id, entry in sq.entries.items():
+        other = back.entries[op_id]
+        assert other.kind == entry.kind
+        assert other.saved_rows == entry.saved_rows
+    # Re-encode of the decoded structure is byte-identical.
+    assert encode_suspended_query(back) == data
+
+
+def test_cross_process_encode_is_byte_identical(tmp_path):
+    sq, _ = make_suspended("sort", rows=150)
+    local = hashlib.sha256(encode_suspended_query(sq)).hexdigest()
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        REPO_SRC if not existing else REPO_SRC + os.pathsep + existing
+    )
+    out = subprocess.run(
+        [
+            sys.executable,
+            "-c",
+            _ENCODE_SNIPPET.format(recipe="sort", rows=150),
+        ],
+        env=env,
+        capture_output=True,
+        text=True,
+    )
+    assert out.returncode == 0, out.stderr
+    assert out.stdout.strip() == local

@@ -1,0 +1,103 @@
+"""Cross-codec-version compatibility.
+
+A v1 image written by an earlier build (checked in under
+``fixtures/v1-images``) must stay loadable and resumable forever, and a
+query suspended today must resume to identical output regardless of
+which codec wrote the image.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import run_images
+from repro.core.lifecycle import QuerySession
+from repro.durability import CODEC_V1, CODEC_V2, ImageStore, build_recipe
+from repro.durability.format import manifest_codec_version
+
+FIXTURE_ROOT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "fixtures", "v1-images"
+)
+
+
+def reference_rows(recipe="sort"):
+    db, plan = build_recipe(recipe)
+    return QuerySession(db, plan).execute().rows
+
+
+def suspend_partway(recipe="sort", rows=40):
+    db, plan = build_recipe(recipe)
+    session = QuerySession(db, plan)
+    session.execute(max_rows=rows)
+    return db, session.suspend()
+
+
+class TestV1Fixture:
+    def test_fixture_validates_and_reports_codec_v1(self):
+        store = ImageStore(FIXTURE_ROOT)
+        assert store.validate("v1-fixture") == []
+        assert store.info("v1-fixture").codec_version == CODEC_V1
+        assert manifest_codec_version(store.manifest("v1-fixture")) == CODEC_V1
+
+    def test_fixture_resumes_to_reference_output(self):
+        store = ImageStore(FIXTURE_ROOT)
+        loaded = store.load("v1-fixture")
+        fresh_db, _ = build_recipe("sort")
+        resumed = QuerySession.resume(fresh_db, loaded)
+        rest = resumed.execute().rows
+        reference = reference_rows("sort")
+        assert rest == reference[40:]
+
+    def test_images_cli_reports_codec_version(self):
+        listing = json.loads(run_images(FIXTURE_ROOT, as_json=True))
+        (row,) = listing["images"]
+        assert row["codec_version"] == CODEC_V1
+        assert row["valid"]
+        text = run_images(FIXTURE_ROOT)
+        assert "codec v1" in text
+
+
+class TestCrossCodecEquivalence:
+    @pytest.mark.parametrize("recipe", ("sort", "hashjoin"))
+    def test_same_rows_from_either_codec(self, recipe, tmp_path):
+        reference = reference_rows(recipe)
+        prefix = max(1, len(reference) // 3)
+        rests = {}
+        for codec in (CODEC_V1, CODEC_V2):
+            db, sq = suspend_partway(recipe, rows=prefix)
+            store = ImageStore(
+                str(tmp_path / f"v{codec}"), codec_version=codec
+            )
+            info = store.save(sq, db.state_store, image_id="img")
+            assert info.codec_version == codec
+            fresh_db, _ = build_recipe(recipe)
+            resumed = QuerySession.resume(fresh_db, store.load("img"))
+            rests[codec] = resumed.execute().rows
+        assert rests[CODEC_V1] == rests[CODEC_V2]
+        assert (
+            reference[prefix:] == rests[CODEC_V2]
+        ), "v2 resume must match the uninterrupted reference run"
+
+    def test_v2_resume_of_v1_written_today(self, tmp_path):
+        db, sq = suspend_partway("sort", rows=30)
+        store_v1 = ImageStore(str(tmp_path), codec_version=CODEC_V1)
+        store_v1.save(sq, db.state_store, image_id="img")
+        # A default (v2) store reads the same root: dispatch is per-image.
+        store_v2 = ImageStore(str(tmp_path))
+        loaded = store_v2.load("img")
+        fresh_db, _ = build_recipe("sort")
+        rest = QuerySession.resume(fresh_db, loaded).execute().rows
+        assert rest == reference_rows("sort")[30:]
+
+    def test_v2_is_smaller_than_v1(self, tmp_path):
+        db, sq = suspend_partway("sort", rows=40)
+        sizes = {}
+        for codec in (CODEC_V1, CODEC_V2):
+            store = ImageStore(
+                str(tmp_path / f"v{codec}"), codec_version=codec
+            )
+            sizes[codec] = store.save(
+                sq, db.state_store, image_id="img"
+            ).total_bytes
+        assert sizes[CODEC_V2] * 3 <= sizes[CODEC_V1]

@@ -5,7 +5,7 @@ import os
 import pytest
 
 from repro.core.lifecycle import QuerySession
-from repro.durability import ImageStore, build_recipe
+from repro.durability import ImageStore, SaveRequest, build_recipe
 from repro.durability.format import ImageFormatError, MANIFEST_NAME
 from repro.durability.store import ImageNotFoundError
 
@@ -88,6 +88,51 @@ class TestInventory:
             store.save(sq, db.state_store, image_id="../escape")
 
 
+class TestParallelCommit:
+    def _requests(self):
+        requests = []
+        for recipe in SHAPES:
+            db, sq, _ = suspend_partway(
+                recipe, rows=6 if recipe == "hashagg" else 60
+            )
+            requests.append(
+                SaveRequest(
+                    sq, db.state_store, image_id=f"img-{recipe}"
+                )
+            )
+        return requests
+
+    def test_save_many_parallel_matches_serial_bytes(self, tmp_path):
+        manifests = {}
+        for label, workers in (("serial", 0), ("parallel", 3)):
+            store = ImageStore(
+                str(tmp_path / label), commit_workers=workers
+            )
+            infos = store.save_many(self._requests())
+            assert [i.image_id for i in infos] == [
+                f"img-{r}" for r in SHAPES
+            ]
+            assert all(store.validate(i.image_id) == [] for i in infos)
+            manifests[label] = {
+                i.image_id: store.manifest(i.image_id) for i in infos
+            }
+        # created_at is wall clock; everything else (checksums included)
+        # must be byte-identical between the serial and parallel paths.
+        for mf in manifests.values():
+            for m in mf.values():
+                m.pop("created_at")
+        assert manifests["serial"] == manifests["parallel"]
+
+    def test_save_many_parallel_images_load(self, tmp_path):
+        store = ImageStore(str(tmp_path), commit_workers=3)
+        store.save_many(self._requests())
+        for recipe in SHAPES:
+            loaded = store.load(f"img-{recipe}")
+            fresh_db, _ = build_recipe(recipe)
+            resumed = QuerySession.resume(fresh_db, loaded)
+            assert resumed.execute().rows is not None
+
+
 class TestCorruptionDetection:
     def _committed(self, tmp_path):
         store = ImageStore(str(tmp_path))
@@ -111,7 +156,8 @@ class TestCorruptionDetection:
 
     def test_truncated_control_detected(self, tmp_path):
         store, info = self._committed(tmp_path)
-        path = os.path.join(info.path, "control.json")
+        control = store.manifest("img")["control_file"]
+        path = os.path.join(info.path, control)
         data = open(path, "rb").read()
         with open(path, "wb") as fh:
             fh.write(data[: len(data) // 2])

@@ -7,11 +7,14 @@ change scheduling outcomes, and completed queries must garbage-collect
 their images.
 """
 
+import json
+
 import pytest
 
-from repro.durability import ImageStore
+from repro.durability import CODEC_V1, CODEC_V2, ImageStore
+from repro.obs import Tracer
 from repro.service import QueryScheduler, SchedulerConfig
-from repro.workloads.plans import mixed_priority_trace
+from repro.workloads.plans import mixed_priority_trace, repeat_suspend_trace
 
 SCALE = 4
 SEED = 1
@@ -22,16 +25,29 @@ def workload():
     return mixed_priority_trace(scale=SCALE, seed=SEED)
 
 
-def run_trace(workload, image_store=None):
+@pytest.fixture(scope="module")
+def repeat():
+    # Suspends the long-running q_nlj_sort twice while its sort sublists
+    # sit unchanged on disk: the repeat-suspend (delta image) workload.
+    return repeat_suspend_trace(scale=1, seed=1)
+
+
+def run_trace(workload, image_store=None, tracer=None, **overrides):
     config = SchedulerConfig(
         policy="suspend-resume",
         memory_budget=workload.memory_budget,
         suspend_budget=workload.suspend_budget,
         image_store=image_store,
+        tracer=tracer,
+        **overrides,
     )
     scheduler = QueryScheduler(workload.db_factory(), config)
     scheduler.submit_trace(workload.trace)
     return scheduler, scheduler.run()
+
+
+def commit_records(tracer):
+    return [r for r in tracer.records if r["type"] == "image.commit"]
 
 
 class TestDurableSpill:
@@ -83,3 +99,82 @@ class TestDurableSpill:
         victim = spills[0].query
         record = next(r for r in scheduler.records if r.name == victim)
         assert record.stats.durable_spills >= 1
+
+
+class TestFastPathSpill:
+    """Codec v2, delta images, and parallel commit on the spill path."""
+
+    def _outcome(self, stats):
+        return (
+            stats.queries_completed,
+            {q.name: q.rows_emitted for q in stats.per_query.values()},
+            stats.total_turnaround(),
+        )
+
+    def test_delta_spill_reuses_blobs_and_shrinks_bytes(
+        self, repeat, tmp_path
+    ):
+        tracer = Tracer()
+        _, stats = run_trace(
+            repeat, image_store=str(tmp_path / "delta"), tracer=tracer
+        )
+        assert stats.suspends > 1, "trace must suspend repeatedly"
+        commits = commit_records(tracer)
+        assert commits and all(c["codec_version"] == CODEC_V2 for c in commits)
+        deltas = [c for c in commits if c["base_image_id"]]
+        assert deltas, "repeat suspends must commit delta images"
+        assert any(c["reused_blobs"] > 0 for c in deltas)
+        # The unchanged sort sublists dominate the image: the delta must
+        # be a small fraction of a full re-commit.
+        assert min(c["delta_ratio"] for c in deltas) < 0.25
+
+        plain = Tracer()
+        _, full_stats = run_trace(
+            repeat,
+            image_store=str(tmp_path / "full"),
+            tracer=plain,
+            delta_spill=False,
+        )
+        full = commit_records(plain)
+        assert all(c["base_image_id"] is None for c in full)
+        assert sum(c["bytes_written"] for c in commits) < sum(
+            c["bytes_written"] for c in full
+        )
+        # Durability never perturbs the simulation itself.
+        assert self._outcome(stats) == self._outcome(full_stats)
+
+    @pytest.mark.parametrize("codec", (CODEC_V1, CODEC_V2))
+    def test_codec_choice_does_not_change_outcomes(
+        self, workload, tmp_path, codec
+    ):
+        _, plain = run_trace(workload)
+        _, spilled = run_trace(
+            workload, image_store=str(tmp_path), image_codec=codec
+        )
+        assert self._outcome(spilled) == self._outcome(plain)
+
+    def test_parallel_commit_matches_serial_byte_for_byte(
+        self, repeat, tmp_path
+    ):
+        traces = {}
+        for label, workers in (("serial", 0), ("parallel", 4)):
+            tracer = Tracer()
+            _, stats = run_trace(
+                repeat,
+                image_store=str(tmp_path / label),
+                tracer=tracer,
+                commit_workers=workers,
+            )
+            traces[label] = (
+                [json.dumps(r, sort_keys=True) for r in tracer.records],
+                tracer.metrics.render_text(),
+                self._outcome(stats),
+            )
+        assert traces["serial"] == traces["parallel"]
+
+    def test_parallel_commit_images_validate(self, workload, tmp_path):
+        store = ImageStore(str(tmp_path), commit_workers=4)
+        scheduler, stats = run_trace(workload, image_store=store)
+        assert stats.durable_spills == stats.suspends
+        # Completed queries GC their chains; nothing may linger.
+        assert store.list_images() == []
