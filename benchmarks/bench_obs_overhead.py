@@ -26,7 +26,7 @@ import pathlib
 import time
 from typing import Optional
 
-from repro.core.lifecycle import QuerySession, SuspendOptions, SuspendStrategy
+from repro.core.lifecycle import QuerySession, SuspendSpec, SuspendStrategy
 from repro.engine.base import Operator, Row
 from repro.obs import Tracer, use_tracer
 from repro.workloads.plans import build_nlj_s
@@ -57,7 +57,7 @@ def fig8_style_run() -> None:
         db, plan = build_nlj_s(selectivity, scale=SCALE)
         session = QuerySession(db, plan, name="bench")
         session.execute(max_rows=50)
-        sq = session.suspend(SuspendOptions(strategy=SuspendStrategy.LP))
+        sq = session.suspend(SuspendSpec(strategy=SuspendStrategy.LP))
         resumed = QuerySession.resume(db, sq)
         resumed.execute()
 

@@ -35,7 +35,7 @@ import sys
 import time
 
 from repro.core.checkpoint import Checkpoint, Contract
-from repro.core.lifecycle import QuerySession, SuspendOptions, SuspendStrategy
+from repro.core.lifecycle import QuerySession, SuspendSpec, SuspendStrategy
 from repro.core.suspended_query import OpSuspendEntry
 from repro.engine.config import EngineConfig
 from repro.engine.plan import (
@@ -191,7 +191,7 @@ def _run_suspend_resume(batch: bool) -> dict:
     session = QuerySession(db, plan, config=config)
     start = time.perf_counter()
     session.execute(max_rows=200, collect=False)
-    sq = session.suspend(SuspendOptions(strategy=SuspendStrategy.LP))
+    sq = session.suspend(SuspendSpec(strategy=SuspendStrategy.LP))
     resumed = QuerySession.resume(db, sq, config=config)
     resumed.execute(collect=False)
     elapsed = time.perf_counter() - start

@@ -18,7 +18,7 @@ import subprocess
 import sys
 import tempfile
 
-from repro.core.lifecycle import QuerySession, SuspendOptions, SuspendStrategy
+from repro.core.lifecycle import QuerySession, SuspendSpec, SuspendStrategy
 from repro.durability import ImageStore, build_recipe
 
 RECIPE = "smj"  # sort-merge join: two external sorts' state in the image
@@ -41,7 +41,7 @@ def main():
     # rebuild the identical base tables.
     image_root = tempfile.mkdtemp(prefix="grid-images-")
     session.suspend(
-        SuspendOptions(strategy=SuspendStrategy.LP, budget=50.0),
+        SuspendSpec(strategy=SuspendStrategy.LP, budget=50.0),
         persist_to=image_root,
         image_meta={"recipe": RECIPE, "scale": 1, "seed": 0},
     )

@@ -24,7 +24,7 @@ from repro import (
     QuerySession,
     ScanSpec,
     SortSpec,
-    SuspendOptions,
+    SuspendSpec,
     SuspendStrategy,
 )
 from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
@@ -91,7 +91,7 @@ def main():
     deadline_budget = 40.0
     for name, session in sessions.items():
         sq = session.suspend(
-            SuspendOptions(strategy=SuspendStrategy.LP, budget=deadline_budget)
+            SuspendSpec(strategy=SuspendStrategy.LP, budget=deadline_budget)
         )
         sq.export_payloads(db.state_store)
         wire[name] = pickle.dumps(sq)

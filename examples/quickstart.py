@@ -13,7 +13,7 @@ from repro import (
     NLJSpec,
     QuerySession,
     ScanSpec,
-    SuspendOptions,
+    SuspendSpec,
     SuspendStrategy,
 )
 from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
@@ -50,7 +50,7 @@ def main():
 
     # 4. Suspend. The online optimizer picks DumpState or GoBack per
     # operator from exact runtime state; all resources are then released.
-    sq = session.suspend(SuspendOptions(strategy=SuspendStrategy.LP))
+    sq = session.suspend(SuspendSpec(strategy=SuspendStrategy.LP))
     print("\nchosen suspend plan:")
     print(sq.suspend_plan.describe({0: "join", 1: "filter",
                                     2: "scan_orders", 3: "scan_parts"}))

@@ -26,7 +26,7 @@ Quickstart — one suspend/resume cycle::
 
     from repro import (
         Database, FilterSpec, NLJSpec, QuerySession, ScanSpec,
-        SuspendOptions, SuspendStrategy,
+        SuspendSpec, SuspendStrategy,
     )
     from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
     from repro.relational.expressions import EquiJoinCondition, UniformSelect
@@ -42,9 +42,13 @@ Quickstart — one suspend/resume cycle::
     )
     session = QuerySession(db, plan)
     session.execute(max_rows=100)
-    sq = session.suspend(SuspendOptions(strategy=SuspendStrategy.LP))
+    sq = session.suspend(SuspendSpec(strategy=SuspendStrategy.LP))
     resumed = QuerySession.resume(db, sq)
     rest = resumed.execute()
+
+Quickstart — serving over HTTP with continuation tokens::
+
+    python -m repro.cli serve-http --port 8351   # then see docs/SERVING.md
 
 Quickstart — serving a multi-query arrival trace::
 
@@ -62,7 +66,8 @@ from repro.core.lifecycle import (
     ExecutionResult,
     QuerySession,
     QueryStatus,
-    SuspendOptions,
+    SuspendOptions,  # deprecated alias of SuspendSpec (warns on use)
+    SuspendSpec,
     SuspendStrategy,
 )
 from repro.engine.config import EngineConfig
@@ -93,6 +98,15 @@ from repro.obs import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.serve.service import QueryService, ServeConfig
+from repro.serve.tokens import (
+    ContinuationToken,
+    TokenError,
+    TokenExpiredError,
+    TokenManager,
+    TokenRedeemedError,
+)
+from repro.service.core import ExecutorCore
 from repro.service.scheduler import QueryScheduler, SchedulerConfig
 from repro.service.stats import QueryStats, SchedulerStats
 from repro.service.trace import ArrivalTrace, QueryArrival, Workload
@@ -101,8 +115,10 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ArrivalTrace",
+    "ContinuationToken",
     "Database",
     "DupElimSpec",
+    "ExecutorCore",
     "EngineConfig",
     "ExecutionResult",
     "FilterSpec",
@@ -121,6 +137,7 @@ __all__ = [
     "ProjectSpec",
     "QueryArrival",
     "QueryScheduler",
+    "QueryService",
     "QuerySession",
     "QueryStats",
     "QueryStatus",
@@ -128,14 +145,20 @@ __all__ = [
     "ScanSpec",
     "SchedulerConfig",
     "SchedulerStats",
+    "ServeConfig",
     "SimpleHashJoinSpec",
     "SimulatedDisk",
     "SortSpec",
     "Strategy",
     "SuspendOptions",
     "SuspendPlan",
+    "SuspendSpec",
     "SuspendStrategy",
     "SuspendedQuery",
+    "TokenError",
+    "TokenExpiredError",
+    "TokenManager",
+    "TokenRedeemedError",
     "Tracer",
     "VirtualClock",
     "Workload",

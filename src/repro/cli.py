@@ -5,9 +5,11 @@ Usage::
     python -m repro.cli list
     python -m repro.cli experiment fig8 [--scale 200]
     python -m repro.cli experiment table2
-    python -m repro.cli experiment serve --trace out.jsonl
+    python -m repro.cli experiment serve --trace-out out.jsonl
     python -m repro.cli demo [--rows 20]
     python -m repro.cli workload --trace mixed --seed 1
+    python -m repro.cli serve-http --images ./images --port 8351
+    python -m repro.cli loadgen --sessions 200 --json
     python -m repro.cli suspend --recipe sort --images ./images --rows 100
     python -m repro.cli resume-image --images ./images --id <image_id>
     python -m repro.cli images --images ./images [--recover | --gc]
@@ -27,12 +29,19 @@ suspend image to disk, ``resume-image`` rebuilds the recipe's database in
 lists, validates, recovers, or garbage-collects an image root. All three
 take ``--json`` for machine-readable output.
 
-Observability: ``experiment``, ``suspend``, and ``resume-image`` accept
-``--trace PATH`` (JSONL trace) and ``--metrics PATH`` (text metrics
-snapshot); on ``workload``/``serve`` the trace flag is ``--trace-out``
-because ``--trace`` already names the arrival trace there. The
-``experiment serve`` entry runs a mixed scheduler workload, so
-``repro experiment serve --trace out.jsonl`` yields one trace with
+The serving commands expose the continuation-token front end:
+``serve-http`` binds the asyncio HTTP server over a query catalog
+(each request runs one quantum and returns rows plus a resumable
+token; see docs/SERVING.md), and ``loadgen`` runs the deterministic
+load generator behind BENCH_serve.json.
+
+Observability: every subcommand accepts ``--trace-out PATH`` (JSONL
+trace) and ``--metrics PATH`` (text metrics snapshot). ``--trace`` is a
+deprecated alias for ``--trace-out`` where it is unambiguous; on
+``workload``/``serve`` it already names the arrival trace, so only
+``--trace-out`` works there. The ``experiment serve`` entry runs a
+mixed scheduler workload, so ``repro experiment serve --trace-out
+out.jsonl`` yields one trace with
 checkpoints, per-operator MIP decisions, and scheduler quanta; ``repro
 trace convert`` turns any trace into Chrome ``trace_event`` JSON that
 opens in Perfetto (https://ui.perfetto.dev).
@@ -210,7 +219,7 @@ def run_workload(
 
 def run_demo(rows_before_suspend: int = 20, row_path: bool = False) -> str:
     """One suspend/resume cycle on a small join, narrated."""
-    from repro import Database, QuerySession, SuspendOptions, SuspendStrategy
+    from repro import Database, QuerySession, SuspendSpec, SuspendStrategy
     from repro.engine.config import EngineConfig
     from repro.engine.plan import FilterSpec, NLJSpec, ScanSpec
     from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
@@ -235,7 +244,7 @@ def run_demo(rows_before_suspend: int = 20, row_path: bool = False) -> str:
     lines.append(
         f"executed: {len(first.rows)} rows in {first.elapsed:.1f} time units"
     )
-    sq = session.suspend(SuspendOptions(strategy=SuspendStrategy.LP))
+    sq = session.suspend(SuspendSpec(strategy=SuspendStrategy.LP))
     lines.append(f"suspended in {session.last_suspend_cost:.1f} time units")
     lines.append("suspend plan:")
     lines.append(
@@ -253,7 +262,7 @@ def run_demo(rows_before_suspend: int = 20, row_path: bool = False) -> str:
     return "\n".join(lines)
 
 
-#: ``--codec`` flag values to manifest codec versions.
+#: ``--image-codec`` flag values to manifest codec versions.
 CODEC_NAMES = {"v1": 1, "v2": 2}
 
 
@@ -267,9 +276,13 @@ def run_suspend_to_image(
     as_json: bool = False,
     row_path: bool = False,
     codec: Optional[str] = None,
+    strategy: str = "lp",
+    budget: Optional[float] = None,
+    delta: bool = True,
+    commit_workers: int = 0,
 ) -> str:
     """Run a recipe partway, suspend, and commit a durable image."""
-    from repro.core.lifecycle import QuerySession
+    from repro.core.lifecycle import QuerySession, SuspendSpec
     from repro.durability import ImageStore, build_recipe
     from repro.engine.config import EngineConfig
 
@@ -282,8 +295,12 @@ def run_suspend_to_image(
         if codec is not None
         else images
     )
-    session.suspend(
+    session.suspend(SuspendSpec(
+        strategy=strategy,
+        budget=float("inf") if budget is None else budget,
         persist_to=store,
+        delta=delta,
+        commit_workers=commit_workers,
         image_id=image_id,
         image_meta={
             "recipe": recipe,
@@ -291,7 +308,7 @@ def run_suspend_to_image(
             "seed": seed,
             "rows_emitted": len(result.rows),
         },
-    )
+    ))
     info = session.last_image
     if as_json:
         return json.dumps(
@@ -402,6 +419,108 @@ def run_images(
     return "\n".join(lines)
 
 
+def run_serve_http(
+    images: Optional[str],
+    host: str = "127.0.0.1",
+    port: int = 8351,
+    scale: int = 8,
+    seed: int = 1,
+    quantum_rows: int = 64,
+    tracer=None,
+) -> int:
+    """Serve the demo catalog over HTTP with continuation tokens."""
+    import tempfile
+
+    from repro.core.lifecycle import SuspendSpec
+    from repro.serve import QueryService, ServeApp, ServeConfig, run_server
+    from repro.workloads.plans import serve_catalog
+
+    if images is None:
+        images = tempfile.mkdtemp(prefix="repro-serve-")
+        print(f"no --images given; committing images under {images}")
+    db_factory, catalog = serve_catalog(scale=scale, seed=seed)
+    config = ServeConfig(
+        quantum_rows=quantum_rows,
+        suspend=SuspendSpec(persist_to=images),
+        tracer=tracer,
+        host=host,
+        port=port,
+    )
+    service = QueryService(db_factory(), config)
+    print(
+        f"catalog: {', '.join(sorted(catalog))} "
+        f"(quantum {quantum_rows} rows, images under {images})"
+    )
+    run_server(ServeApp(service, catalog), host=host, port=port)
+    return 0
+
+
+def run_loadgen_cli(
+    images: Optional[str],
+    sessions: int = 200,
+    scale: int = 8,
+    seed: int = 1,
+    quantum_rows: int = 32,
+    output: Optional[str] = None,
+    as_json: bool = False,
+    tracer=None,
+) -> str:
+    """Drive the load generator and report latency/fairness/determinism."""
+    import tempfile
+
+    from repro.serve import run_loadgen
+
+    if images is not None:
+        report = run_loadgen(
+            images,
+            sessions=sessions,
+            scale=scale,
+            seed=seed,
+            quantum_rows=quantum_rows,
+            tracer=tracer,
+        )
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-loadgen-") as root:
+            report = run_loadgen(
+                root,
+                sessions=sessions,
+                scale=scale,
+                seed=seed,
+                quantum_rows=quantum_rows,
+                tracer=tracer,
+            )
+    if output:
+        with open(output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote report to {output}", file=sys.stderr)
+    if as_json:
+        return json.dumps(report, sort_keys=True)
+    latency = report["latency"]
+    fairness = report["fairness"]
+    determinism = report["determinism"]
+    lines = [
+        f"{report['sessions']} sessions ({', '.join(report['plans'])}), "
+        f"{report['requests']} requests, quantum {report['quantum_rows']} "
+        f"rows, concurrent peak {report['concurrent_peak']}",
+        f"latency (virtual time units): p50 {latency['p50']}, "
+        f"p90 {latency['p90']}, p99 {latency['p99']}, max {latency['max']}",
+        f"fairness: Jain index {fairness['jain_service_time']} overall; "
+        + ", ".join(
+            f"{p} {v}" for p, v in sorted(fairness["per_plan"].items())
+        ),
+        f"images: {report['images']['delta_commits']} delta commits, "
+        f"{report['images']['full_commits']} full commits",
+        "determinism: "
+        + (
+            "ok - every resumed session matched its uninterrupted run"
+            if determinism["ok"]
+            else "DIVERGED: " + ", ".join(determinism["divergent_sessions"])
+        ),
+    ]
+    return "\n".join(lines)
+
+
 def run_trace_summary(path: str) -> str:
     """Per-type record counts and headline metrics for a JSONL trace."""
     from repro.obs import read_jsonl, render_summary
@@ -428,19 +547,44 @@ def _positive_int(text: str) -> int:
     return value
 
 
-def _add_obs_flags(parser, trace_flag: str = "--trace") -> None:
+def _deprecated_alias(canonical: str):
+    """An argparse action for a deprecated flag spelling: works, warns."""
+
+    class _Alias(argparse.Action):
+        def __call__(self, parser, namespace, values, option_string=None):
+            print(
+                f"warning: {option_string} is deprecated; "
+                f"use {canonical}",
+                file=sys.stderr,
+            )
+            setattr(namespace, self.dest, values)
+
+    return _Alias
+
+
+def _add_obs_flags(parser, trace_alias: bool = True) -> None:
     """Attach the observability output flags to a subcommand parser.
 
-    ``workload``/``serve`` pass ``--trace-out`` because their ``--trace``
-    already selects the arrival trace.
+    ``--trace-out`` is the canonical spelling everywhere; ``--trace``
+    remains a deprecated alias except on ``workload``/``serve``, where
+    it already selects the arrival trace (they pass
+    ``trace_alias=False``).
     """
     parser.add_argument(
-        trace_flag,
+        "--trace-out",
         dest="trace_out",
         metavar="PATH",
         default=None,
         help="write a JSONL observability trace to PATH",
     )
+    if trace_alias:
+        parser.add_argument(
+            "--trace",
+            dest="trace_out",
+            metavar="PATH",
+            action=_deprecated_alias("--trace-out"),
+            help=argparse.SUPPRESS,
+        )
     parser.add_argument(
         "--metrics",
         dest="metrics_out",
@@ -516,7 +660,62 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="run a single policy instead of comparing all three",
         )
-        _add_obs_flags(wl, trace_flag="--trace-out")
+        _add_obs_flags(wl, trace_alias=False)
+
+    sh = sub.add_parser(
+        "serve-http",
+        help="serve the demo catalog over HTTP with continuation tokens",
+    )
+    sh.add_argument(
+        "--images",
+        default=None,
+        help="durable image root (default: a fresh temp directory)",
+    )
+    sh.add_argument("--host", default="127.0.0.1")
+    sh.add_argument("--port", type=int, default=8351)
+    sh.add_argument(
+        "--scale",
+        type=_positive_int,
+        default=8,
+        help="data scale divisor for the catalog tables (default 8)",
+    )
+    sh.add_argument("--seed", type=int, default=1)
+    sh.add_argument(
+        "--quantum-rows",
+        type=_positive_int,
+        default=64,
+        help="rows each request may emit before suspending (default 64)",
+    )
+    _add_obs_flags(sh)
+
+    lg = sub.add_parser(
+        "loadgen",
+        help="drive the token service with N simulated clients",
+    )
+    lg.add_argument(
+        "--images",
+        default=None,
+        help="durable image root (default: a temp directory, cleaned up)",
+    )
+    lg.add_argument(
+        "--sessions",
+        type=_positive_int,
+        default=200,
+        help="concurrent client sessions to simulate (default 200)",
+    )
+    lg.add_argument("--scale", type=_positive_int, default=8)
+    lg.add_argument("--seed", type=int, default=1)
+    lg.add_argument(
+        "--quantum-rows", type=_positive_int, default=32
+    )
+    lg.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="also write the full JSON report to this path",
+    )
+    lg.add_argument("--json", action="store_true")
+    _add_obs_flags(lg)
 
     from repro.durability.recipes import RECIPES
 
@@ -545,11 +744,43 @@ def build_parser() -> argparse.ArgumentParser:
         "vectorized batch path",
     )
     susp.add_argument(
-        "--codec",
+        "--image-codec",
+        dest="codec",
         choices=sorted(CODEC_NAMES),
         default=None,
         help="image codec version (v1 tagged-JSON or v2 binary columnar; "
         "default: the store default, v2)",
+    )
+    susp.add_argument(
+        "--codec",
+        dest="codec",
+        choices=sorted(CODEC_NAMES),
+        action=_deprecated_alias("--image-codec"),
+        help=argparse.SUPPRESS,
+    )
+    susp.add_argument(
+        "--strategy",
+        choices=("lp", "mip", "all_dump", "all_goback"),
+        default="lp",
+        help="suspend-plan strategy (default lp)",
+    )
+    susp.add_argument(
+        "--budget",
+        type=float,
+        default=None,
+        help="suspend-time budget in virtual time units (default: none)",
+    )
+    susp.add_argument(
+        "--no-delta",
+        dest="delta",
+        action="store_false",
+        help="commit a full image even when a base image exists",
+    )
+    susp.add_argument(
+        "--commit-workers",
+        type=int,
+        default=0,
+        help="parallel durable-commit workers (default 0: serial)",
     )
     _add_obs_flags(susp)
 
@@ -665,6 +896,36 @@ def _dispatch(args) -> int:
             )
         )
         return 0
+    if args.command == "serve-http":
+        from repro.obs import current_tracer
+
+        tracer = current_tracer()
+        return run_serve_http(
+            args.images,
+            host=args.host,
+            port=args.port,
+            scale=args.scale,
+            seed=args.seed,
+            quantum_rows=args.quantum_rows,
+            tracer=tracer if tracer.enabled else None,
+        )
+    if args.command == "loadgen":
+        from repro.obs import current_tracer
+
+        tracer = current_tracer()
+        print(
+            run_loadgen_cli(
+                args.images,
+                sessions=args.sessions,
+                scale=args.scale,
+                seed=args.seed,
+                quantum_rows=args.quantum_rows,
+                output=args.output,
+                as_json=args.json,
+                tracer=tracer if tracer.enabled else None,
+            )
+        )
+        return 0
     if args.command == "suspend":
         print(
             run_suspend_to_image(
@@ -677,6 +938,10 @@ def _dispatch(args) -> int:
                 as_json=args.json,
                 row_path=args.row_path,
                 codec=args.codec,
+                strategy=args.strategy,
+                budget=args.budget,
+                delta=args.delta,
+                commit_workers=args.commit_workers,
             )
         )
         return 0

@@ -22,9 +22,12 @@ from __future__ import annotations
 
 import math
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from enum import Enum
-from typing import Callable, Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.durability.store import ImageStore
 
 from repro.common.errors import ReproError, SuspendRequested
 # These two used to be function-local imports inside ``suspend()``; they
@@ -67,51 +70,120 @@ class SuspendStrategy(Enum):
 
 
 @dataclass(frozen=True)
-class SuspendOptions:
-    """Options for one suspend phase.
+class SuspendSpec:
+    """Everything one suspend phase needs, in a single value.
 
-    ``strategy`` selects the plan optimizer, ``budget`` bounds the
-    suspend-time cost (Equation 7), and a pre-built ``plan`` — validated
-    against the live topology — overrides both.
+    One spec is accepted uniformly by :meth:`QuerySession.suspend`, by
+    ``SchedulerConfig(suspend=...)``, and by the CLI — the single home
+    for knobs that previously sprawled across ``persist_to=``,
+    ``--codec``, ``delta_spill``, ``commit_workers``, and
+    ``SuspendOptions``.
+
+    Plan selection:
+
+    - ``strategy`` selects the suspend-plan optimizer;
+    - ``budget`` bounds the suspend-time cost (Equation 7);
+    - a pre-built ``plan`` — validated against the live topology —
+      overrides both.
+
+    Durable persistence (all ignored when ``persist_to`` is ``None``):
+
+    - ``persist_to`` — an :class:`~repro.durability.store.ImageStore`
+      or image-root path; the suspended query is additionally committed
+      as a durable on-disk image;
+    - ``codec`` — image codec version (1 tagged-JSON, 2 binary
+      columnar); ``None`` uses the store default. Only applied when
+      ``persist_to`` is a path;
+    - ``delta`` — commit repeat suspends as delta images against
+      ``base_image_id`` (or the scheduler-tracked previous image)
+      instead of rewriting unchanged state;
+    - ``commit_workers`` — thread-pool size for parallel durable
+      commits (``<= 1`` = serial). Only applied when ``persist_to`` is
+      a path;
+    - ``image_id`` / ``image_meta`` — explicit id and metadata for the
+      committed image;
+    - ``base_image_id`` — existing image to delta against (requires
+      ``delta=True``).
     """
 
     strategy: SuspendStrategy = SuspendStrategy.LP
     budget: float = math.inf
     plan: Optional[SuspendPlan] = None
+    persist_to: Union["ImageStore", str, None] = None
+    codec: Optional[int] = None
+    delta: bool = True
+    commit_workers: int = 0
+    image_id: Optional[str] = None
+    image_meta: Optional[dict] = None
+    base_image_id: Optional[str] = None
 
     def __post_init__(self):
         if not isinstance(self.strategy, SuspendStrategy):
-            # Tolerate the enum's value strings so callers migrating off
-            # the legacy API can write SuspendOptions(strategy="lp").
+            # Tolerate the enum's value strings so callers can write
+            # SuspendSpec(strategy="lp") — e.g. straight from a CLI flag.
             object.__setattr__(
                 self, "strategy", SuspendStrategy(self.strategy)
             )
         if self.budget < 0:
             raise ValueError(f"negative suspend budget {self.budget}")
+        if self.codec not in (None, 1, 2):
+            raise ValueError(f"unknown image codec {self.codec!r}")
+
+    def replace(self, **changes) -> "SuspendSpec":
+        """A copy of this spec with ``changes`` applied."""
+        spec = replace(self, **changes)
+        # dataclasses.replace would instantiate the (deprecated)
+        # subclass and re-warn; always return a plain SuspendSpec.
+        if type(spec) is not SuspendSpec:
+            spec = SuspendSpec(
+                **{f: getattr(spec, f) for f in _SUSPEND_SPEC_FIELDS}
+            )
+        return spec
+
+    def resolve_image_store(self) -> Optional["ImageStore"]:
+        """The :class:`ImageStore` to persist to, or ``None``.
+
+        A string ``persist_to`` is opened with this spec's ``codec`` and
+        ``commit_workers``; a ready-made store is passed through (its
+        own settings win, as before).
+        """
+        if self.persist_to is None:
+            return None
+        if not isinstance(self.persist_to, str):
+            return self.persist_to
+        from repro.durability.store import ImageStore
+
+        kwargs = {"commit_workers": self.commit_workers}
+        if self.codec is not None:
+            kwargs["codec_version"] = self.codec
+        return ImageStore(self.persist_to, **kwargs)
 
 
-def _legacy_suspend_options(
-    strategy: Union[str, SuspendStrategy, None],
-    budget: Optional[float],
-    plan: Optional[SuspendPlan],
-) -> SuspendOptions:
-    """Build :class:`SuspendOptions` from the deprecated keyword form."""
-    warnings.warn(
-        "QuerySession.suspend(strategy=..., budget=..., plan=...) is "
-        "deprecated; pass a SuspendOptions instead, e.g. "
-        "suspend(SuspendOptions(strategy=SuspendStrategy.LP, budget=...))",
-        DeprecationWarning,
-        stacklevel=3,
-    )
-    return SuspendOptions(
-        strategy=(
-            SuspendStrategy(strategy)
-            if strategy is not None
-            else SuspendStrategy.LP
-        ),
-        budget=budget if budget is not None else math.inf,
-        plan=plan,
-    )
+_SUSPEND_SPEC_FIELDS = tuple(SuspendSpec.__dataclass_fields__)
+
+
+class SuspendOptions(SuspendSpec):
+    """Deprecated name for :class:`SuspendSpec` (the PR-1 spelling)."""
+
+    def __post_init__(self):
+        warnings.warn(
+            "SuspendOptions is deprecated; use SuspendSpec (same fields, "
+            "plus the durable-persistence knobs)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        super().__post_init__()
+
+
+#: ``QuerySession.suspend`` keywords that still work but now warn: each
+#: maps onto a :class:`SuspendSpec` field.
+_LEGACY_SUSPEND_KEYWORDS = {
+    "persist_to": "persist_to",
+    "image_id": "image_id",
+    "image_meta": "image_meta",
+}
+#: Keywords of the PR-1 string-form shim, removed outright.
+_REMOVED_SUSPEND_KEYWORDS = ("strategy", "budget", "plan")
 
 
 #: Root-drain batch size used by ``execute()`` when no ``max_rows`` bound
@@ -255,47 +327,55 @@ class QuerySession:
     # ------------------------------------------------------------------
     # Suspend phase
     # ------------------------------------------------------------------
-    def suspend(
-        self,
-        options: Union[SuspendOptions, str, None] = None,
-        *,
-        strategy: Union[str, SuspendStrategy, None] = None,
-        budget: Optional[float] = None,
-        plan: Optional[SuspendPlan] = None,
-        persist_to=None,
-        image_id: Optional[str] = None,
-        image_meta: Optional[dict] = None,
-    ) -> SuspendedQuery:
+    def suspend(self, spec: Optional[SuspendSpec] = None, **legacy) -> SuspendedQuery:
         """Carry out the suspend phase and return the SuspendedQuery.
 
-        ``options`` is a :class:`SuspendOptions`; with none given the
-        online LP optimizer runs unbudgeted. The keyword form
-        ``suspend(strategy="lp", budget=..., plan=...)`` (and the
-        positional string form ``suspend("lp")``) is deprecated but still
-        accepted; it emits a :class:`DeprecationWarning`.
+        ``spec`` is a :class:`SuspendSpec`; with none given the online LP
+        optimizer runs unbudgeted and nothing is persisted. The PR-1
+        string-form shim — ``suspend("lp")`` and the
+        ``strategy=/budget=/plan=`` keywords — has been removed; pass
+        ``SuspendSpec(strategy=..., budget=..., plan=...)``.
 
-        ``persist_to`` (an image-root path or a
-        :class:`~repro.durability.store.ImageStore`) additionally commits
-        the suspended query as a durable on-disk image, so it survives
-        process death; the resulting
+        With ``spec.persist_to`` set (an image-root path or a
+        :class:`~repro.durability.store.ImageStore`), the suspended query
+        is additionally committed as a durable on-disk image, so it
+        survives process death; the resulting
         :class:`~repro.durability.store.ImageInfo` lands in
         :attr:`last_image`. Persistence charges no extra simulated-disk
         I/O: the dumped pages were paid for at dump time and the control
         record by the ``write_control_bytes`` below — the image is the
-        durable form of those same bytes.
+        durable form of those same bytes. The standalone ``persist_to=``
+        / ``image_id=`` / ``image_meta=`` keywords are deprecated
+        spellings of the same spec fields and emit a
+        :class:`DeprecationWarning`.
         """
-        if isinstance(options, str):
-            # Legacy positional call: suspend("all_dump").
-            options = _legacy_suspend_options(options, budget, plan)
-        elif options is None:
-            if strategy is not None or budget is not None or plan is not None:
-                options = _legacy_suspend_options(strategy, budget, plan)
-            else:
-                options = SuspendOptions()
-        elif strategy is not None or budget is not None or plan is not None:
+        if isinstance(spec, str) or any(
+            k in legacy for k in _REMOVED_SUSPEND_KEYWORDS
+        ):
             raise TypeError(
-                "pass either a SuspendOptions or the deprecated "
-                "strategy/budget/plan keywords, not both"
+                "the string-form suspend API — suspend('lp') and the "
+                "strategy=/budget=/plan= keywords — has been removed; "
+                "pass a SuspendSpec: suspend(SuspendSpec(strategy="
+                "SuspendStrategy.LP, budget=...))"
+            )
+        unknown = set(legacy) - set(_LEGACY_SUSPEND_KEYWORDS)
+        if unknown:
+            raise TypeError(
+                f"suspend() got unexpected keyword(s) {sorted(unknown)}"
+            )
+        if legacy:
+            warnings.warn(
+                "QuerySession.suspend(persist_to=..., image_id=..., "
+                "image_meta=...) keywords are deprecated; fold them into "
+                "the spec: suspend(SuspendSpec(persist_to=..., "
+                "image_id=..., image_meta=...))",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        options = spec if spec is not None else SuspendSpec()
+        if legacy:
+            options = options.replace(
+                **{_LEGACY_SUSPEND_KEYWORDS[k]: v for k, v in legacy.items()}
             )
         if self.status in (QueryStatus.SUSPENDED, QueryStatus.COMPLETED):
             raise ReproError(f"cannot suspend in status {self.status}")
@@ -369,22 +449,19 @@ class QuerySession:
         # Release all memory resources: the operator tree is discarded.
         self.close()
         self.status = QueryStatus.SUSPENDED
-        if persist_to is not None:
+        image_store = options.resolve_image_store()
+        if image_store is not None:
             # Persist last: a crash mid-commit leaves the in-memory
             # SuspendedQuery intact and a torn image the recovery scan
             # quarantines — never a half-suspended session.
-            from repro.durability.store import ImageStore
-
-            image_store = (
-                persist_to
-                if isinstance(persist_to, ImageStore)
-                else ImageStore(persist_to)
-            )
             self.last_image = image_store.save(
                 sq,
                 self.db.state_store,
-                image_id=image_id,
-                meta=image_meta,
+                image_id=options.image_id,
+                meta=options.image_meta,
+                base_image_id=(
+                    options.base_image_id if options.delta else None
+                ),
                 tracer=self.runtime.tracer,
             )
         return sq

@@ -85,6 +85,14 @@ class ImageNotFoundError(ReproError):
 #: Hard ceiling on base+delta chain traversal (cycle/corruption guard).
 MAX_CHAIN_WALK = 64
 
+#: Root-level file recording pinned image ids (one JSON document).
+PINS_NAME = "PINS.json"
+
+#: Root-level continuation-token ledger kept by the serving layer
+#: (:class:`repro.serve.tokens.TokenManager`); named here so the
+#: recovery scan knows it is store metadata, not an image.
+TOKENS_NAME = "TOKENS.json"
+
 
 @dataclass(frozen=True)
 class ImageInfo:
@@ -167,6 +175,9 @@ class _PreparedSave:
     reused_bytes: int
     sq: SuspendedQuery
     meta: dict
+    #: Epoch of the exporting StateStore, recorded per blob so a later
+    #: delta can prove its (key, pages, gen) triples are comparable.
+    epoch: Optional[str] = None
 
 
 class ImageStore:
@@ -198,6 +209,10 @@ class ImageStore:
         self.commit_workers = commit_workers
         self.max_chain = max(1, max_chain)
         self.compress = compress
+        # Manifests are immutable once committed, so they cache cleanly;
+        # a hit still stats the manifest file so deletions by other
+        # store instances over the same root are noticed.
+        self._manifest_cache: dict[str, dict] = {}
         os.makedirs(self.root, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -300,6 +315,7 @@ class ImageStore:
         reused_bytes = 0
         handles = req.sq.referenced_handles()
         next_file = 0
+        epoch = req.store.epoch
         for key in sorted(handles):
             handle = handles[key]
             payload, pages = req.store.export_payload(handle)
@@ -310,6 +326,11 @@ class ImageStore:
                 and prior["pages"] == pages
                 and prior.get("gen", -1) == gen
                 and gen > 0
+                # Keys and generations restart with every StateStore
+                # instance, so the triple only proves byte-equality when
+                # the base blob came from this same store (same epoch).
+                # A fresh process resuming via token re-writes instead.
+                and prior.get("epoch") == epoch
             ):
                 # Dump payloads are immutable once stored; an identical
                 # (key, pages, generation) triple in the base chain means
@@ -319,6 +340,7 @@ class ImageStore:
                         "key": key,
                         "pages": pages,
                         "gen": gen,
+                        "epoch": epoch,
                         "ref": {
                             "image_id": prior["image_id"],
                             "file": prior["file"],
@@ -340,6 +362,7 @@ class ImageStore:
             reused_bytes=reused_bytes,
             sq=req.sq,
             meta=dict(req.meta or {}),
+            epoch=epoch,
         )
 
     def _write_image(self, prep: _PreparedSave) -> dict:
@@ -379,7 +402,13 @@ class ImageStore:
                 digest, nbytes = sha256_hex(data), len(data)
             files[name] = {"sha256": digest, "bytes": nbytes}
             blobs.append(
-                {"file": name, "key": key, "pages": pages, "gen": gen}
+                {
+                    "file": name,
+                    "key": key,
+                    "pages": pages,
+                    "gen": gen,
+                    "epoch": prep.epoch,
+                }
             )
             blob_pages += pages
             total += nbytes
@@ -521,9 +550,14 @@ class ImageStore:
         """Parse and structurally validate an image's manifest."""
         path = os.path.join(self._image_dir(image_id), MANIFEST_NAME)
         if not os.path.exists(path):
+            self._manifest_cache.pop(image_id, None)
             raise ImageNotFoundError(f"no committed image {image_id!r}")
+        cached = self._manifest_cache.get(image_id)
+        if cached is not None:
+            return cached
         manifest = load_json(path)
         validate_manifest_dict(manifest)
+        self._manifest_cache[image_id] = manifest
         return manifest
 
     def chain(self, image_id: str) -> list[str]:
@@ -557,6 +591,7 @@ class ImageStore:
                 persisted[blob["key"]] = {
                     "pages": blob["pages"],
                     "gen": blob.get("gen", -1),
+                    "epoch": blob.get("epoch"),
                     "image_id": owner,
                     "file": fname,
                     "bytes": nbytes,
@@ -685,6 +720,8 @@ class ImageStore:
         ancestor's checksums.
         """
         problems: list[str] = []
+        # Validation is about what is on disk — bypass the cache.
+        self._manifest_cache.pop(image_id, None)
         try:
             manifest = self.manifest(image_id)
         except ImageNotFoundError:
@@ -728,6 +765,7 @@ class ImageStore:
     # ------------------------------------------------------------------
     def delete(self, image_id: str) -> None:
         directory = self._image_dir(image_id)
+        self._manifest_cache.pop(image_id, None)
         if not os.path.isdir(directory):
             raise ImageNotFoundError(f"no image directory {image_id!r}")
         shutil.rmtree(directory)
@@ -791,9 +829,12 @@ class ImageStore:
         """Delete committed images not in ``keep``; returns deleted ids.
 
         Chains are collected together: keeping a delta image implicitly
-        keeps every ancestor it needs to load.
+        keeps every ancestor it needs to load. Pinned images (see
+        :meth:`pin` — an outstanding continuation token is the typical
+        pinner) are protected the same way, chain included, without
+        appearing in ``keep``.
         """
-        keep = set(keep or ())
+        keep = set(keep or ()) | self.pins()
         protected: set[str] = set()
         for iid in keep:
             try:
@@ -806,6 +847,54 @@ class ImageStore:
                 self.delete(info.image_id)
                 deleted.append(info.image_id)
         return deleted
+
+    # ------------------------------------------------------------------
+    # Pinning (token-aware GC)
+    # ------------------------------------------------------------------
+    def _pins_path(self) -> str:
+        return os.path.join(self.root, PINS_NAME)
+
+    def pins(self) -> set[str]:
+        """Image ids currently pinned against :meth:`gc`."""
+        path = self._pins_path()
+        if not os.path.exists(path):
+            return set()
+        doc = load_json(path)
+        return set(doc.get("pinned", []))
+
+    def _write_pins(self, pinned: set) -> None:
+        tmp = self._pins_path() + TMP_SUFFIX
+        with open(tmp, "wb") as fh:
+            fh.write(dump_json({"pinned": sorted(pinned)}))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, self._pins_path())
+        fsync_dir(self.root)
+
+    def pin(self, image_id: str) -> None:
+        """Durably protect an image (and its chain) from :meth:`gc`.
+
+        The pin names the tip only; :meth:`gc` expands it to the full
+        base+delta chain at collection time, so re-pinning after a delta
+        commit is not required for ancestors — only for the new tip.
+        Pinning a missing image raises :class:`ImageNotFoundError`.
+        """
+        self.manifest(image_id)  # existence + structural check
+        pinned = self.pins()
+        if image_id not in pinned:
+            pinned.add(image_id)
+            self._write_pins(pinned)
+
+    def unpin(self, image_id: str) -> bool:
+        """Drop a pin; returns whether it existed. Never raises on a
+        missing image — unpinning is how a consumed token releases its
+        image, which may already be gone."""
+        pinned = self.pins()
+        if image_id not in pinned:
+            return False
+        pinned.discard(image_id)
+        self._write_pins(pinned)
+        return True
 
     # ------------------------------------------------------------------
     # Recovery scan
@@ -835,10 +924,14 @@ class ImageStore:
         the next one.
         """
         tracer = tracer if tracer is not None else NULL_TRACER
+        # Quarantine moves directories without going through delete().
+        self._manifest_cache.clear()
         report = RecoveryReport()
         for name in sorted(os.listdir(self.root)):
-            if name == QUARANTINE_DIR:
-                continue
+            if name == QUARANTINE_DIR or name.startswith(
+                (PINS_NAME, TOKENS_NAME)
+            ):
+                continue  # store metadata (or its tmp), not an image
             path = os.path.join(self.root, name)
             if not os.path.isdir(path):
                 report.orphaned.append(name)

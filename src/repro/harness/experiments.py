@@ -26,7 +26,7 @@ from typing import Callable, Optional
 from repro.core.lifecycle import (
     QuerySession,
     QueryStatus,
-    SuspendOptions,
+    SuspendSpec,
     SuspendStrategy,
 )
 from repro.core.strategies import SuspendPlan
@@ -114,7 +114,7 @@ def measure_suspend_overhead(
         )
     before_suspend = db.now
     sq = session.suspend(
-        SuspendOptions(strategy=SuspendStrategy(strategy), budget=budget)
+        SuspendSpec(strategy=SuspendStrategy(strategy), budget=budget)
     )
     suspend_cost = db.now - before_suspend
 

@@ -32,7 +32,7 @@ def compare_policies(
         config = SchedulerConfig(
             policy=policy,
             memory_budget=workload.memory_budget,
-            suspend_budget=workload.suspend_budget,
+            suspend=workload.suspend_spec(),
         )
         if quantum_rows is not None:
             config.quantum_rows = quantum_rows

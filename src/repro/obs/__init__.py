@@ -46,6 +46,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
 )
+from repro.obs.slo import jain_index, latency_summary, percentile
 from repro.obs.tracer import (
     NULL_TRACER,
     TRACE_FORMAT_VERSION,
@@ -67,6 +68,9 @@ __all__ = [
     "TRACE_FORMAT_VERSION",
     "Tracer",
     "current_tracer",
+    "jain_index",
+    "latency_summary",
+    "percentile",
     "read_jsonl",
     "render_summary",
     "set_current_tracer",

@@ -1,0 +1,210 @@
+"""The asyncio HTTP front end over :class:`QueryService`.
+
+A deliberately small, dependency-free HTTP/1.1 server
+(``asyncio.start_server`` + hand-rolled request parsing — the container
+has no aiohttp and the protocol surface is four routes). The asyncio
+loop owns connection handling; the actual query work is synchronous and
+single-writer (one shared virtual clock), so every request body is
+executed under one lock on the default thread-pool executor. Parsing
+and response writing stay on the loop, so slow clients never hold the
+engine.
+
+Routes (see docs/SERVING.md for a curl session):
+
+- ``GET /healthz`` — liveness, plus the served catalog names;
+- ``GET /catalog`` — the plans this server can start;
+- ``POST /queries`` — body ``{"query": <catalog name>, "as": <session
+  name>?, "priority": <int>?}``; runs the first quantum, returns rows
+  plus a continuation token (or ``"status": "done"``);
+- ``POST /continue`` — body ``{"token": "rst1...."}``; next quantum.
+- ``GET /metrics`` — plain-text metrics snapshot when tracing is on.
+
+Error mapping: malformed token → 400, already redeemed → 409 (conflict:
+the continuation was consumed), image GC'd → 410 (gone), unknown
+catalog entry → 404, duplicate session name → 409.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+from typing import Optional
+
+from repro.common.errors import ReproError
+from repro.engine.plan import PlanSpec
+from repro.serve.service import QueryService
+from repro.serve.tokens import (
+    TokenError,
+    TokenExpiredError,
+    TokenRedeemedError,
+)
+
+MAX_BODY_BYTES = 1 << 20
+
+
+class ServeApp:
+    """Routing and JSON glue, transport-free (tests drive it directly)."""
+
+    def __init__(self, service: QueryService, catalog: dict):
+        self.service = service
+        self.catalog: dict[str, PlanSpec] = dict(catalog)
+        self._names = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def _session_name(self, base: str) -> str:
+        return f"{base}-{next(self._names)}"
+
+    def handle(self, method: str, path: str, body: Optional[dict]):
+        """Dispatch one request; returns ``(http_status, payload)``."""
+        with self._lock:
+            return self._route(method, path, body)
+
+    def _route(self, method, path, body):
+        if method == "GET" and path == "/healthz":
+            return 200, {"ok": True, "queries": sorted(self.catalog)}
+        if method == "GET" and path == "/catalog":
+            return 200, {"queries": sorted(self.catalog)}
+        if method == "GET" and path == "/metrics":
+            if not self.service.tracer.enabled:
+                return 200, {"text": "# tracing disabled\n"}
+            return 200, {
+                "text": self.service.tracer.metrics.render_text()
+            }
+        if method == "POST" and path == "/queries":
+            body = body or {}
+            name = body.get("query")
+            if name not in self.catalog:
+                return 404, {
+                    "error": f"unknown query {name!r}",
+                    "queries": sorted(self.catalog),
+                }
+            session = body.get("as") or self._session_name(name)
+            try:
+                result = self.service.begin(
+                    session,
+                    self.catalog[name],
+                    priority=int(body.get("priority", 0)),
+                )
+            except ReproError as exc:
+                return 409, {"error": str(exc)}
+            return 200, result.as_dict()
+        if method == "POST" and path == "/continue":
+            body = body or {}
+            try:
+                result = self.service.continue_query(body.get("token"))
+            except TokenRedeemedError as exc:
+                return 409, {"error": str(exc)}
+            except TokenExpiredError as exc:
+                return 410, {"error": str(exc)}
+            except TokenError as exc:
+                return 400, {"error": str(exc)}
+            return 200, result.as_dict()
+        return 404, {"error": f"no route {method} {path}"}
+
+
+STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    409: "Conflict",
+    410: "Gone",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+}
+
+
+def _response_bytes(status: int, payload: dict) -> bytes:
+    if set(payload) == {"text"}:  # metrics exposition
+        body = payload["text"].encode("utf-8")
+        ctype = "text/plain; charset=utf-8"
+    else:
+        body = (json.dumps(payload) + "\n").encode("utf-8")
+        ctype = "application/json"
+    head = (
+        f"HTTP/1.1 {status} {STATUS_TEXT.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {ctype}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("ascii")
+    return head + body
+
+
+async def _handle_connection(app: ServeApp, reader, writer):
+    try:
+        request_line = await reader.readline()
+        parts = request_line.decode("ascii", "replace").split()
+        if len(parts) < 2:
+            return
+        method, path = parts[0].upper(), parts[1]
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            header = line.decode("ascii", "replace")
+            if header.lower().startswith("content-length:"):
+                content_length = int(header.split(":", 1)[1].strip())
+        if content_length > MAX_BODY_BYTES:
+            writer.write(_response_bytes(413, {"error": "body too large"}))
+            return
+        body = None
+        if content_length:
+            raw = await reader.readexactly(content_length)
+            try:
+                body = json.loads(raw)
+            except ValueError:
+                writer.write(
+                    _response_bytes(400, {"error": "body is not JSON"})
+                )
+                return
+        loop = asyncio.get_running_loop()
+        try:
+            status, payload = await loop.run_in_executor(
+                None, app.handle, method, path, body
+            )
+        except Exception as exc:  # noqa: BLE001 - server must answer
+            status, payload = 500, {"error": f"{type(exc).__name__}: {exc}"}
+        writer.write(_response_bytes(status, payload))
+        await writer.drain()
+    except (asyncio.IncompleteReadError, ConnectionError):
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except ConnectionError:
+            pass
+
+
+async def serve_async(
+    app: ServeApp, host: str = "127.0.0.1", port: int = 8351
+):
+    """Run the server until cancelled; returns the asyncio server."""
+    server = await asyncio.start_server(
+        lambda r, w: _handle_connection(app, r, w), host, port
+    )
+    return server
+
+
+def run_server(app: ServeApp, host: str = "127.0.0.1", port: int = 8351):
+    """Blocking entry point (the CLI's ``serve-http``)."""
+
+    async def main():
+        server = await serve_async(app, host, port)
+        addrs = ", ".join(
+            str(sock.getsockname()) for sock in server.sockets
+        )
+        print(f"serving on {addrs} (Ctrl-C to stop)")
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("stopped")
+
+
+__all__ = ["MAX_BODY_BYTES", "ServeApp", "run_server", "serve_async"]

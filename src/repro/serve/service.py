@@ -1,0 +1,221 @@
+"""QueryService: one request = one quantum, state lives in the token.
+
+The transport-free heart of :mod:`repro.serve` — the HTTP front end
+(:mod:`repro.serve.http`) and the load generator
+(:mod:`repro.serve.loadgen`) both drive this class. It composes the
+same :class:`~repro.service.core.ExecutorCore` as the in-process
+scheduler, so pressure policies, quota accounting, durable spill (with
+delta chains), and the obs wiring are shared; what changes is *when a
+query runs*: here the client decides, one request at a time.
+
+Request flow:
+
+- :meth:`begin` admits a query and runs its first quantum. If it
+  completes, the response carries the rows and no token. Otherwise the
+  query is suspended through the paper's machinery (budgeted plan, dump
+  or go-back per operator), committed as a durable image, and the
+  response carries this quantum's rows plus a continuation token. The
+  in-memory SuspendedQuery is **dropped** — the image is the only
+  resume path, which is what makes the server stateless per request and
+  the token valid in any process over the same image root.
+- :meth:`continue_query` redeems the token (at most once, durable
+  ledger), loads the image, resumes, runs one quantum, and either
+  finishes or suspends again — this time as a *delta image* against the
+  previous one, since the unchanged operator state is already durable.
+  The new token supersedes the old image's GC pin.
+
+Completion garbage-collects the whole image chain and releases its pin;
+an abandoned token keeps its chain pinned until an operator runs
+``repro.cli images gc`` against a keep-set or the client returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import ReproError
+from repro.core.lifecycle import QueryStatus
+from repro.engine.plan import PlanSpec
+from repro.serve.tokens import TokenManager
+from repro.service.core import (
+    ExecutorCore,
+    QueryRecord,
+    QueryState,
+    SchedulerConfig,
+)
+from repro.service.trace import QueryArrival
+from repro.storage.database import Database
+
+
+@dataclass
+class ServeConfig(SchedulerConfig):
+    """SchedulerConfig plus the HTTP front end's listen address."""
+
+    host: str = "127.0.0.1"
+    port: int = 8351
+
+
+@dataclass
+class ServeResult:
+    """What one request produced (the JSON body, as a dataclass)."""
+
+    query: str
+    #: ``"running"`` (token present) or ``"done"`` (rows complete).
+    status: str
+    rows: list = field(default_factory=list)
+    token: Optional[str] = None
+    image_id: Optional[str] = None
+    #: Base of the spill image when this suspend committed a delta.
+    base_image_id: Optional[str] = None
+    #: How many times this query has been suspended so far.
+    seq: int = 0
+    #: Virtual-clock time consumed by this request.
+    elapsed: float = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.status == "done"
+
+    def as_dict(self) -> dict:
+        return {
+            "query": self.query,
+            "status": self.status,
+            "rows": [list(r) for r in self.rows],
+            "token": self.token,
+            "image_id": self.image_id,
+            "base_image_id": self.base_image_id,
+            "seq": self.seq,
+            "elapsed": round(self.elapsed, 6),
+        }
+
+
+class QueryService(ExecutorCore):
+    """Serve queries one request-quantum at a time, tokens in between."""
+
+    def __init__(self, db: Database, config: Optional[SchedulerConfig] = None):
+        super().__init__(db, config)
+        if self.image_store is None:
+            raise ReproError(
+                "serving requires a durable image store: pass "
+                "SchedulerConfig(suspend=SuspendSpec(persist_to=...))"
+            )
+        self.tokens = TokenManager(self.image_store)
+
+    # ------------------------------------------------------------------
+    # The two requests
+    # ------------------------------------------------------------------
+    def begin(
+        self, name: str, plan: PlanSpec, priority: int = 0
+    ) -> ServeResult:
+        """Admit a new query and run its first quantum."""
+        if self.record_named(name) is not None:
+            raise ReproError(
+                f"query name {name!r} is already in use on this server"
+            )
+        record = self.track(
+            QueryArrival(name, plan, self.db.now, priority)
+        )
+        self.admit(record)
+        self.policy.make_room(self, record)
+        self.start_session(record)
+        return self._step(record, kind="begin")
+
+    def continue_query(self, token_text: str) -> ServeResult:
+        """Redeem a continuation token and run the next quantum.
+
+        Raises :class:`~repro.serve.tokens.TokenError` subclasses for a
+        malformed, already-redeemed, or expired token — the transport
+        maps them to 400/409/410.
+        """
+        token = self.tokens.redeem(token_text)
+        record = self.record_named(token.query)
+        if record is None:
+            # A different process minted this token; rebuild the record
+            # from the token alone — the image carries plan and state,
+            # so the arrival's plan is never consulted on this path.
+            record = self.track(
+                QueryArrival(token.query, None, self.db.now, 0)
+            )
+            self.admit(record)
+            record.state = QueryState.SUSPENDED
+            record.stats.suspends = token.seq
+        record.sq = self.image_store.load(token.image_id)
+        record.image_id = token.image_id
+        self.policy.make_room(self, record)
+        session = self.open_resumed_session(record)
+        self.adopt_resumed_session(record, session)
+        record.sq = None
+        return self._step(record, kind="continue")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _step(self, record: QueryRecord, kind: str) -> ServeResult:
+        start = self.db.now
+        produced = len(record.rows)
+        status = self.run_quantum(record)
+        rows = record.rows[produced:]
+        if not self.config.collect_rows:
+            rows = []
+        if status is QueryStatus.COMPLETED:
+            result = ServeResult(
+                query=record.name,
+                status="done",
+                rows=rows,
+                seq=record.stats.suspends,
+                elapsed=self.db.now - start,
+            )
+        else:
+            previous = record.image_id
+            self.suspend_victims([record])
+            # Stateless per request: the durable image is the only
+            # resume path, exactly what the token names.
+            record.sq = None
+            token = self.tokens.issue(
+                record.name,
+                record.image_id,
+                record.stats.suspends,
+                release=previous,
+            )
+            result = ServeResult(
+                query=record.name,
+                status="running",
+                rows=rows,
+                token=token,
+                image_id=record.image_id,
+                # What actually got committed (None again after a
+                # max_chain rebase), not what was merely requested.
+                base_image_id=self.image_store.manifest(
+                    record.image_id
+                ).get("base_image_id"),
+                seq=record.stats.suspends,
+                elapsed=self.db.now - start,
+            )
+        if self.tracer.enabled:
+            self.tracer.event(
+                "serve.request",
+                query=record.name,
+                kind=kind,
+                status=result.status,
+                rows=len(result.rows),
+                seq=result.seq,
+                elapsed=round(result.elapsed, 6),
+            )
+            self.tracer.metrics.counter(
+                "serve_requests_total", kind=kind
+            ).inc()
+            self.tracer.metrics.histogram(
+                "serve_request_latency"
+            ).observe(result.elapsed)
+        return result
+
+    def complete(self, record: QueryRecord) -> None:
+        # The completing request's redeemed token still pins the image;
+        # release it so the core's chain GC can actually collect.
+        if record.image_id is not None:
+            self.tokens.release(record.image_id)
+        super().complete(record)
+
+
+__all__ = ["QueryService", "ServeConfig", "ServeResult"]

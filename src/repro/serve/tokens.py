@@ -1,0 +1,220 @@
+"""Continuation tokens: durable suspend images as a wire format.
+
+A continuation token is the serving layer's only per-query state: an
+opaque string the client holds between requests, naming the durable
+suspend image that will resume the query. The server keeps nothing in
+memory — SaGe-style web preemption over the paper's suspend machinery.
+
+Wire format (``rst1.<payload>.<crc>``):
+
+- ``rst1`` — format tag, bumped on incompatible changes;
+- ``payload`` — URL-safe unpadded base64 of a compact, key-sorted JSON
+  object ``{"img": image_id, "q": query_name, "seq": n}``. Sorted keys
+  and compact separators make encoding a pure function of the fields,
+  so the same suspend produces byte-identical tokens in any process;
+- ``crc`` — CRC-32 of the payload segment, 8 lowercase hex digits.
+  An integrity check against truncation/corruption in transit, not a
+  signature: tokens are capabilities only as far as the store is.
+
+:class:`TokenManager` adds the at-most-once discipline on top of an
+:class:`~repro.durability.store.ImageStore`:
+
+- **issue** pins the image (token-pinned GC: ``store.gc()`` spares the
+  pinned tip and, via chain expansion, every delta ancestor) and
+  releases the superseded image's pin;
+- **redeem** durably marks the token consumed *before* the caller
+  resumes, so a second redeem — any process, any time — fails with
+  :class:`TokenRedeemedError`; a token whose image has been collected
+  fails with :class:`TokenExpiredError` instead of a stack trace from
+  the store internals.
+
+The redeemed ledger lives next to the images (``TOKENS.json`` under the
+image root), so it shares the store's crash story and survives server
+restarts. It is append-only JSONL — one fsynced line per redeem, never
+rewritten — so redeeming stays O(1) however many requests a server has
+served. A line is appended *before* the resume runs; a torn final line
+(crash mid-append) is ignored on read, which is safe because the resume
+it would have recorded never happened. One server process per image
+root is assumed: managers cache the redeemed set after first read.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import json
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.errors import ReproError
+from repro.durability.store import (
+    ImageNotFoundError,
+    ImageStore,
+    TOKENS_NAME,
+)
+from repro.durability.format import fsync_dir
+
+TOKEN_PREFIX = "rst1"
+
+
+class TokenError(ReproError):
+    """Malformed, corrupted, or otherwise unusable continuation token."""
+
+
+class TokenRedeemedError(TokenError):
+    """The token was already redeemed (a resume consumed it)."""
+
+
+class TokenExpiredError(TokenError):
+    """The token's suspend image no longer exists (GC'd or never here)."""
+
+
+@dataclass(frozen=True)
+class ContinuationToken:
+    """The decoded contents of one continuation token."""
+
+    query: str
+    image_id: str
+    seq: int
+
+    def encode(self) -> str:
+        """The wire string. Deterministic: same fields, same bytes."""
+        doc = json.dumps(
+            {"img": self.image_id, "q": self.query, "seq": self.seq},
+            sort_keys=True,
+            separators=(",", ":"),
+        ).encode("utf-8")
+        payload = base64.urlsafe_b64encode(doc).rstrip(b"=").decode("ascii")
+        crc = binascii.crc32(payload.encode("ascii")) & 0xFFFFFFFF
+        return f"{TOKEN_PREFIX}.{payload}.{crc:08x}"
+
+    @classmethod
+    def decode(cls, text: str) -> "ContinuationToken":
+        """Parse and integrity-check a wire token; raises TokenError."""
+        if not isinstance(text, str):
+            raise TokenError("continuation token must be a string")
+        parts = text.strip().split(".")
+        if len(parts) != 3 or parts[0] != TOKEN_PREFIX:
+            raise TokenError(
+                f"not a {TOKEN_PREFIX} continuation token: {text[:32]!r}"
+            )
+        _, payload, crc_hex = parts
+        crc = binascii.crc32(payload.encode("ascii")) & 0xFFFFFFFF
+        if f"{crc:08x}" != crc_hex:
+            raise TokenError("continuation token failed its integrity check")
+        try:
+            padded = payload + "=" * (-len(payload) % 4)
+            doc = json.loads(base64.urlsafe_b64decode(padded))
+            return cls(
+                query=doc["q"], image_id=doc["img"], seq=int(doc["seq"])
+            )
+        except (ValueError, KeyError, TypeError, binascii.Error) as exc:
+            raise TokenError(f"unreadable continuation token: {exc}") from exc
+
+
+class TokenManager:
+    """Issue and redeem tokens against one image store, at most once."""
+
+    def __init__(self, store: ImageStore):
+        self.store = store
+        self._ledger_path = os.path.join(store.root, TOKENS_NAME)
+        self._redeemed: Optional[set] = None
+
+    # -- ledger --------------------------------------------------------
+    def redeemed(self) -> set:
+        """The set of redeemed token strings (cached after first read)."""
+        if self._redeemed is None:
+            entries = set()
+            if os.path.exists(self._ledger_path):
+                with open(self._ledger_path, encoding="utf-8") as fh:
+                    for line in fh:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            entries.add(json.loads(line)["token"])
+                        except (ValueError, KeyError, TypeError):
+                            # A torn tail from a crash mid-append: the
+                            # resume it would have recorded never ran.
+                            continue
+            self._redeemed = entries
+        return set(self._redeemed)
+
+    def _mark_redeemed(self, token: ContinuationToken, text: str) -> None:
+        created = not os.path.exists(self._ledger_path)
+        line = json.dumps(
+            {"img": token.image_id, "q": token.query, "token": text},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        with open(self._ledger_path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        if created:
+            fsync_dir(self.store.root)
+        self._redeemed.add(text)
+
+    # -- lifecycle -----------------------------------------------------
+    def issue(
+        self,
+        query: str,
+        image_id: str,
+        seq: int,
+        release: str = None,
+    ) -> str:
+        """Mint a token for a freshly committed image and pin it.
+
+        ``release`` is the previous tip this image supersedes (its token
+        was redeemed to get here); its pin is dropped — if the new image
+        is a delta on top of it, the chain expansion of ``gc`` keeps it
+        alive through the new tip's pin anyway.
+        """
+        self.store.pin(image_id)
+        if release is not None and release != image_id:
+            self.store.unpin(release)
+        return ContinuationToken(
+            query=query, image_id=image_id, seq=seq
+        ).encode()
+
+    def redeem(self, text: str) -> ContinuationToken:
+        """Consume a token: validate, check the ledger, mark redeemed.
+
+        On success the image is guaranteed present at the time of the
+        call and the token can never be redeemed again — the durable
+        ledger write happens before this returns. The image's pin is
+        kept until the query either completes or is superseded by the
+        next issued token.
+        """
+        token = ContinuationToken.decode(text)
+        canonical = token.encode()
+        if canonical in self.redeemed():
+            raise TokenRedeemedError(
+                f"token for {token.query!r} (image {token.image_id}) was "
+                "already redeemed; a continuation may be resumed only once"
+            )
+        try:
+            self.store.manifest(token.image_id)
+        except ImageNotFoundError:
+            raise TokenExpiredError(
+                f"token for {token.query!r} names image "
+                f"{token.image_id!r}, which no longer exists "
+                "(garbage-collected or never committed here)"
+            ) from None
+        self._mark_redeemed(token, canonical)
+        return token
+
+    def release(self, image_id: str) -> None:
+        """Drop a pin without issuing a successor (query finished)."""
+        self.store.unpin(image_id)
+
+
+__all__ = [
+    "ContinuationToken",
+    "TOKEN_PREFIX",
+    "TokenError",
+    "TokenExpiredError",
+    "TokenManager",
+    "TokenRedeemedError",
+]

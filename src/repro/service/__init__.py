@@ -18,17 +18,19 @@ from repro.service.policies import (
     WaitPolicy,
     get_policy,
 )
-from repro.service.scheduler import (
+from repro.service.core import (
+    ExecutorCore,
     QueryRecord,
-    QueryScheduler,
     QueryState,
     SchedulerConfig,
 )
+from repro.service.scheduler import QueryScheduler
 from repro.service.stats import QueryStats, SchedulerStats, TimelineEvent
 from repro.service.trace import ArrivalTrace, QueryArrival, Workload
 
 __all__ = [
     "ArrivalTrace",
+    "ExecutorCore",
     "KillRestartPolicy",
     "POLICIES",
     "PressurePolicy",

@@ -1,0 +1,469 @@
+"""ExecutorCore: the engine-agnostic heart of every serving transport.
+
+The paper's lifecycle primitives (execute a quantum, suspend within a
+budget, resume without losing work) are transport-independent; what
+differs between an in-process trace replay and an HTTP front end is only
+*who decides when a query runs*. This module holds everything the
+transports share:
+
+- :class:`QueryRecord` / :class:`QueryState` — the per-query serving
+  state machine;
+- :class:`SchedulerConfig` — one config for every transport, carrying a
+  single :class:`~repro.core.lifecycle.SuspendSpec` for the whole
+  suspend surface (strategy, budget, durable persistence, delta spill,
+  parallel commit);
+- :class:`ExecutorCore` — admission bookkeeping, the three pressure
+  policies' accounting hooks (``pressure_excess`` /
+  ``victim_candidates`` / ``suspend_victims`` / ``kill_victim``), the
+  quantum execution step with its observability wiring, and durable
+  image spill with chain-aware GC on completion.
+
+Transports compose it:
+
+- :class:`repro.service.scheduler.QueryScheduler` replays an arrival
+  trace in-process, picking the next record itself (the PR-1 harness);
+- :class:`repro.serve.service.QueryService` runs one quantum per
+  *request* and parks the query state in a durable image between
+  requests, handing clients a continuation token.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.durability.store import ImageStore
+
+from repro.common.errors import SuspendBudgetInfeasibleError
+from repro.core.lifecycle import (
+    QuerySession,
+    QueryStatus,
+    SuspendSpec,
+    SuspendStrategy,
+)
+from repro.core.suspended_query import SuspendedQuery
+from repro.engine.config import EngineConfig
+from repro.obs.tracer import Tracer, current_tracer
+from repro.service.policies import PressurePolicy, get_policy
+from repro.service.stats import QueryStats, SchedulerStats, TimelineEvent
+from repro.service.trace import QueryArrival
+from repro.storage.database import Database
+
+
+class QueryState(Enum):
+    """Transport-side lifecycle of an admitted query."""
+
+    WAITING = "waiting"  # admitted, no session yet (fresh or killed)
+    READY = "ready"  # live session, runnable at the next quantum
+    SUSPENDED = "suspended"  # state on disk as a SuspendedQuery
+    DONE = "done"
+
+
+#: Sentinel distinguishing "not passed" from an explicit ``None`` on the
+#: deprecated SchedulerConfig fields.
+_UNSET = object()
+
+#: Deprecated SchedulerConfig field -> the SuspendSpec field it feeds.
+_LEGACY_CONFIG_FIELDS = {
+    "suspend_strategy": "strategy",
+    "suspend_budget": "budget",
+    "image_store": "persist_to",
+    "image_codec": "codec",
+    "commit_workers": "commit_workers",
+    "delta_spill": "delta",
+}
+
+
+@dataclass
+class SchedulerConfig:
+    """Tunables of one serving run (any transport).
+
+    Attributes:
+        policy: pressure policy — ``"suspend-resume"``, ``"kill-restart"``,
+            ``"wait"``, or a :class:`PressurePolicy` instance.
+        memory_budget: shared budget, in bytes, over the heap state of
+            every live session other than the one being served; ``None``
+            disables pressure handling entirely.
+        quantum_rows: root output tuples per execution quantum. Arrivals
+            are only noticed at quantum boundaries, so this bounds the
+            scheduler's reaction latency; keep it small relative to a
+            query's total output.
+        suspend: one :class:`~repro.core.lifecycle.SuspendSpec` covering
+            the whole suspend surface — plan strategy and budget, the
+            durable image store (``persist_to``), codec, delta spill,
+            and parallel-commit workers. When no valid plan fits the
+            budget, victims retry unbudgeted rather than fail.
+        engine_config: per-session engine configuration.
+        collect_rows: keep every query's output rows on its record
+            (memory in the *host* process only; disable for large runs).
+
+    The standalone ``suspend_strategy`` / ``suspend_budget`` /
+    ``image_store`` / ``image_codec`` / ``commit_workers`` /
+    ``delta_spill`` fields are deprecated spellings of the matching
+    :class:`SuspendSpec` fields; passing any of them warns and folds the
+    value into ``suspend``.
+    """
+
+    policy: Union[str, PressurePolicy] = "suspend-resume"
+    memory_budget: Optional[int] = None
+    quantum_rows: int = 64
+    suspend: Optional[SuspendSpec] = None
+    engine_config: Optional[EngineConfig] = None
+    collect_rows: bool = True
+    #: Observability tracer for this run; defaults to the process-wide
+    #: tracer (:func:`repro.obs.tracer.current_tracer`), a no-op unless
+    #: tracing was explicitly enabled.
+    tracer: Optional[Tracer] = None
+    # -- deprecated spellings (warn + fold into ``suspend``) -----------
+    suspend_strategy: object = _UNSET
+    suspend_budget: object = _UNSET
+    image_store: object = _UNSET
+    image_codec: object = _UNSET
+    commit_workers: object = _UNSET
+    delta_spill: object = _UNSET
+
+    def __post_init__(self):
+        legacy = {
+            name: getattr(self, name)
+            for name in _LEGACY_CONFIG_FIELDS
+            if getattr(self, name) is not _UNSET
+        }
+        if legacy:
+            warnings.warn(
+                f"SchedulerConfig({', '.join(sorted(legacy))}) is "
+                "deprecated; pass one suspend=SuspendSpec(...) carrying "
+                "strategy/budget/persist_to/codec/commit_workers/delta",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+        base = self.suspend if self.suspend is not None else SuspendSpec()
+        if legacy:
+            base = base.replace(
+                **{_LEGACY_CONFIG_FIELDS[k]: v for k, v in legacy.items()}
+            )
+        self.suspend = base
+        # Keep the deprecated attributes readable (mirrors, not state):
+        # the spec is the single source of truth.
+        self.suspend_strategy = base.strategy
+        self.suspend_budget = base.budget
+        self.image_store = base.persist_to
+        self.image_codec = base.codec
+        self.commit_workers = base.commit_workers
+        self.delta_spill = base.delta
+
+
+@dataclass
+class QueryRecord:
+    """One admitted query's serving-side state."""
+
+    arrival: QueryArrival
+    seq: int
+    stats: QueryStats
+    state: QueryState = QueryState.WAITING
+    session: Optional[QuerySession] = None
+    sq: Optional[SuspendedQuery] = None
+    #: Id of the durable spill image from the most recent suspend, when
+    #: the core is configured with an image store.
+    image_id: Optional[str] = None
+    rows: list = field(default_factory=list)
+
+    @property
+    def name(self) -> str:
+        return self.arrival.name
+
+    @property
+    def priority(self) -> int:
+        return self.arrival.priority
+
+    def memory_in_use(self) -> int:
+        return self.session.memory_in_use() if self.session else 0
+
+
+class ExecutorCore:
+    """Cooperative execution core shared by every serving transport.
+
+    Owns the admitted-record table, the pressure policy, quota
+    accounting, durable spill, and the stats/tracer wiring; knows
+    nothing about *when* the next quantum should run — that is the
+    transport's job.
+    """
+
+    def __init__(self, db: Database, config: Optional[SchedulerConfig] = None):
+        self.db = db
+        self.config = config or SchedulerConfig()
+        self.policy = get_policy(self.config.policy)
+        self.image_store = self._resolve_image_store()
+        self.records: list[QueryRecord] = []
+        base_tracer = (
+            self.config.tracer
+            if self.config.tracer is not None
+            else current_tracer()
+        )
+        self.tracer = base_tracer.bind(clock=db.disk.clock)
+        # With tracing on, the stats views and the tracer share one
+        # registry, so scheduler counters and tracer metrics are the same
+        # numbers; a NullTracer has no registry to share.
+        self.stats = SchedulerStats(
+            policy=self.policy.name,
+            registry=self.tracer.metrics if self.tracer.enabled else None,
+        )
+
+    def _resolve_image_store(self) -> Optional["ImageStore"]:
+        return self.config.suspend.resolve_image_store()
+
+    # ------------------------------------------------------------------
+    # Admission bookkeeping
+    # ------------------------------------------------------------------
+    def track(self, arrival: QueryArrival) -> QueryRecord:
+        """Register one query with the core (no admission marking)."""
+        record = QueryRecord(
+            arrival=arrival,
+            seq=len(self.records),
+            stats=self.stats.track(
+                arrival.name, arrival.priority, arrival.arrival_time
+            ),
+        )
+        self.records.append(record)
+        return record
+
+    def admit(self, record: QueryRecord) -> None:
+        """Mark a tracked record admitted (visible to stats/pressure)."""
+        self.stats.queries_admitted += 1
+        self.stats.per_query[record.name] = record.stats
+        self.mark("admit", record)
+
+    def record_named(self, name: str) -> Optional[QueryRecord]:
+        for record in self.records:
+            if record.name == name:
+                return record
+        return None
+
+    # ------------------------------------------------------------------
+    # Memory pressure (called by the policies)
+    # ------------------------------------------------------------------
+    def total_live_memory(self) -> int:
+        """Heap bytes held across every live session right now."""
+        return sum(r.memory_in_use() for r in self.records)
+
+    def pressure_excess(self, record: QueryRecord) -> int:
+        """Bytes over budget held by sessions other than ``record``'s."""
+        if self.config.memory_budget is None:
+            return 0
+        held = self.total_live_memory() - record.memory_in_use()
+        return held - self.config.memory_budget
+
+    def victim_candidates(self, record: QueryRecord) -> list[QueryRecord]:
+        """Live lower-priority sessions that currently hold memory."""
+        return [
+            r
+            for r in self.records
+            if r is not record
+            and r.state is QueryState.READY
+            and r.priority < record.priority
+            and r.memory_in_use() > 0
+        ]
+
+    def suspend_victim(self, victim: QueryRecord) -> None:
+        """Suspend a victim within the configured per-suspend budget."""
+        self.suspend_victims([victim])
+
+    def suspend_victims(self, victims: list[QueryRecord]) -> None:
+        """Suspend one pressure event's victims; spill images in a batch.
+
+        The in-memory suspend phase (the part the virtual clock charges)
+        runs per victim, in order, exactly as it would serially. When an
+        image store is configured, the durable commits are then submitted
+        together: with ``commit_workers > 1`` the images serialize+fsync
+        on a thread pool — a wall-clock speedup only; trace records are
+        emitted in victim order either way.
+
+        With delta spill enabled (``config.suspend.delta``), a repeat
+        suspend commits a delta against the query's previous image:
+        materialized operator state that has not been re-dumped since
+        (same key, pages, and write generation) is referenced from the
+        base chain instead of re-encoded. The chain is collected as one
+        unit when the query completes.
+        """
+        spec = self.config.suspend
+        options = SuspendSpec(strategy=spec.strategy, budget=spec.budget)
+        for victim in victims:
+            victim.sq = self._suspend_session(victim.session, options)
+            victim.session = None
+            victim.state = QueryState.SUSPENDED
+            victim.stats.suspends += 1
+        if self.image_store is not None:
+            self.spill_victims(victims)
+        for victim in victims:
+            self.mark("suspend", victim)
+
+    def _suspend_session(self, session: QuerySession, options: SuspendSpec):
+        try:
+            return session.suspend(options)
+        except SuspendBudgetInfeasibleError:
+            # No valid plan fits the budget at this point; releasing the
+            # memory still beats failing the victim, so pay full price.
+            return session.suspend(SuspendSpec(strategy=options.strategy))
+
+    def spill_victims(self, victims: list[QueryRecord]) -> None:
+        """Commit every victim's SuspendedQuery as a durable image."""
+        from repro.durability.store import SaveRequest
+
+        delta = self.config.suspend.delta
+        requests = []
+        previous_ids = []
+        for victim in victims:
+            base = victim.image_id if delta else None
+            previous_ids.append(victim.image_id if delta else None)
+            if victim.image_id is not None and base is None:
+                # Supersede the spill from an earlier suspend of this
+                # query (delta off: chains are never formed).
+                self.image_store.delete(victim.image_id)
+            requests.append(
+                SaveRequest(
+                    sq=victim.sq,
+                    store=self.db.state_store,
+                    image_id=f"{victim.name}-s{victim.stats.suspends}",
+                    meta={
+                        "query": victim.name,
+                        "priority": victim.priority,
+                    },
+                    base_image_id=base,
+                )
+            )
+        infos = self.image_store.save_many(requests, tracer=self.tracer)
+        for victim, previous, info in zip(victims, previous_ids, infos):
+            victim.image_id = info.image_id
+            if previous is not None and info.base_image_id is None:
+                # The save was promoted to a full image (max_chain
+                # rebase): the old chain no longer backs anything —
+                # collect it now.
+                self.image_store.delete_chain(previous)
+            victim.stats.durable_spills += 1
+            self.mark("spill", victim)
+
+    def kill_victim(self, victim: QueryRecord) -> None:
+        """Kill a victim; all its work so far is wasted."""
+        victim.session.close()
+        victim.session = None
+        victim.sq = None
+        victim.rows.clear()
+        victim.stats.rows_emitted = 0
+        victim.state = QueryState.WAITING
+        victim.stats.kills += 1
+        self.mark("kill", victim)
+
+    # ------------------------------------------------------------------
+    # Serving primitives
+    # ------------------------------------------------------------------
+    def start_session(self, record: QueryRecord) -> None:
+        """Open a fresh session for a WAITING record."""
+        record.session = QuerySession(
+            self.db,
+            record.arrival.plan,
+            config=self.config.engine_config,
+            priority=record.priority,
+            name=record.name,
+            tracer=self.tracer if self.tracer.enabled else None,
+        )
+        record.state = QueryState.READY
+        if record.stats.first_started_at is None:
+            record.stats.first_started_at = self.db.now
+        self.mark("start", record)
+
+    def open_resumed_session(self, record: QueryRecord) -> QuerySession:
+        """Rebuild a session from ``record.sq`` (no state transition).
+
+        The caller decides whether to adopt the session or discard it —
+        the paper's suspend-during-resume rule lives in the transport,
+        which is the only place that knows about new arrivals.
+        """
+        return QuerySession.resume(
+            self.db,
+            record.sq,
+            config=self.config.engine_config,
+            priority=record.priority,
+            name=record.name,
+            tracer=self.tracer if self.tracer.enabled else None,
+        )
+
+    def adopt_resumed_session(
+        self, record: QueryRecord, session: QuerySession
+    ) -> None:
+        """Make a successfully resumed session the record's live one."""
+        record.session = session
+        record.sq = None
+        record.state = QueryState.READY
+        record.stats.resumes += 1
+        self.mark("resume", record)
+
+    def run_quantum(self, record: QueryRecord) -> QueryStatus:
+        """Execute one quantum on a READY record; handle completion."""
+        if self.tracer.enabled:
+            with self.tracer.span(
+                "sched.quantum", query=record.name
+            ) as span:
+                result = record.session.execute(
+                    max_rows=self.config.quantum_rows
+                )
+                span["rows"] = len(result.rows)
+                span["status"] = result.status.value
+        else:
+            result = record.session.execute(max_rows=self.config.quantum_rows)
+        record.stats.rows_emitted += len(result.rows)
+        if self.config.collect_rows:
+            record.rows.extend(result.rows)
+        self.note_memory()
+        if result.status is QueryStatus.COMPLETED:
+            self.complete(record)
+        return result.status
+
+    def complete(self, record: QueryRecord) -> None:
+        """Retire a finished record and collect its durable spill chain."""
+        if record.session is not None:
+            record.session.close()
+            record.session = None
+        record.state = QueryState.DONE
+        if self.image_store is not None and record.image_id is not None:
+            # The whole spill chain is obsolete once the query
+            # completes: the tip and every base it references.
+            self.image_store.delete_chain(record.image_id)
+            record.image_id = None
+        record.stats.completed_at = self.db.now
+        self.stats.queries_completed += 1
+        self.mark("complete", record)
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def note_memory(self) -> None:
+        self.stats.peak_memory = max(
+            self.stats.peak_memory, self.total_live_memory()
+        )
+
+    def mark(self, event: str, record: QueryRecord) -> None:
+        self.note_memory()
+        memory = self.total_live_memory()
+        self.stats.timeline.append(
+            TimelineEvent(
+                time=self.db.now,
+                event=event,
+                query=record.name,
+                memory_bytes=memory,
+            )
+        )
+        if self.tracer.enabled:
+            self.tracer.event(
+                f"sched.{event}", query=record.name, memory_bytes=memory
+            )
+
+
+__all__ = [
+    "ExecutorCore",
+    "QueryRecord",
+    "QueryState",
+    "SchedulerConfig",
+]

@@ -1,10 +1,16 @@
 """The multi-query scheduler: QuerySession as a served primitive.
 
-:class:`QueryScheduler` admits many sessions against one shared
-:class:`~repro.storage.database.Database` (one virtual clock, one state
-store) and runs them cooperatively: one query executes at a time, in
-quanta of ``quantum_rows`` root-output tuples, with scheduling decisions
-at every quantum boundary — the safe points where a suspend is valid.
+:class:`QueryScheduler` is the **in-process trace-replay transport**
+over :class:`~repro.service.core.ExecutorCore`: it admits many sessions
+against one shared :class:`~repro.storage.database.Database` (one
+virtual clock, one state store) and runs them cooperatively to
+completion — one query at a time, in quanta of ``quantum_rows``
+root-output tuples, with scheduling decisions at every quantum boundary
+(the safe points where a suspend is valid). The core owns everything
+that is transport-agnostic: the record table, pressure accounting for
+the three policies, durable spill, and the stats/tracer wiring; the
+HTTP front end (:mod:`repro.serve`) composes the same core one quantum
+per request.
 
 Scheduling is strict priority (FIFO within a priority). Before a query
 takes the CPU the scheduler enforces the shared ``memory_budget`` over
@@ -26,159 +32,28 @@ I/O is paid.
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from enum import Enum
-from typing import TYPE_CHECKING, Optional, Union
+from typing import Optional, Union
 
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.durability.store import ImageStore
-
-from repro.common.errors import ReproError, SuspendBudgetInfeasibleError
-from repro.core.lifecycle import (
-    QuerySession,
-    QueryStatus,
-    SuspendOptions,
-    SuspendStrategy,
+from repro.common.errors import ReproError
+from repro.service.core import (
+    ExecutorCore,
+    QueryRecord,
+    QueryState,
+    SchedulerConfig,
 )
-from repro.core.suspended_query import SuspendedQuery
-from repro.engine.config import EngineConfig
-from repro.obs.tracer import Tracer, current_tracer
-from repro.service.policies import PressurePolicy, get_policy
-from repro.service.stats import QueryStats, SchedulerStats, TimelineEvent
+from repro.service.policies import PressurePolicy
+from repro.service.stats import SchedulerStats
 from repro.service.trace import ArrivalTrace, QueryArrival, Workload
 from repro.storage.database import Database
 
 
-class QueryState(Enum):
-    """Scheduler-side lifecycle of an admitted query."""
-
-    WAITING = "waiting"  # admitted, no session yet (fresh or killed)
-    READY = "ready"  # live session, runnable at the next quantum
-    SUSPENDED = "suspended"  # state on disk as a SuspendedQuery
-    DONE = "done"
-
-
-@dataclass
-class SchedulerConfig:
-    """Tunables of one scheduler run.
-
-    Attributes:
-        policy: pressure policy — ``"suspend-resume"``, ``"kill-restart"``,
-            ``"wait"``, or a :class:`PressurePolicy` instance.
-        memory_budget: shared budget, in bytes, over the heap state of
-            every live session other than the one being served; ``None``
-            disables pressure handling entirely.
-        quantum_rows: root output tuples per execution quantum. Arrivals
-            are only noticed at quantum boundaries, so this bounds the
-            scheduler's reaction latency; keep it small relative to a
-            query's total output.
-        suspend_strategy: plan optimizer used when suspending victims.
-        suspend_budget: per-suspend time budget (Equation 7). When no
-            valid plan fits, the scheduler retries unbudgeted rather than
-            fail the victim.
-        engine_config: per-session engine configuration.
-        collect_rows: keep every query's output rows on its record
-            (memory in the *host* process only; disable for large runs).
-        image_store: when set (an
-            :class:`~repro.durability.store.ImageStore` or an image-root
-            path), every suspended victim is additionally spilled as a
-            durable on-disk image, so evicted queries survive a crash of
-            the serving process. The in-memory SuspendedQuery remains the
-            resume path; the image is the crash-safety net.
-        image_codec: codec version for spill images (``CODEC_V1`` or
-            ``CODEC_V2``); ``None`` uses the image store's default. Only
-            applied when ``image_store`` is given as a path.
-        commit_workers: thread-pool size for the parallel durable commit
-            of one pressure event's victims (``<= 1`` = serial). Pure
-            wall-clock: virtual-clock charges and on-disk bytes are
-            identical either way. Only applied when ``image_store`` is
-            given as a path.
-        delta_spill: when a query is suspended repeatedly, commit each
-            spill as a delta against the query's previous image instead
-            of deleting and rewriting it — unchanged materialized state
-            (sorted sublists, hash partitions) is referenced, not
-            re-encoded. The whole chain is GC'd when the query completes.
-    """
-
-    policy: Union[str, PressurePolicy] = "suspend-resume"
-    memory_budget: Optional[int] = None
-    quantum_rows: int = 64
-    suspend_strategy: SuspendStrategy = SuspendStrategy.LP
-    suspend_budget: float = math.inf
-    engine_config: Optional[EngineConfig] = None
-    collect_rows: bool = True
-    image_store: Union["ImageStore", str, None] = None
-    image_codec: Optional[int] = None
-    commit_workers: int = 0
-    delta_spill: bool = True
-    #: Observability tracer for this run; defaults to the process-wide
-    #: tracer (:func:`repro.obs.tracer.current_tracer`), a no-op unless
-    #: tracing was explicitly enabled.
-    tracer: Optional[Tracer] = None
-
-
-@dataclass
-class QueryRecord:
-    """One admitted query's scheduler-side state."""
-
-    arrival: QueryArrival
-    seq: int
-    stats: QueryStats
-    state: QueryState = QueryState.WAITING
-    session: Optional[QuerySession] = None
-    sq: Optional[SuspendedQuery] = None
-    #: Id of the durable spill image from the most recent suspend, when
-    #: the scheduler is configured with an image store.
-    image_id: Optional[str] = None
-    rows: list = field(default_factory=list)
-
-    @property
-    def name(self) -> str:
-        return self.arrival.name
-
-    @property
-    def priority(self) -> int:
-        return self.arrival.priority
-
-    def memory_in_use(self) -> int:
-        return self.session.memory_in_use() if self.session else 0
-
-
-class QueryScheduler:
+class QueryScheduler(ExecutorCore):
     """Serve many QuerySessions against one database, cooperatively."""
 
     def __init__(self, db: Database, config: Optional[SchedulerConfig] = None):
-        self.db = db
-        self.config = config or SchedulerConfig()
-        self.policy = get_policy(self.config.policy)
-        self.image_store = self._resolve_image_store(self.config.image_store)
-        self.records: list[QueryRecord] = []
-        base_tracer = (
-            self.config.tracer
-            if self.config.tracer is not None
-            else current_tracer()
-        )
-        self.tracer = base_tracer.bind(clock=db.disk.clock)
-        # With tracing on, the stats views and the tracer share one
-        # registry, so scheduler counters and tracer metrics are the same
-        # numbers; a NullTracer has no registry to share.
-        self.stats = SchedulerStats(
-            policy=self.policy.name,
-            registry=self.tracer.metrics if self.tracer.enabled else None,
-        )
+        super().__init__(db, config)
         self._pending: list[QueryRecord] = []  # not yet admitted, by time
         self._ran = False
-
-    def _resolve_image_store(self, value):
-        if value is None or not isinstance(value, str):
-            return value
-        from repro.durability.store import ImageStore
-
-        kwargs = {"commit_workers": self.config.commit_workers}
-        if self.config.image_codec is not None:
-            kwargs["codec_version"] = self.config.image_codec
-        return ImageStore(value, **kwargs)
 
     # ------------------------------------------------------------------
     # Submission
@@ -201,15 +76,7 @@ class QueryScheduler:
             raise ReproError("scheduler already ran; submit before run()")
         if any(r.name == arrival.name for r in self.records):
             raise ReproError(f"duplicate query name {arrival.name!r}")
-        record = QueryRecord(
-            arrival=arrival,
-            seq=len(self.records),
-            stats=self.stats.track(
-                arrival.name, arrival.priority, arrival.arrival_time
-            ),
-        )
-        self.records.append(record)
-        return record
+        return self.track(arrival)
 
     # ------------------------------------------------------------------
     # The scheduling loop
@@ -261,7 +128,7 @@ class QueryScheduler:
             config = SchedulerConfig(
                 policy=policy if policy is not None else "suspend-resume",
                 memory_budget=workload.memory_budget,
-                suspend_budget=workload.suspend_budget,
+                suspend=workload.suspend_spec(),
             )
         elif policy is not None:
             config.policy = policy
@@ -278,9 +145,7 @@ class QueryScheduler:
             self._pending[0].arrival.arrival_time <= self.db.now
         ):
             record = self._pending.pop(0)
-            self.stats.queries_admitted += 1
-            self.stats.per_query[record.name] = record.stats
-            self._mark("admit", record)
+            self.admit(record)
             admitted.append(record)
         return admitted
 
@@ -301,109 +166,6 @@ class QueryScheduler:
         )
 
     # ------------------------------------------------------------------
-    # Memory pressure (called by the policies)
-    # ------------------------------------------------------------------
-    def total_live_memory(self) -> int:
-        """Heap bytes held across every live session right now."""
-        return sum(r.memory_in_use() for r in self.records)
-
-    def pressure_excess(self, record: QueryRecord) -> int:
-        """Bytes over budget held by sessions other than ``record``'s."""
-        if self.config.memory_budget is None:
-            return 0
-        held = self.total_live_memory() - record.memory_in_use()
-        return held - self.config.memory_budget
-
-    def victim_candidates(self, record: QueryRecord) -> list[QueryRecord]:
-        """Live lower-priority sessions that currently hold memory."""
-        return [
-            r
-            for r in self.records
-            if r is not record
-            and r.state is QueryState.READY
-            and r.priority < record.priority
-            and r.memory_in_use() > 0
-        ]
-
-    def suspend_victim(self, victim: QueryRecord) -> None:
-        """Suspend a victim within the configured per-suspend budget."""
-        self.suspend_victims([victim])
-
-    def suspend_victims(self, victims: list[QueryRecord]) -> None:
-        """Suspend one pressure event's victims; spill images in a batch.
-
-        The in-memory suspend phase (the part the virtual clock charges)
-        runs per victim, in order, exactly as it would serially. When an
-        image store is configured, the durable commits are then submitted
-        together: with ``commit_workers > 1`` the images serialize+fsync
-        on a thread pool — a wall-clock speedup only; trace records are
-        emitted in victim order either way.
-
-        With ``delta_spill``, a repeat suspend commits a delta against the
-        query's previous image: materialized operator state that has not
-        been re-dumped since (same key, pages, and write generation) is
-        referenced from the base chain instead of re-encoded. The chain is
-        collected as one unit when the query completes.
-        """
-        options = SuspendOptions(
-            strategy=self.config.suspend_strategy,
-            budget=self.config.suspend_budget,
-        )
-        for victim in victims:
-            try:
-                victim.sq = victim.session.suspend(options)
-            except SuspendBudgetInfeasibleError:
-                # No valid plan fits the budget at this point; releasing
-                # the memory still beats failing the victim, so pay full
-                # price.
-                victim.sq = victim.session.suspend(
-                    SuspendOptions(strategy=self.config.suspend_strategy)
-                )
-            victim.session = None
-            victim.state = QueryState.SUSPENDED
-            victim.stats.suspends += 1
-        if self.image_store is not None:
-            from repro.durability.store import SaveRequest
-
-            requests = []
-            for victim in victims:
-                base = victim.image_id if self.config.delta_spill else None
-                if victim.image_id is not None and base is None:
-                    # Supersede the spill from an earlier suspend of this
-                    # query (delta off: chains are never formed).
-                    self.image_store.delete(victim.image_id)
-                requests.append(
-                    SaveRequest(
-                        sq=victim.sq,
-                        store=self.db.state_store,
-                        image_id=f"{victim.name}-s{victim.stats.suspends}",
-                        meta={
-                            "query": victim.name,
-                            "priority": victim.priority,
-                        },
-                        base_image_id=base,
-                    )
-                )
-            infos = self.image_store.save_many(requests, tracer=self.tracer)
-            for victim, info in zip(victims, infos):
-                victim.image_id = info.image_id
-                victim.stats.durable_spills += 1
-                self._mark("spill", victim)
-        for victim in victims:
-            self._mark("suspend", victim)
-
-    def kill_victim(self, victim: QueryRecord) -> None:
-        """Kill a victim; all its work so far is wasted."""
-        victim.session.close()
-        victim.session = None
-        victim.sq = None
-        victim.rows.clear()
-        victim.stats.rows_emitted = 0
-        victim.state = QueryState.WAITING
-        victim.stats.kills += 1
-        self._mark("kill", victim)
-
-    # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
     def _serve(self, record: QueryRecord) -> None:
@@ -412,17 +174,17 @@ class QueryScheduler:
             if holder is None:
                 # Nothing live holds the memory (should not happen); run
                 # anyway rather than deadlock.
-                self._mark("override", record)
+                self.mark("override", record)
             else:
                 # The incoming query waits; keep the holder moving so the
                 # clock (and its completion) advances.
                 record = holder
         if record.state is QueryState.WAITING:
-            self._start(record)
+            self.start_session(record)
         elif record.state is QueryState.SUSPENDED:
             if not self._resume(record):
                 return  # half-resumed state discarded; try again later
-        self._quantum(record)
+        self.run_quantum(record)
 
     def _blocking_holder(self, record: QueryRecord) -> Optional[QueryRecord]:
         holders = [
@@ -438,31 +200,10 @@ class QueryScheduler:
             holders, key=lambda r: (-r.priority, r.arrival.arrival_time, r.seq)
         )
 
-    def _start(self, record: QueryRecord) -> None:
-        record.session = QuerySession(
-            self.db,
-            record.arrival.plan,
-            config=self.config.engine_config,
-            priority=record.priority,
-            name=record.name,
-            tracer=self.tracer if self.tracer.enabled else None,
-        )
-        record.state = QueryState.READY
-        if record.stats.first_started_at is None:
-            record.stats.first_started_at = self.db.now
-        self._mark("start", record)
-
     def _resume(self, record: QueryRecord) -> bool:
         """Resume a suspended record; False if the discard rule fired."""
         resume_start = self.db.now
-        session = QuerySession.resume(
-            self.db,
-            record.sq,
-            config=self.config.engine_config,
-            priority=record.priority,
-            name=record.name,
-            tracer=self.tracer if self.tracer.enabled else None,
-        )
+        session = self.open_resumed_session(record)
         arrived = self._admit_due()
         preempted = self.config.memory_budget is not None and any(
             r.priority > record.priority
@@ -475,64 +216,16 @@ class QueryScheduler:
             # no new suspend phase is paid, only the wasted resume I/O.
             session.close()
             record.stats.discarded_resumes += 1
-            self._mark("discard-resume", record)
+            self.mark("discard-resume", record)
             return False
-        record.session = session
-        record.sq = None
-        record.state = QueryState.READY
-        record.stats.resumes += 1
-        self._mark("resume", record)
+        self.adopt_resumed_session(record, session)
         return True
 
-    def _quantum(self, record: QueryRecord) -> None:
-        if self.tracer.enabled:
-            with self.tracer.span(
-                "sched.quantum", query=record.name
-            ) as span:
-                result = record.session.execute(
-                    max_rows=self.config.quantum_rows
-                )
-                span["rows"] = len(result.rows)
-                span["status"] = result.status.value
-        else:
-            result = record.session.execute(max_rows=self.config.quantum_rows)
-        record.stats.rows_emitted += len(result.rows)
-        if self.config.collect_rows:
-            record.rows.extend(result.rows)
-        self._note_memory()
-        if result.status is QueryStatus.COMPLETED:
-            record.session.close()
-            record.session = None
-            record.state = QueryState.DONE
-            if self.image_store is not None and record.image_id is not None:
-                # The whole spill chain is obsolete once the query
-                # completes: the tip and every base it references.
-                self.image_store.delete_chain(record.image_id)
-                record.image_id = None
-            record.stats.completed_at = self.db.now
-            self.stats.queries_completed += 1
-            self._mark("complete", record)
 
-    # ------------------------------------------------------------------
-    # Accounting
-    # ------------------------------------------------------------------
-    def _note_memory(self) -> None:
-        self.stats.peak_memory = max(
-            self.stats.peak_memory, self.total_live_memory()
-        )
-
-    def _mark(self, event: str, record: QueryRecord) -> None:
-        self._note_memory()
-        memory = self.total_live_memory()
-        self.stats.timeline.append(
-            TimelineEvent(
-                time=self.db.now,
-                event=event,
-                query=record.name,
-                memory_bytes=memory,
-            )
-        )
-        if self.tracer.enabled:
-            self.tracer.event(
-                f"sched.{event}", query=record.name, memory_bytes=memory
-            )
+__all__ = [
+    "ExecutorCore",
+    "QueryRecord",
+    "QueryScheduler",
+    "QueryState",
+    "SchedulerConfig",
+]

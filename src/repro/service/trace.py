@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro.core.lifecycle import SuspendSpec
 from repro.engine.plan import PlanSpec
 from repro.storage.database import Database
 
@@ -93,3 +94,7 @@ class Workload:
     memory_budget: Optional[int] = None
     suspend_budget: float = float("inf")
     description: str = ""
+
+    def suspend_spec(self) -> SuspendSpec:
+        """The workload's tuned budget as a :class:`SuspendSpec`."""
+        return SuspendSpec(budget=self.suspend_budget)

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import uuid
 from dataclasses import dataclass
 from typing import Any, Optional, Sequence
 
@@ -49,6 +50,13 @@ class StateStore:
         # Delta suspend images use it to prove a payload is byte-identical
         # to the one a base image already persisted without re-encoding it.
         self._generations: dict[str, int] = {}
+        # Keys and generations are only unique within one store instance:
+        # a fresh process restarts both counters, so the same (key, pages,
+        # generation) triple can name different bytes in different
+        # processes. The epoch disambiguates — delta reuse additionally
+        # requires the exporting store's epoch to match the one recorded
+        # in the base image.
+        self.epoch = uuid.uuid4().hex
 
     def fresh_key(self, prefix: str) -> str:
         """Generate a unique key with the given prefix."""

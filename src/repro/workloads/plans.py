@@ -467,6 +467,50 @@ def burst_trace(
     )
 
 
+def sorted_join_plan(scale: int = 1) -> PlanSpec:
+    """Block NLJ over an external sort: the canonical repeat-suspend
+    victim — during the long emission phase its outer buffer is in
+    memory while the sort's unconsumed sublists sit unchanged in the
+    state store, so repeat suspends produce small delta images."""
+    return NLJSpec(
+        outer=SortSpec(
+            FilterSpec(
+                ScanSpec("facts", label="scan_facts"),
+                UniformSelect(1, 0.8),
+                label="filter",
+            ),
+            key_columns=(0,),
+            buffer_tuples=_scaled(MIXED_BUFFER_TUPLES, scale),
+            label="sort_facts",
+        ),
+        inner=ScanSpec("dims", label="scan_dims"),
+        condition=EquiJoinCondition(0, 0, modulus=500),
+        buffer_tuples=_scaled(MIXED_BUFFER_TUPLES, scale),
+        label="q_nlj_sort",
+    )
+
+
+def serve_catalog(
+    scale: int = 8, seed: int = 1
+) -> tuple[Callable[[], Database], dict[str, PlanSpec]]:
+    """The HTTP serving layer's named plans plus their database factory.
+
+    The catalog reuses the scheduler workloads' plans over the mixed
+    tables, at a default scale small enough that thousands of concurrent
+    sessions stay cheap: ``mixed-join`` (the long analytical NLJ),
+    ``hot-sort`` (the quick high-priority sort), and ``sorted-join``
+    (the repeat-suspend victim whose continuations produce delta
+    images). Server and load generator both draw from here so a token
+    minted against one process resolves to the same plan in another.
+    """
+    catalog = {
+        "mixed-join": mixed_q_lo_plan(scale),
+        "hot-sort": mixed_q_hi_plan(scale),
+        "sorted-join": sorted_join_plan(scale),
+    }
+    return _mixed_db_factory(scale, seed), catalog
+
+
 def repeat_suspend_trace(
     scale: int = 1,
     seed: int = 1,
@@ -483,22 +527,7 @@ def repeat_suspend_trace(
     buffer and shares the sublist blobs with the previous image.
     """
     factory = _mixed_db_factory(scale, seed)
-    victim_plan = NLJSpec(
-        outer=SortSpec(
-            FilterSpec(
-                ScanSpec("facts", label="scan_facts"),
-                UniformSelect(1, 0.8),
-                label="filter",
-            ),
-            key_columns=(0,),
-            buffer_tuples=_scaled(MIXED_BUFFER_TUPLES, scale),
-            label="sort_facts",
-        ),
-        inner=ScanSpec("dims", label="scan_dims"),
-        condition=EquiJoinCondition(0, 0, modulus=500),
-        buffer_tuples=_scaled(MIXED_BUFFER_TUPLES, scale),
-        label="q_nlj_sort",
-    )
+    victim_plan = sorted_join_plan(scale)
     solo_time, peak = _solo_profile(factory(), victim_plan)
     trace = ArrivalTrace(name="repeat-suspend")
     trace.add("q_nlj_sort", victim_plan, arrival_time=0.0, priority=0)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import Database, QuerySession, SuspendOptions
+from repro import Database, QuerySession, SuspendSpec
 from repro.engine.plan import (
     FilterSpec,
     MergeJoinSpec,
@@ -83,7 +83,7 @@ def suspend_resume_rows(
     first = session.execute(max_rows=point)
     if session.status.value == "completed":
         return None
-    sq = session.suspend(SuspendOptions(strategy=strategy, **suspend_kwargs))
+    sq = session.suspend(SuspendSpec(strategy=strategy, **suspend_kwargs))
     resumed = QuerySession.resume(db, sq)
     rest = resumed.execute()
     return first.rows + rest.rows

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, QuerySession, QueryStatus
+from repro import Database, QuerySession, QueryStatus, SuspendSpec
 from repro.common.errors import ReproError
 from repro.engine.plan import ScanSpec
 
@@ -53,7 +53,7 @@ class TestSuspendPhase:
         db = make_small_db()
         session = QuerySession(db, tiny_nlj_plan())
         session.execute(max_rows=10)
-        session.suspend(strategy="all_dump")
+        session.suspend(SuspendSpec(strategy="all_dump"))
         assert session.status is QueryStatus.SUSPENDED
         assert session.runtime.ops == {}
 
@@ -69,7 +69,7 @@ class TestSuspendPhase:
         db = make_small_db()
         session = QuerySession(db, tiny_nlj_plan())
         session.execute(max_rows=5)
-        session.suspend(strategy="all_dump")
+        session.suspend(SuspendSpec(strategy="all_dump"))
         assert session.last_suspend_cost > 0
 
     def test_goback_suspend_much_cheaper_than_dump(self):
@@ -83,7 +83,7 @@ class TestSuspendPhase:
             session.execute(
                 suspend_when=lambda rt: rt.op_named("nlj").buffer_fill() >= 250
             )
-            session.suspend(strategy=strategy)
+            session.suspend(SuspendSpec(strategy=strategy))
             costs[strategy] = session.last_suspend_cost
         assert costs["all_goback"] < costs["all_dump"] / 2
 
@@ -92,7 +92,7 @@ class TestSuspendPhase:
         plan = tiny_nlj_plan()
         session = QuerySession(db, plan)
         session.execute(max_rows=5)
-        sq = session.suspend(strategy="all_dump")
+        sq = session.suspend(SuspendSpec(strategy="all_dump"))
         assert sq.plan_spec == plan
         assert sq.suspend_plan.source == "all_dump"
         assert sq.root_rows_emitted == 5
@@ -106,7 +106,7 @@ class TestResumePhase:
         ref = QuerySession(make_small_db(), plan).execute().rows
         session = QuerySession(db, plan)
         first = session.execute(max_rows=33)
-        sq = session.suspend(strategy="lp")
+        sq = session.suspend(SuspendSpec(strategy="lp"))
         resumed = QuerySession.resume(db, sq)
         assert resumed.status is QueryStatus.RUNNING
         assert first.rows + resumed.execute().rows == ref
@@ -115,7 +115,7 @@ class TestResumePhase:
         db = make_small_db()
         session = QuerySession(db, tiny_nlj_plan())
         session.execute(max_rows=5)
-        sq = session.suspend(strategy="all_dump")
+        sq = session.suspend(SuspendSpec(strategy="all_dump"))
         resumed = QuerySession.resume(db, sq)
         assert resumed.last_resume_cost > 0
 
@@ -127,7 +127,7 @@ class TestResumePhase:
         ref = QuerySession(make_small_db(), plan).execute().rows
         session = QuerySession(db, plan)
         first = session.execute(max_rows=12)
-        sq = session.suspend(strategy="lp")
+        sq = session.suspend(SuspendSpec(strategy="lp"))
         discarded = QuerySession.resume(db, sq)
         del discarded
         resumed = QuerySession.resume(db, sq)
@@ -139,8 +139,8 @@ class TestResumePhase:
         ref = QuerySession(make_small_db(), plan).execute().rows
         session = QuerySession(db, plan)
         first = session.execute(max_rows=12)
-        sq = session.suspend(strategy="all_goback")
+        sq = session.suspend(SuspendSpec(strategy="all_goback"))
         resumed = QuerySession.resume(db, sq)
-        sq2 = resumed.suspend(strategy="lp")  # no execution in between
+        sq2 = resumed.suspend(SuspendSpec(strategy="lp"))  # no execution in between
         final = QuerySession.resume(db, sq2)
         assert first.rows + final.execute().rows == ref

@@ -1,11 +1,28 @@
-"""The SuspendOptions API and the legacy-keyword deprecation shim."""
+"""The SuspendSpec API and its deprecation shims.
+
+One dataclass — :class:`SuspendSpec` — now carries every suspend knob
+(strategy, budget, explicit plan, durable persistence). These tests pin
+the new contract:
+
+- ``SuspendSpec`` itself is warning-free and validates its fields;
+- ``SuspendOptions`` still constructs (it *is* a SuspendSpec) but warns;
+- the PR-1 string/keyword forms (``suspend("lp")``,
+  ``strategy=/budget=/plan=``) are **removed** and raise TypeError;
+- the persistence keywords (``persist_to=/image_id=/image_meta=``) warn
+  and fold into the spec;
+- ``SchedulerConfig``'s legacy per-field spellings warn and fold into
+  ``config.suspend``.
+"""
 
 import math
 import warnings
 
 import pytest
 
-from repro import QuerySession, SuspendOptions, SuspendStrategy
+from repro import QuerySession, SuspendStrategy
+from repro.core.lifecycle import SuspendOptions, SuspendSpec
+from repro.durability import ImageStore
+from repro.service.core import SchedulerConfig
 from tests.conftest import make_small_db, tiny_nlj_plan
 
 
@@ -16,33 +33,35 @@ def mid_flight_session():
     return db, session
 
 
-class TestSuspendOptions:
+class TestSuspendSpec:
     def test_defaults_are_unbudgeted_lp(self):
-        options = SuspendOptions()
-        assert options.strategy is SuspendStrategy.LP
-        assert options.budget == math.inf
-        assert options.plan is None
+        spec = SuspendSpec()
+        assert spec.strategy is SuspendStrategy.LP
+        assert spec.budget == math.inf
+        assert spec.plan is None
+        assert spec.persist_to is None
+        assert spec.delta is True
 
     def test_strategy_strings_are_coerced(self):
         assert (
-            SuspendOptions(strategy="all_dump").strategy
+            SuspendSpec(strategy="all_dump").strategy
             is SuspendStrategy.ALL_DUMP
         )
 
     def test_unknown_strategy_rejected(self):
         with pytest.raises(ValueError):
-            SuspendOptions(strategy="made_up")
+            SuspendSpec(strategy="made_up")
 
     def test_negative_budget_rejected(self):
         with pytest.raises(ValueError):
-            SuspendOptions(budget=-1.0)
+            SuspendSpec(budget=-1.0)
 
-    def test_suspend_with_options_emits_no_warning(self):
+    def test_suspend_with_spec_emits_no_warning(self):
         db, session = mid_flight_session()
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             sq = session.suspend(
-                SuspendOptions(strategy=SuspendStrategy.ALL_DUMP)
+                SuspendSpec(strategy=SuspendStrategy.ALL_DUMP)
             )
         assert sq.suspend_plan is not None
 
@@ -52,38 +71,100 @@ class TestSuspendOptions:
             warnings.simplefilter("error")
             session.suspend()
 
-
-class TestDeprecatedKeywordForm:
-    def test_strategy_keyword_warns_and_still_works(self):
+    def test_spec_drives_persistence(self, tmp_path):
         db, session = mid_flight_session()
-        with pytest.warns(DeprecationWarning, match="SuspendOptions"):
-            sq = session.suspend(strategy="all_dump", budget=200.0)
+        store = ImageStore(str(tmp_path))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            session.suspend(
+                SuspendSpec(persist_to=store, image_id="spec-img")
+            )
+        assert session.last_image.image_id == "spec-img"
+        assert store.manifest("spec-img")
+
+
+class TestSuspendOptionsShim:
+    def test_construction_warns_but_works(self):
+        with pytest.warns(DeprecationWarning, match="SuspendSpec"):
+            options = SuspendOptions(strategy="all_dump")
+        assert isinstance(options, SuspendSpec)
+        assert options.strategy is SuspendStrategy.ALL_DUMP
+
+    def test_suspend_accepts_the_deprecated_subclass(self):
+        db, session = mid_flight_session()
+        with pytest.warns(DeprecationWarning):
+            options = SuspendOptions()
+        sq = session.suspend(options)
         resumed = QuerySession.resume(db, sq)
         assert resumed.execute().rows is not None
 
-    def test_positional_string_warns(self):
-        db, session = mid_flight_session()
-        with pytest.warns(DeprecationWarning):
-            session.suspend("all_goback")
 
-    def test_mixing_options_and_keywords_rejected(self):
+class TestRemovedKeywordForms:
+    def test_strategy_keyword_raises(self):
+        db, session = mid_flight_session()
+        with pytest.raises(TypeError, match="SuspendSpec"):
+            session.suspend(strategy="all_dump")
+
+    def test_budget_and_plan_keywords_raise(self):
         db, session = mid_flight_session()
         with pytest.raises(TypeError):
-            session.suspend(SuspendOptions(), strategy="lp")
+            session.suspend(budget=200.0)
+        with pytest.raises(TypeError):
+            session.suspend(plan=None)
 
-    def test_legacy_and_options_forms_are_equivalent(self):
+    def test_positional_string_raises(self):
+        db, session = mid_flight_session()
+        with pytest.raises(TypeError):
+            session.suspend("all_goback")
+
+    def test_mixing_spec_and_removed_keywords_rejected(self):
+        db, session = mid_flight_session()
+        with pytest.raises(TypeError):
+            session.suspend(SuspendSpec(), strategy="lp")
+
+
+class TestLegacyPersistenceKeywords:
+    def test_persist_to_keyword_warns_and_folds(self, tmp_path):
+        db, session = mid_flight_session()
+        store = ImageStore(str(tmp_path))
+        with pytest.warns(DeprecationWarning, match="SuspendSpec"):
+            session.suspend(persist_to=store, image_id="legacy-img")
+        assert session.last_image.image_id == "legacy-img"
+
+    def test_legacy_and_spec_forms_are_equivalent(self, tmp_path):
         rows = {}
-        for form in ("legacy", "options"):
+        for form in ("legacy", "spec"):
             db = make_small_db()
             session = QuerySession(db, tiny_nlj_plan())
             first = session.execute(max_rows=20)
+            store = ImageStore(str(tmp_path / form))
             if form == "legacy":
                 with pytest.warns(DeprecationWarning):
-                    sq = session.suspend(strategy="lp")
+                    session.suspend(persist_to=store, image_id="img")
             else:
-                sq = session.suspend(
-                    SuspendOptions(strategy=SuspendStrategy.LP)
+                session.suspend(
+                    SuspendSpec(persist_to=store, image_id="img")
                 )
+            sq = store.load("img")
             rest = QuerySession.resume(db, sq).execute()
             rows[form] = first.rows + rest.rows
-        assert rows["legacy"] == rows["options"]
+        assert rows["legacy"] == rows["spec"]
+
+
+class TestSchedulerConfigShim:
+    def test_legacy_fields_warn_and_fold(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match="suspend="):
+            config = SchedulerConfig(
+                suspend_budget=120.0, image_store=str(tmp_path)
+            )
+        assert config.suspend.budget == 120.0
+        assert config.suspend.persist_to == str(tmp_path)
+        # The mirrors stay readable for straggler call sites.
+        assert config.suspend_budget == 120.0
+        assert config.image_store == str(tmp_path)
+
+    def test_spec_field_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            config = SchedulerConfig(suspend=SuspendSpec(budget=75.0))
+        assert config.suspend.budget == 75.0

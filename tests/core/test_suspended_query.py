@@ -4,7 +4,7 @@ import pickle
 
 import pytest
 
-from repro import Database, QuerySession
+from repro import Database, QuerySession, SuspendSpec
 from repro.common.errors import StorageError
 from repro.core.suspended_query import (
     KIND_DUMP,
@@ -52,7 +52,7 @@ class TestSuspendedQuery:
         db = make_small_db()
         session = QuerySession(db, tiny_nlj_plan())
         session.execute(max_rows=20)
-        sq = session.suspend(strategy="all_goback")
+        sq = session.suspend(SuspendSpec(strategy="all_goback"))
         clone = pickle.loads(pickle.dumps(sq))
         assert clone.root_rows_emitted == sq.root_rows_emitted
         assert set(clone.entries) == set(sq.entries)
@@ -67,7 +67,7 @@ class TestSuspendedQuery:
         session.execute(
             suspend_when=lambda rt: rt.op_named("nlj").buffer_fill() >= 250
         )
-        sq = session.suspend(strategy="all_goback")
+        sq = session.suspend(SuspendSpec(strategy="all_goback"))
         assert sq.nominal_bytes() < 5_000
 
 
@@ -81,7 +81,7 @@ class TestMigrationPayloads:
 
         session = QuerySession(db, plan)
         first = session.execute(max_rows=20)
-        sq = session.suspend(strategy="all_dump")
+        sq = session.suspend(SuspendSpec(strategy="all_dump"))
         sq.export_payloads(db.state_store)
 
         replica = db.replicate()
@@ -95,7 +95,7 @@ class TestMigrationPayloads:
         db = make_small_db()
         session = QuerySession(db, tiny_nlj_plan(selectivity=1.0))
         session.execute(max_rows=20)
-        sq = session.suspend(strategy="all_dump")
+        sq = session.suspend(SuspendSpec(strategy="all_dump"))
         replica = db.replicate()
         # forgot export_payloads: resume on the replica must fail loudly
         with pytest.raises(StorageError):

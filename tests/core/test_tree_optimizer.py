@@ -5,7 +5,7 @@ import time
 
 import pytest
 
-from repro import QuerySession
+from repro import QuerySession, SuspendSpec
 from repro.core.costs import build_cost_model
 from repro.core.optimizer import (
     build_lp_plan,
@@ -54,7 +54,7 @@ class TestDPOptimizer:
         ref = QuerySession(make_small_db(), plan).execute().rows
         session = QuerySession(db, plan)
         first = session.execute(max_rows=25)
-        sq = session.suspend(strategy="dp")
+        sq = session.suspend(SuspendSpec(strategy="dp"))
         resumed = QuerySession.resume(db, sq)
         assert first.rows + resumed.execute().rows == ref
 

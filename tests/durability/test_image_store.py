@@ -8,6 +8,7 @@ from repro.core.lifecycle import QuerySession
 from repro.durability import ImageStore, SaveRequest, build_recipe
 from repro.durability.format import ImageFormatError, MANIFEST_NAME
 from repro.durability.store import ImageNotFoundError
+from repro.core.lifecycle import SuspendSpec
 
 SHAPES = ("sort", "hashjoin", "hashagg")
 
@@ -45,7 +46,7 @@ class TestRoundTrip:
         db, plan = build_recipe("sort")
         session = QuerySession(db, plan)
         session.execute(max_rows=50)
-        session.suspend(persist_to=str(tmp_path), image_meta={"k": "v"})
+        session.suspend(SuspendSpec(persist_to=str(tmp_path), image_meta={"k": "v"}))
         info = session.last_image
         assert info is not None
         assert info.meta == {"k": "v"}
@@ -116,11 +117,15 @@ class TestParallelCommit:
             manifests[label] = {
                 i.image_id: store.manifest(i.image_id) for i in infos
             }
-        # created_at is wall clock; everything else (checksums included)
-        # must be byte-identical between the serial and parallel paths.
+        # created_at is wall clock and blob epochs name the exporting
+        # StateStore instance (each run built its own); everything else
+        # (checksums included) must be byte-identical between the serial
+        # and parallel paths.
         for mf in manifests.values():
             for m in mf.values():
                 m.pop("created_at")
+                for blob in m["blobs"]:
+                    blob.pop("epoch", None)
         assert manifests["serial"] == manifests["parallel"]
 
     def test_save_many_parallel_images_load(self, tmp_path):

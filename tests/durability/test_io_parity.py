@@ -13,6 +13,7 @@ import pytest
 
 from repro.core.lifecycle import QuerySession
 from repro.durability import ImageStore, build_recipe
+from repro.core.lifecycle import SuspendSpec
 
 # Rows to emit before suspending — hashagg only produces 16 groups.
 SHAPES = {"sort": 60, "hashjoin": 60, "hashagg": 6}
@@ -23,7 +24,7 @@ def run_suspend(recipe, rows, persist_to=None):
     session = QuerySession(db, plan)
     session.execute(max_rows=rows)
     before = db.disk.counters.snapshot()
-    session.suspend(persist_to=persist_to)
+    session.suspend(SuspendSpec(persist_to=persist_to))
     delta = db.disk.counters.minus(before)
     return session, delta
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, QuerySession
+from repro import Database, QuerySession, SuspendSpec
 from repro.engine.plan import (
     DupElimSpec,
     GroupAggSpec,
@@ -92,7 +92,7 @@ class TestGroupAggregate:
         )
         assert session.status.value == "suspend_pending"
         first_rows = list(session.rows)
-        sq = session.suspend(strategy="lp")
+        sq = session.suspend(SuspendSpec(strategy="lp"))
         resumed = QuerySession.resume(db, sq)
         assert first_rows + resumed.execute().rows == ref
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, QuerySession
+from repro import Database, QuerySession, SuspendSpec
 from repro.common.errors import ReproError
 from repro.core.checkpoint import control_state_bytes
 from repro.engine.base import Operator
@@ -101,7 +101,7 @@ class TestFullStateCheckpoint:
         plan = tiny_nlj_plan(buffer_tuples=30)
         session = QuerySession(db, plan)
         session.execute(max_rows=10)
-        sq = session.suspend(strategy="all_dump")
+        sq = session.suspend(SuspendSpec(strategy="all_dump"))
         resumed = QuerySession.resume(db, sq)
         nlj = resumed.op_named("nlj")
         graph = resumed.runtime.graph

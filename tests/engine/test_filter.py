@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, QuerySession
+from repro import Database, QuerySession, SuspendSpec
 from repro.engine.config import EngineConfig
 from repro.engine.plan import FilterSpec, NLJSpec, ScanSpec
 from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
@@ -92,7 +92,7 @@ class TestContractMigration:
         db2 = make_small_db()
         session = QuerySession(db2, plan, config=config)
         first = session.execute(max_rows=5)
-        sq = session.suspend(strategy="all_goback")
+        sq = session.suspend(SuspendSpec(strategy="all_goback"))
         resumed = QuerySession.resume(db2, sq, config=config)
         assert first.rows + resumed.execute().rows == ref
 
@@ -105,7 +105,7 @@ class TestContractMigration:
             session = QuerySession(db, self.nlj_plan(0.05), config=config)
             session.execute(max_rows=2)
             before = db.now
-            sq = session.suspend(strategy="all_goback")
+            sq = session.suspend(SuspendSpec(strategy="all_goback"))
             resumed = QuerySession.resume(db, sq, config=config)
             resumed.execute(max_rows=1)
             costs[migration] = db.now - before

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, QuerySession
+from repro import Database, QuerySession, SuspendSpec
 from repro.engine.plan import GroupAggSpec, HashGroupAggSpec, ScanSpec, SortSpec
 from repro.relational.datagen import BASE_SCHEMA
 
@@ -90,7 +90,7 @@ class TestHashGroupAggregateSuspendResume:
             suspend_when=lambda rt: rt.op_named("hagg").consumed >= 100
         )
         assert session.status.value == "suspend_pending"
-        sq = session.suspend(strategy="lp")
+        sq = session.suspend(SuspendSpec(strategy="lp"))
         resumed = QuerySession.resume(db, sq)
         assert resumed.execute().rows == ref
 
@@ -100,11 +100,11 @@ class TestHashGroupAggregateSuspendResume:
         db = group_db()
         session = QuerySession(db, plan)
         rows = session.execute(max_rows=3).rows
-        sq = session.suspend(strategy="all_goback")
+        sq = session.suspend(SuspendSpec(strategy="all_goback"))
         session = QuerySession.resume(db, sq)
         rows += session.execute(max_rows=4).rows
         if session.status.value != "completed":
-            sq2 = session.suspend(strategy="lp")
+            sq2 = session.suspend(SuspendSpec(strategy="lp"))
             session = QuerySession.resume(db, sq2)
             rows += session.execute().rows
         assert rows == ref

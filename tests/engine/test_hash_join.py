@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, QuerySession
+from repro import Database, QuerySession, SuspendSpec
 from repro.engine.plan import (
     FilterSpec,
     HybridHashJoinSpec,
@@ -99,7 +99,7 @@ class TestHashJoinSuspendResume:
         session = QuerySession(db, plan)
         session.execute(max_rows=30)
         scan_reads_before = db.disk.counters.pages_read
-        sq = session.suspend(strategy="all_goback")
+        sq = session.suspend(SuspendSpec(strategy="all_goback"))
         resumed = QuerySession.resume(db, sq)
         resumed.execute(max_rows=1)
         redo_reads = db.disk.counters.pages_read - scan_reads_before
@@ -117,6 +117,6 @@ class TestHashJoinSuspendResume:
             suspend_when=lambda rt: rt.op_named("hj").build_consumed >= 50
         )
         assert session.status.value == "suspend_pending"
-        sq = session.suspend(strategy="lp")
+        sq = session.suspend(SuspendSpec(strategy="lp"))
         resumed = QuerySession.resume(db, sq)
         assert resumed.execute().rows == ref

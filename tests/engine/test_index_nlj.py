@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, QuerySession
+from repro import Database, QuerySession, SuspendSpec
 from repro.engine.plan import FilterSpec, IndexNLJSpec, ScanSpec
 from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
 from repro.relational.expressions import UniformSelect
@@ -67,6 +67,6 @@ class TestIndexNLJ:
         ref = reference_rows(inlj_db, plan)
         session = QuerySession(db, plan)
         first = session.execute(max_rows=2)
-        sq = session.suspend(strategy="all_dump")
+        sq = session.suspend(SuspendSpec(strategy="all_dump"))
         resumed = QuerySession.resume(db, sq)
         assert first.rows + resumed.execute().rows == ref

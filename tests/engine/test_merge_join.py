@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, QuerySession
+from repro import Database, QuerySession, SuspendSpec
 from repro.engine.plan import MergeJoinSpec, ScanSpec, SortSpec
 from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
 from repro.relational.expressions import EquiJoinCondition
@@ -109,6 +109,6 @@ class TestMergeJoinSuspendResume:
         ref = reference_rows(lambda: dup_db(4, 3, 15), packet_plan())
         session = QuerySession(db, packet_plan())
         first = session.execute(max_rows=7)  # mid-first-packet (12 outputs)
-        sq = session.suspend(strategy="all_goback")
+        sq = session.suspend(SuspendSpec(strategy="all_goback"))
         resumed = QuerySession.resume(db, sq)
         assert first.rows + resumed.execute().rows == ref

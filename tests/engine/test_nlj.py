@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, QuerySession
+from repro import Database, QuerySession, SuspendSpec
 from repro.common.errors import ReproError
 from repro.engine.plan import FilterSpec, NLJSpec, ScanSpec, SortSpec
 from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
@@ -123,7 +123,7 @@ class TestNLJSuspendResume:
         session = QuerySession(db, plan)
         first = session.execute(max_rows=50)
         last_before = first.rows[-1]
-        sq = session.suspend(strategy="all_goback")
+        sq = session.suspend(SuspendSpec(strategy="all_goback"))
         resumed = QuerySession.resume(db, sq)
         after = resumed.execute(max_rows=1).rows[0]
         ref = reference_rows(make_small_db, plan)

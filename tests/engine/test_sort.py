@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, QuerySession
+from repro import Database, QuerySession, SuspendSpec
 from repro.engine.plan import ScanSpec, SortSpec
 from repro.engine.sort import PHASE_BUILD, PHASE_MERGE
 from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
@@ -110,7 +110,7 @@ class TestSortSuspendResume:
             suspend_when=lambda rt: rt.op_named("sort").buffer_fill() >= 30
         )
         assert session.op_named("sort").phase == PHASE_BUILD
-        sq = session.suspend(strategy="lp")
+        sq = session.suspend(SuspendSpec(strategy="lp"))
         resumed = QuerySession.resume(db, sq)
         assert resumed.execute().rows == ref
 
@@ -122,7 +122,7 @@ class TestSortSuspendResume:
         session = QuerySession(db, plan)
         session.execute(max_rows=100)
         before_writes = db.disk.counters.pages_written
-        sq = session.suspend(strategy="all_goback")
+        sq = session.suspend(SuspendSpec(strategy="all_goback"))
         resumed = QuerySession.resume(db, sq)
         resumed.execute(max_rows=1)
         # No sublists rewritten during resume.
@@ -134,6 +134,6 @@ class TestSortSuspendResume:
         session = QuerySession(db, sort_plan(60))
         session.execute(max_rows=10)
         handles = list(session.op_named("sort").sublists)
-        sq = session.suspend(strategy="all_dump")
+        sq = session.suspend(SuspendSpec(strategy="all_dump"))
         for handle in handles:
             assert db.state_store.peek(handle) is not None

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import QuerySession
+from repro import QuerySession, SuspendSpec
 from repro.engine.plan import (
     DupElimSpec,
     FilterSpec,
@@ -128,7 +128,7 @@ class TestMemoryAccounting:
         )
         held = session.memory_in_use()
         assert held >= 2 * db.cost_model.page_bytes  # 150 tuples = 2 pages
-        session.suspend(strategy="all_dump")
+        session.suspend(SuspendSpec(strategy="all_dump"))
         assert session.memory_in_use() == 0
 
     def test_goback_suspend_also_releases_memory(self):
@@ -137,5 +137,5 @@ class TestMemoryAccounting:
         session.execute(
             suspend_when=lambda rt: rt.op_named("nlj").buffer_fill() >= 150
         )
-        session.suspend(strategy="all_goback")
+        session.suspend(SuspendSpec(strategy="all_goback"))
         assert session.memory_in_use() == 0

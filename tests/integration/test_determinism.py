@@ -1,6 +1,6 @@
 """Determinism: the virtual-clock design makes every run reproducible."""
 
-from repro import QuerySession
+from repro import QuerySession, SuspendSpec
 from repro.harness.experiments import (
     measure_suspend_overhead,
     nlj_buffer_trigger,
@@ -37,7 +37,7 @@ def test_suspend_plans_are_deterministic():
         db, plan = build_nlj_s(selectivity=0.3, scale=400)
         session = QuerySession(db, plan)
         session.execute(max_rows=50)
-        sq = session.suspend(strategy="lp")
+        sq = session.suspend(SuspendSpec(strategy="lp"))
         plans.append(
             tuple(sorted((k, str(v)) for k, v in sq.suspend_plan.decisions.items()))
         )

@@ -8,7 +8,7 @@ reconciliation) — is exercised deterministically.
 
 import pytest
 
-from repro import QuerySession
+from repro import QuerySession, SuspendSpec
 from repro.common.errors import InvalidSuspendPlanError
 from repro.core.costs import build_cost_model
 from repro.core.optimizer import enumerate_valid_plans
@@ -48,7 +48,7 @@ class TestNLJDumpUnderContract:
         if session.status.value == "completed":
             return None
         sp = forced_plan(session, **name_decisions)
-        sq = session.suspend(plan=sp)
+        sq = session.suspend(SuspendSpec(plan=sp))
         resumed = QuerySession.resume(db, sq)
         return (first.rows + resumed.execute().rows, ref, sq)
 
@@ -110,7 +110,7 @@ class TestNLJDumpUnderContract:
                 scan_S2="dump",
             )
             try:
-                sq = session.suspend(plan=sp)
+                sq = session.suspend(SuspendSpec(plan=sp))
             except InvalidSuspendPlanError:
                 continue  # c_{i,j} forbids the dump at this point
             kinds = {e.kind for e in sq.entries.values()}
@@ -140,7 +140,7 @@ class TestExhaustiveForcedPlans:
             db2 = make_small_db()
             session = QuerySession(db2, plan)
             first = session.execute(max_rows=point)
-            sq = session.suspend(plan=sp)
+            sq = session.suspend(SuspendSpec(plan=sp))
             resumed = QuerySession.resume(db2, sq)
             got = first.rows + resumed.execute().rows
             assert got == ref, f"plan {sp.decisions}"

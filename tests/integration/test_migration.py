@@ -4,7 +4,7 @@ import pickle
 
 import pytest
 
-from repro import QuerySession
+from repro import QuerySession, SuspendSpec
 from repro.harness.experiments import nlj_buffer_trigger
 from repro.workloads import build_complex_plan, build_smj_s
 
@@ -22,7 +22,7 @@ class TestComplexPlanMigration:
         first = session.execute(
             suspend_when=nlj_buffer_trigger("nlj0", 400)
         )
-        sq = session.suspend(strategy=strategy)
+        sq = session.suspend(SuspendSpec(strategy=strategy))
         sq.export_payloads(db.state_store)
         wire = pickle.dumps(sq)
 
@@ -35,7 +35,7 @@ class TestComplexPlanMigration:
         db, plan = build_smj_s(selectivity=0.5, scale=400)
         session = QuerySession(db, plan)
         session.execute(max_rows=50)
-        sq = session.suspend(strategy="all_dump")
+        sq = session.suspend(SuspendSpec(strategy="all_dump"))
         sq.export_payloads(db.state_store)
 
         replica = db.replicate()
@@ -50,7 +50,7 @@ class TestComplexPlanMigration:
         ref = QuerySession(*build_smj_s(selectivity=0.5, scale=400)).execute().rows
         session = QuerySession(db, plan)
         first = session.execute(max_rows=40)
-        sq = session.suspend(strategy="lp")
+        sq = session.suspend(SuspendSpec(strategy="lp"))
         sq.export_payloads(db.state_store)
         resumed = QuerySession.resume(db, sq)
         assert first.rows + resumed.execute().rows == ref

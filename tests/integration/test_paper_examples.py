@@ -7,7 +7,7 @@ that exact plan and assert the behaviours the paper narrates.
 
 import pytest
 
-from repro import Database, QuerySession
+from repro import Database, QuerySession, SuspendSpec
 from repro.core.strategies import OpDecision, SuspendPlan
 from repro.core.suspended_query import KIND_DUMP, KIND_GOBACK
 from repro.engine.plan import NLJSpec, ScanSpec
@@ -144,7 +144,7 @@ class TestExamples5And6SuspendPlans:
                 ids["scan_T"]: OpDecision.dump(),
             }
         )
-        sq = session.suspend(plan=plan)
+        sq = session.suspend(SuspendSpec(plan=plan))
         assert sq.entries[ids["nlj0"]].kind == KIND_DUMP
         assert sq.entries[ids["nlj0"]].dump_handle is not None
         assert sq.entries[ids["nlj1"]].kind == KIND_GOBACK
@@ -171,7 +171,7 @@ class TestExamples5And6SuspendPlans:
                 ids["scan_T"]: OpDecision.goback(ids["nlj0"]),
             }
         )
-        sq = session.suspend(plan=plan)
+        sq = session.suspend(SuspendSpec(plan=plan))
         assert all(e.dump_handle is None for e in sq.entries.values())
         assert sq.entries[ids["nlj0"]].kind == KIND_GOBACK
         assert sq.entries[ids["nlj1"]].kind == KIND_GOBACK
@@ -187,7 +187,7 @@ class TestExample7ResumeInAction:
         ).execute().rows
         db, session = session_at_t5()
         produced = list(session.rows)
-        sq = session.suspend(strategy=strategy)
+        sq = session.suspend(SuspendSpec(strategy=strategy))
         resumed = QuerySession.resume(db, sq)
         nxt = resumed.execute(max_rows=1).rows
         assert produced + nxt == ref[: len(produced) + 1]

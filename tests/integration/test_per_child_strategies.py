@@ -9,7 +9,7 @@ cheap).
 
 import pytest
 
-from repro import Database, QuerySession
+from repro import Database, QuerySession, SuspendSpec
 from repro.common.errors import InvalidSuspendPlanError
 from repro.core.strategies import OpDecision, SuspendPlan
 from repro.engine.plan import FilterSpec, MergeJoinSpec, ScanSpec, SortSpec
@@ -83,7 +83,7 @@ class TestPerChildCorrectness:
         if session.status.value == "completed":
             return
         sp = mixed_plan(session, dump_side)
-        sq = session.suspend(plan=sp)
+        sq = session.suspend(SuspendSpec(plan=sp))
         resumed = QuerySession.resume(db, sq)
         assert first.rows + resumed.execute().rows == ref
 
@@ -96,7 +96,7 @@ class TestPerChildCorrectness:
         sort_r = session.op_named("sort_R")
         pos_now = sort_r.control_state()
         sp = mixed_plan(session, "right")
-        sq = session.suspend(plan=sp)
+        sq = session.suspend(SuspendSpec(plan=sp))
         entry = sq.entries[sort_r.op_id]
         assert entry.kind == "dump"
         assert entry.target_control == pos_now
@@ -115,7 +115,7 @@ class TestPerChildCorrectness:
             ids["mj"], dump_children=(ids["f"],)  # grandchild, invalid
         )
         with pytest.raises(InvalidSuspendPlanError):
-            session.suspend(plan=bogus)
+            session.suspend(SuspendSpec(plan=bogus))
 
 
 class TestPerChildEconomics:
@@ -149,7 +149,7 @@ class TestPerChildEconomics:
         start = db3.now
         session3.execute(suspend_when=trigger)
         sp3 = mixed_plan(session3, "right")
-        sq = session3.suspend(plan=sp3)
+        sq = session3.suspend(SuspendSpec(plan=sp3))
         resumed = QuerySession.resume(db3, sq)
         resumed.execute(max_rows=1)
         mixed_overhead = (db3.now - start) - ref_cost

@@ -8,7 +8,7 @@ tuple, in order.
 
 import pytest
 
-from repro import Database, QuerySession
+from repro import Database, QuerySession, SuspendSpec
 from repro.engine.plan import (
     DupElimSpec,
     FilterSpec,
@@ -128,11 +128,11 @@ def test_double_suspend_equivalence(plan_name):
         db = mkdb()
         session = QuerySession(db, plan)
         rows = session.execute(max_rows=5).rows
-        sq = session.suspend(strategy=strategies[0])
+        sq = session.suspend(SuspendSpec(strategy=strategies[0]))
         session = QuerySession.resume(db, sq)
         rows += session.execute(max_rows=9).rows
         if session.status.value != "completed":
-            sq2 = session.suspend(strategy=strategies[1])
+            sq2 = session.suspend(SuspendSpec(strategy=strategies[1]))
             session = QuerySession.resume(db, sq2)
             rows += session.execute().rows
         assert rows == ref, f"{plan_name}/{strategies}"
@@ -147,7 +147,7 @@ def test_triple_suspend_chain():
     for strategy in ("all_goback", "lp", "all_dump"):
         if session.status.value == "completed":
             break
-        sq = session.suspend(strategy=strategy)
+        sq = session.suspend(SuspendSpec(strategy=strategy))
         session = QuerySession.resume(db, sq)
         rows += session.execute(max_rows=20).rows
     rows += session.execute().rows if session.status.value != "completed" else []

@@ -14,7 +14,7 @@ threats are covered here:
 
 import json
 
-from repro.core.lifecycle import QuerySession, SuspendOptions, SuspendStrategy
+from repro.core.lifecycle import QuerySession, SuspendSpec, SuspendStrategy
 from repro.obs import Tracer, trace_lines
 from repro.service import QueryScheduler, SchedulerConfig
 from repro.workloads.plans import build_nlj_s, mixed_priority_trace
@@ -27,7 +27,7 @@ def session_trace():
     db, plan = build_nlj_s(0.5, scale=200)
     session = QuerySession(db, plan, name="nlj", tracer=tracer)
     session.execute(max_rows=20)
-    sq = session.suspend(SuspendOptions(strategy=SuspendStrategy.LP))
+    sq = session.suspend(SuspendSpec(strategy=SuspendStrategy.LP))
     resumed = QuerySession.resume(db, sq, name="nlj", tracer=tracer)
     resumed.execute()
     return trace_lines(tracer.records), tracer.metrics.render_text()
@@ -39,8 +39,10 @@ def scheduler_trace(image_root):
     config = SchedulerConfig(
         policy="suspend-resume",
         memory_budget=workload.memory_budget,
-        suspend_budget=workload.suspend_budget,
-        image_store=image_root,
+        suspend=SuspendSpec(
+            budget=workload.suspend_budget,
+            persist_to=image_root,
+        ),
         tracer=tracer,
     )
     scheduler = QueryScheduler(workload.db_factory(), config)
@@ -67,7 +69,7 @@ class TestInProcessDeterminism:
         db, plan = build_nlj_s(0.5, scale=200)
         extra = QuerySession(db, plan)
         extra.execute(max_rows=10)
-        extra.suspend(SuspendOptions(strategy=SuspendStrategy.LP))
+        extra.suspend(SuspendSpec(strategy=SuspendStrategy.LP))
         again, _ = session_trace()
         assert again == baseline
 

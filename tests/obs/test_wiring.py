@@ -11,7 +11,7 @@ import pytest
 
 from repro.core.lifecycle import (
     QuerySession,
-    SuspendOptions,
+    SuspendSpec,
     SuspendStrategy,
 )
 from repro.engine.config import EngineConfig
@@ -24,7 +24,7 @@ def traced_cycle(tracer, max_rows=20):
     db, plan = build_nlj_s(0.5, scale=200)
     session = QuerySession(db, plan, name="nlj", tracer=tracer)
     first = session.execute(max_rows=max_rows)
-    sq = session.suspend(SuspendOptions(strategy=SuspendStrategy.LP))
+    sq = session.suspend(SuspendSpec(strategy=SuspendStrategy.LP))
     resumed = QuerySession.resume(db, sq, name="nlj", tracer=tracer)
     rest = resumed.execute()
     return first.rows + rest.rows
@@ -110,7 +110,7 @@ class TestSessionWiring:
         session = QuerySession(db, plan, name="nlj", tracer=tracer)
         session.execute(max_rows=20)
         session.suspend(
-            SuspendOptions(strategy=SuspendStrategy.LP, budget=10_000.0)
+            SuspendSpec(strategy=SuspendStrategy.LP, budget=10_000.0)
         )
         (record,) = [
             r for r in tracer.records if r["type"] == "query.suspend"
@@ -176,8 +176,10 @@ class TestSchedulerWiring:
         config = SchedulerConfig(
             policy="suspend-resume",
             memory_budget=workload.memory_budget,
-            suspend_budget=workload.suspend_budget,
-            image_store=str(tmp_path_factory.mktemp("images")),
+            suspend=SuspendSpec(
+                budget=workload.suspend_budget,
+                persist_to=str(tmp_path_factory.mktemp("images")),
+            ),
             tracer=tracer,
         )
         scheduler = QueryScheduler(workload.db_factory(), config)

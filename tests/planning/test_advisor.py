@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, QuerySession
+from repro import Database, QuerySession, SuspendSpec
 from repro.planning.advisor import JoinQuery, candidate_plans, choose_join_plan
 from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
 from repro.relational.expressions import EquiJoinCondition, UniformSelect
@@ -129,6 +129,6 @@ class TestChosenPlansExecute:
         ref = QuerySession(example9_db(scale=1000), spec).execute().rows
         session = QuerySession(db, spec)
         first = session.execute(max_rows=10)
-        sq = session.suspend(strategy="lp")
+        sq = session.suspend(SuspendSpec(strategy="lp"))
         resumed = QuerySession.resume(db, sq)
         assert first.rows + resumed.execute().rows == ref

@@ -14,7 +14,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 import repro.core.checkpoint as checkpoint_module
-from repro import Database, QuerySession
+from repro import Database, QuerySession, SuspendSpec
 from repro.core.lifecycle import QueryStatus
 from repro.engine.config import EngineConfig
 from repro.engine.plan import (
@@ -154,7 +154,7 @@ def run_suspended(db, plan, batch, trigger, strategy):
     first = session.execute(suspend_when=trigger)
     if session.status is QueryStatus.COMPLETED:
         return first.rows, None, fingerprint(db, session)
-    sq = session.suspend(strategy=strategy)
+    sq = session.suspend(SuspendSpec(strategy=strategy))
     image = json.dumps(sq.to_dict(), sort_keys=True, default=repr)
     resumed = QuerySession.resume(db, sq, config=config)
     rest = resumed.execute()

@@ -10,7 +10,7 @@ import math
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro import Database, QuerySession
+from repro import Database, QuerySession, SuspendSpec
 from repro.engine.plan import (
     FilterSpec,
     MergeJoinSpec,
@@ -89,7 +89,7 @@ def test_output_equivalence(
     if session.status.value == "completed":
         assert first.rows == ref
         return
-    sq = session.suspend(strategy=strategy)
+    sq = session.suspend(SuspendSpec(strategy=strategy))
     resumed = QuerySession.resume(db, sq)
     assert first.rows + resumed.execute().rows == ref
 
@@ -115,7 +115,7 @@ def test_budgeted_lp_equivalence(kind, seed, selectivity, point, budget):
     if session.status.value == "completed":
         return
     try:
-        sq = session.suspend(strategy="lp", budget=budget)
+        sq = session.suspend(SuspendSpec(strategy="lp", budget=budget))
     except SuspendBudgetInfeasibleError:
         return
     resumed = QuerySession.resume(db, sq)
@@ -143,7 +143,7 @@ def test_repeated_suspend_resume(seed, points, strategies):
         rows += session.execute(max_rows=point).rows
         if session.status.value == "completed":
             break
-        sq = session.suspend(strategy=strategy)
+        sq = session.suspend(SuspendSpec(strategy=strategy))
         session = QuerySession.resume(db, sq)
     if session.status.value != "completed":
         rows += session.execute().rows

@@ -1,0 +1,182 @@
+"""The HTTP front end: routing, error mapping, and a live socket test."""
+
+import asyncio
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.core.lifecycle import SuspendSpec
+from repro.obs import Tracer
+from repro.serve import QueryService, ServeApp, ServeConfig, serve_async
+from repro.workloads.plans import serve_catalog
+
+
+def make_app(image_root, tracer=None):
+    db_factory, catalog = serve_catalog(scale=16, seed=1)
+    config = ServeConfig(
+        quantum_rows=16,
+        suspend=SuspendSpec(persist_to=image_root),
+        tracer=tracer,
+    )
+    return ServeApp(QueryService(db_factory(), config), catalog)
+
+
+class TestRoutes:
+    def test_healthz_and_catalog(self, tmp_path):
+        app = make_app(str(tmp_path))
+        status, payload = app.handle("GET", "/healthz", None)
+        assert status == 200 and payload["ok"]
+        status, payload = app.handle("GET", "/catalog", None)
+        assert status == 200
+        assert payload["queries"] == sorted(app.catalog)
+
+    def test_metrics_route(self, tmp_path):
+        status, payload = make_app(str(tmp_path)).handle(
+            "GET", "/metrics", None
+        )
+        assert status == 200 and "disabled" in payload["text"]
+
+        app = make_app(str(tmp_path / "traced"), tracer=Tracer())
+        app.handle("POST", "/queries", {"query": "sorted-join"})
+        status, payload = app.handle("GET", "/metrics", None)
+        assert status == 200
+        assert "serve_requests_total" in payload["text"]
+
+    def test_full_session_through_the_app(self, tmp_path):
+        app = make_app(str(tmp_path))
+        status, payload = app.handle(
+            "POST", "/queries", {"query": "sorted-join", "as": "demo"}
+        )
+        assert status == 200 and payload["status"] == "running"
+        hops = 1
+        while payload["status"] == "running":
+            status, payload = app.handle(
+                "POST", "/continue", {"token": payload["token"]}
+            )
+            assert status == 200
+            hops += 1
+        assert payload["status"] == "done" and payload["token"] is None
+        assert hops > 2
+
+    def test_auto_session_names_are_unique(self, tmp_path):
+        app = make_app(str(tmp_path))
+        _, first = app.handle("POST", "/queries", {"query": "hot-sort"})
+        _, second = app.handle("POST", "/queries", {"query": "hot-sort"})
+        assert first["query"] != second["query"]
+
+    def test_error_mapping(self, tmp_path):
+        app = make_app(str(tmp_path))
+        assert app.handle("POST", "/queries", {"query": "nope"})[0] == 404
+        assert app.handle("GET", "/nothing", None)[0] == 404
+
+        app.handle("POST", "/queries", {"query": "sorted-join", "as": "d"})
+        # duplicate session name
+        assert (
+            app.handle(
+                "POST", "/queries", {"query": "sorted-join", "as": "d"}
+            )[0]
+            == 409
+        )
+        # malformed token
+        assert app.handle("POST", "/continue", {"token": "junk"})[0] == 400
+        assert app.handle("POST", "/continue", {})[0] == 400
+
+    def test_redeemed_and_expired_tokens(self, tmp_path):
+        app = make_app(str(tmp_path))
+        _, payload = app.handle(
+            "POST", "/queries", {"query": "sorted-join", "as": "d"}
+        )
+        token = payload["token"]
+        status, follow = app.handle("POST", "/continue", {"token": token})
+        assert status == 200
+        # replaying the consumed token: 409
+        assert app.handle("POST", "/continue", {"token": token})[0] == 409
+        # collecting the image out from under the live token: 410
+        service = app.service
+        service.tokens.release(follow["image_id"])
+        service.image_store.gc()
+        assert (
+            app.handle("POST", "/continue", {"token": follow["token"]})[0]
+            == 410
+        )
+
+
+@pytest.fixture
+def live_server(tmp_path):
+    """serve_async on an OS-assigned port, in a background loop."""
+    app = make_app(str(tmp_path))
+    loop = asyncio.new_event_loop()
+    started = threading.Event()
+    info = {}
+
+    async def main():
+        server = await serve_async(app, "127.0.0.1", 0)
+        info["port"] = server.sockets[0].getsockname()[1]
+        started.set()
+        async with server:
+            await server.serve_forever()
+
+    def run():
+        asyncio.set_event_loop(loop)
+        try:
+            loop.run_until_complete(main())
+        except RuntimeError:
+            pass  # loop.stop() during shutdown
+        finally:
+            loop.close()
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert started.wait(10), "server failed to start"
+    yield info["port"]
+    loop.call_soon_threadsafe(loop.stop)
+    thread.join(10)
+
+
+def request(port, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    payload = json.dumps(body) if body is not None else None
+    conn.request(method, path, body=payload)
+    response = conn.getresponse()
+    raw = response.read()
+    conn.close()
+    if response.getheader("Content-Type", "").startswith("text/plain"):
+        return response.status, raw.decode("utf-8")
+    return response.status, json.loads(raw)
+
+
+class TestLiveServer:
+    def test_end_to_end_session_over_sockets(self, live_server):
+        port = live_server
+        status, payload = request(port, "GET", "/healthz")
+        assert status == 200 and payload["ok"]
+
+        status, payload = request(
+            port, "POST", "/queries", {"query": "sorted-join", "as": "e2e"}
+        )
+        assert status == 200 and payload["status"] == "running"
+        rows = list(payload["rows"])
+        while payload["status"] == "running":
+            status, payload = request(
+                port, "POST", "/continue", {"token": payload["token"]}
+            )
+            assert status == 200
+            rows.extend(payload["rows"])
+        assert len(rows) > 16  # more than one quantum's worth
+
+    def test_http_error_statuses(self, live_server):
+        port = live_server
+        assert request(port, "POST", "/queries", {"query": "x"})[0] == 404
+        assert (
+            request(port, "POST", "/continue", {"token": "bad"})[0] == 400
+        )
+        status, _ = request(port, "GET", "/absent")
+        assert status == 404
+
+    def test_non_json_body_is_a_400(self, live_server):
+        conn = http.client.HTTPConnection("127.0.0.1", live_server, timeout=30)
+        conn.request("POST", "/queries", body=b"not json {")
+        assert conn.getresponse().status == 400
+        conn.close()

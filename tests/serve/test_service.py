@@ -1,0 +1,166 @@
+"""QueryService: one request = one quantum, resumable anywhere.
+
+The acceptance invariants live here: a query driven to completion
+through continuation tokens emits byte-identical rows to an
+uninterrupted run; repeat suspends commit delta images; a token minted
+by one service instance resumes on a fresh instance over the same image
+root (the server keeps no per-request state); completion collects the
+whole image chain.
+"""
+
+import pytest
+
+from repro.common.errors import ReproError
+from repro.core.lifecycle import QuerySession, QueryStatus, SuspendSpec
+from repro.serve import QueryService, ServeConfig
+from repro.serve.tokens import TokenRedeemedError
+from repro.workloads.plans import serve_catalog
+
+QUANTUM = 16
+SCALE = 16
+
+
+def make_service(image_root, **kwargs):
+    db_factory, catalog = serve_catalog(scale=SCALE, seed=1)
+    config = ServeConfig(
+        quantum_rows=QUANTUM,
+        suspend=kwargs.pop("suspend", SuspendSpec(persist_to=image_root)),
+        **kwargs,
+    )
+    return QueryService(db_factory(), config), catalog
+
+
+def solo_rows(plan):
+    db_factory, _ = serve_catalog(scale=SCALE, seed=1)
+    session = QuerySession(db_factory(), plan, name="solo")
+    rows = []
+    while True:
+        result = session.execute(max_rows=4096)
+        rows.extend(result.rows)
+        if result.status is QueryStatus.COMPLETED:
+            break
+    session.close()
+    return rows
+
+
+def drive_to_completion(service, result, continue_fn=None):
+    continue_fn = continue_fn or service.continue_query
+    rows = list(result.rows)
+    results = [result]
+    while not result.done:
+        result = continue_fn(result.token)
+        rows.extend(result.rows)
+        results.append(result)
+    return rows, results
+
+
+class TestRequestLoop:
+    def test_token_driven_run_matches_uninterrupted_run(self, tmp_path):
+        service, catalog = make_service(str(tmp_path))
+        first = service.begin("q1", catalog["sorted-join"])
+        rows, results = drive_to_completion(service, first)
+        assert rows == solo_rows(catalog["sorted-join"])
+        assert len(results) > 2  # actually exercised the token loop
+
+    def test_repeat_suspends_commit_delta_images(self, tmp_path):
+        service, catalog = make_service(str(tmp_path))
+        result = service.begin("q1", catalog["sorted-join"])
+        assert result.base_image_id is None  # first suspend: full image
+        result = service.continue_query(result.token)
+        assert result.base_image_id is not None  # second: delta
+        manifest = service.image_store.manifest(result.image_id)
+        assert manifest["base_image_id"] == result.base_image_id
+
+    def test_requests_interleave_across_queries(self, tmp_path):
+        service, catalog = make_service(str(tmp_path))
+        a = service.begin("a", catalog["sorted-join"])
+        b = service.begin("b", catalog["mixed-join"])
+        collected = {"a": list(a.rows), "b": list(b.rows)}
+        pending = [r for r in (a, b) if not r.done]
+        while pending:
+            result = service.continue_query(pending.pop(0).token)
+            collected[result.query].extend(result.rows)
+            if not result.done:
+                pending.append(result)
+        assert collected["a"] == solo_rows(catalog["sorted-join"])
+        assert collected["b"] == solo_rows(catalog["mixed-join"])
+
+    def test_duplicate_session_name_rejected(self, tmp_path):
+        service, catalog = make_service(str(tmp_path))
+        service.begin("q1", catalog["sorted-join"])
+        with pytest.raises(ReproError, match="already in use"):
+            service.begin("q1", catalog["mixed-join"])
+
+    def test_service_without_image_store_rejected(self):
+        db_factory, _ = serve_catalog(scale=SCALE, seed=1)
+        with pytest.raises(ReproError, match="image store"):
+            QueryService(db_factory(), ServeConfig())
+
+
+class TestStatelessness:
+    def test_token_resumes_on_a_fresh_service_instance(self, tmp_path):
+        """Simulates a server restart (or a load-balanced peer): the
+        token plus the shared image root is all the state there is."""
+        first_service, catalog = make_service(str(tmp_path))
+        result = first_service.begin("q1", catalog["sorted-join"])
+        rows = list(result.rows)
+        while not result.done:
+            service, _ = make_service(str(tmp_path))  # fresh every hop
+            result = service.continue_query(result.token)
+            rows.extend(result.rows)
+        assert rows == solo_rows(catalog["sorted-join"])
+
+    def test_no_suspended_query_retained_in_memory(self, tmp_path):
+        service, catalog = make_service(str(tmp_path))
+        result = service.begin("q1", catalog["sorted-join"])
+        assert not result.done
+        record = service.record_named("q1")
+        assert record.sq is None  # image is the only resume path
+        assert record.session is None
+
+    def test_old_token_rejected_after_continue(self, tmp_path):
+        service, catalog = make_service(str(tmp_path))
+        first = service.begin("q1", catalog["sorted-join"])
+        service.continue_query(first.token)
+        with pytest.raises(TokenRedeemedError):
+            service.continue_query(first.token)
+
+
+class TestImageChainHygiene:
+    def test_completion_collects_the_chain(self, tmp_path):
+        service, catalog = make_service(str(tmp_path))
+        result = service.begin("q1", catalog["sorted-join"])
+        drive_to_completion(service, result)
+        assert service.image_store.list_images() == []
+        assert service.image_store.pins() == set()
+
+    def test_outstanding_token_survives_gc(self, tmp_path):
+        service, catalog = make_service(str(tmp_path))
+        result = service.begin("q1", catalog["sorted-join"])
+        result = service.continue_query(result.token)  # now a delta tip
+        deleted = service.image_store.gc()
+        assert deleted == []  # pinned tip + chain expansion keep all
+        follow = service.continue_query(result.token)
+        assert follow.query == "q1"
+
+
+class TestDeltaVersusFullEquivalence:
+    def test_delta_chain_resumes_identically_to_full_images(
+        self, tmp_path
+    ):
+        outputs = {}
+        for mode, delta in (("delta", True), ("full", False)):
+            root = str(tmp_path / mode)
+            service, catalog = make_service(
+                root,
+                suspend=SuspendSpec(persist_to=root, delta=delta),
+            )
+            first = service.begin("q1", catalog["sorted-join"])
+            rows, results = drive_to_completion(service, first)
+            outputs[mode] = rows
+            bases = [r.base_image_id for r in results if not r.done]
+            if delta:
+                assert any(b is not None for b in bases[1:])
+            else:
+                assert all(b is None for b in bases)
+        assert outputs["delta"] == outputs["full"]

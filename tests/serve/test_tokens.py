@@ -1,0 +1,143 @@
+"""The continuation-token wire format and the at-most-once ledger."""
+
+import subprocess
+import sys
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.lifecycle import QuerySession, SuspendSpec
+from repro.durability import ImageStore
+from repro.serve.tokens import (
+    TOKEN_PREFIX,
+    ContinuationToken,
+    TokenError,
+    TokenExpiredError,
+    TokenManager,
+    TokenRedeemedError,
+)
+from tests.conftest import make_small_db, tiny_nlj_plan
+
+names = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("L", "N"), whitelist_characters="-_."
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+class TestWireFormat:
+    @given(query=names, image_id=names, seq=st.integers(0, 10_000))
+    def test_encode_decode_round_trip(self, query, image_id, seq):
+        token = ContinuationToken(query=query, image_id=image_id, seq=seq)
+        assert ContinuationToken.decode(token.encode()) == token
+
+    @given(query=names, image_id=names, seq=st.integers(0, 10_000))
+    def test_encoding_is_deterministic(self, query, image_id, seq):
+        a = ContinuationToken(query, image_id, seq).encode()
+        b = ContinuationToken(query, image_id, seq).encode()
+        assert a == b
+        assert a.startswith(TOKEN_PREFIX + ".")
+
+    def test_cross_process_bytes_are_identical(self):
+        """The same fields encode to the same bytes in a fresh
+        interpreter — tokens survive server restarts and load
+        balancing across processes."""
+        token = ContinuationToken("q-7", "q-7-s3", 3)
+        script = (
+            "from repro.serve.tokens import ContinuationToken;"
+            "print(ContinuationToken('q-7','q-7-s3',3).encode())"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        assert out.stdout.strip() == token.encode()
+
+    def test_malformed_tokens_rejected(self):
+        for bad in (
+            None,
+            42,
+            "",
+            "nope",
+            "rst1.onlytwo",
+            "rst2.cGF5bG9hZA.00000000",
+            "rst1.!!!.00000000",
+        ):
+            with pytest.raises(TokenError):
+                ContinuationToken.decode(bad)
+
+    def test_corruption_fails_integrity_check(self):
+        text = ContinuationToken("q", "img", 1).encode()
+        prefix, payload, crc = text.split(".")
+        flipped = ("A" if payload[0] != "A" else "B") + payload[1:]
+        with pytest.raises(TokenError, match="integrity"):
+            ContinuationToken.decode(f"{prefix}.{flipped}.{crc}")
+
+    def test_crc_must_match_payload(self):
+        text = ContinuationToken("q", "img", 1).encode()
+        prefix, payload, _ = text.split(".")
+        with pytest.raises(TokenError):
+            ContinuationToken.decode(f"{prefix}.{payload}.deadbeef")
+
+
+def commit_image(store, image_id):
+    db = make_small_db()
+    session = QuerySession(db, tiny_nlj_plan())
+    session.execute(max_rows=10)
+    session.suspend(SuspendSpec(persist_to=store, image_id=image_id))
+    session.close()
+
+
+class TestTokenManagerLifecycle:
+    def test_redeem_consumes_the_token(self, tmp_path):
+        store = ImageStore(str(tmp_path))
+        commit_image(store, "img-1")
+        manager = TokenManager(store)
+        text = manager.issue("q1", "img-1", 1)
+        assert manager.redeem(text).image_id == "img-1"
+        with pytest.raises(TokenRedeemedError):
+            manager.redeem(text)
+
+    def test_double_redeem_rejected_across_managers(self, tmp_path):
+        """The ledger is durable: a second manager over the same root
+        (another process, a restarted server) sees the redeem."""
+        store = ImageStore(str(tmp_path))
+        commit_image(store, "img-1")
+        text = TokenManager(store).issue("q1", "img-1", 1)
+        TokenManager(store).redeem(text)
+        with pytest.raises(TokenRedeemedError):
+            TokenManager(ImageStore(str(tmp_path))).redeem(text)
+
+    def test_redeem_after_gc_is_a_clean_typed_error(self, tmp_path):
+        store = ImageStore(str(tmp_path))
+        commit_image(store, "img-1")
+        manager = TokenManager(store)
+        text = manager.issue("q1", "img-1", 1)
+        manager.release("img-1")
+        assert store.gc() == ["img-1"]
+        with pytest.raises(TokenExpiredError, match="no longer exists"):
+            manager.redeem(text)
+
+    def test_token_for_unknown_image_expires(self, tmp_path):
+        manager = TokenManager(ImageStore(str(tmp_path)))
+        text = ContinuationToken("q", "never-committed", 1).encode()
+        with pytest.raises(TokenExpiredError):
+            manager.redeem(text)
+
+    def test_issue_pins_and_supersede_unpins(self, tmp_path):
+        store = ImageStore(str(tmp_path))
+        commit_image(store, "img-1")
+        commit_image(store, "img-2")
+        manager = TokenManager(store)
+        manager.issue("q1", "img-1", 1)
+        assert store.pins() == {"img-1"}
+        manager.issue("q1", "img-2", 2, release="img-1")
+        assert store.pins() == {"img-2"}
+        # gc spares the pinned image only.
+        assert store.gc() == ["img-1"]
+        assert store.list_images()[0].image_id == "img-2"

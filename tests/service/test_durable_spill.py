@@ -1,6 +1,7 @@
 """Scheduler durable spill: evicted queries persist their suspend image.
 
-With ``SchedulerConfig(image_store=...)`` every memory-pressure eviction
+With ``SchedulerConfig(suspend=SuspendSpec(persist_to=...))`` every
+memory-pressure eviction
 also commits the victim's SuspendedQuery to disk, so a crashed scheduler
 process could re-admit the victim from the image. The spill must not
 change scheduling outcomes, and completed queries must garbage-collect
@@ -11,6 +12,7 @@ import json
 
 import pytest
 
+from repro.core.lifecycle import SuspendSpec
 from repro.durability import CODEC_V1, CODEC_V2, ImageStore
 from repro.obs import Tracer
 from repro.service import QueryScheduler, SchedulerConfig
@@ -32,14 +34,25 @@ def repeat():
     return repeat_suspend_trace(scale=1, seed=1)
 
 
-def run_trace(workload, image_store=None, tracer=None, **overrides):
+def run_trace(
+    workload,
+    image_store=None,
+    tracer=None,
+    image_codec=None,
+    delta_spill=True,
+    commit_workers=0,
+):
     config = SchedulerConfig(
         policy="suspend-resume",
         memory_budget=workload.memory_budget,
-        suspend_budget=workload.suspend_budget,
-        image_store=image_store,
+        suspend=SuspendSpec(
+            budget=workload.suspend_budget,
+            persist_to=image_store,
+            codec=image_codec,
+            delta=delta_spill,
+            commit_workers=commit_workers,
+        ),
         tracer=tracer,
-        **overrides,
     )
     scheduler = QueryScheduler(workload.db_factory(), config)
     scheduler.submit_trace(workload.trace)
@@ -84,8 +97,9 @@ class TestDurableSpill:
         config = SchedulerConfig(
             policy="suspend-resume",
             memory_budget=workload.memory_budget,
-            suspend_budget=workload.suspend_budget,
-            image_store=store,
+            suspend=SuspendSpec(
+                budget=workload.suspend_budget, persist_to=store
+            ),
         )
         scheduler = QueryScheduler(workload.db_factory(), config)
         assert scheduler.image_store is store

@@ -10,6 +10,7 @@ from repro.service import (
     SchedulerConfig,
 )
 from repro.service.policies import select_victims
+from repro.core.lifecycle import SuspendSpec
 from repro.workloads.plans import (
     mixed_priority_trace,
     mixed_q_hi_plan,
@@ -72,7 +73,7 @@ class TestMidResumeDiscard:
         config = SchedulerConfig(
             policy="suspend-resume",
             memory_budget=workload.memory_budget,
-            suspend_budget=workload.suspend_budget,
+            suspend=SuspendSpec(budget=workload.suspend_budget),
         )
         baseline = QueryScheduler(workload.db_factory(), config)
         baseline.submit_trace(workload.trace)
@@ -93,7 +94,7 @@ class TestMidResumeDiscard:
         config2 = SchedulerConfig(
             policy="suspend-resume",
             memory_budget=workload.memory_budget,
-            suspend_budget=workload.suspend_budget,
+            suspend=SuspendSpec(budget=workload.suspend_budget),
         )
         scheduler = QueryScheduler(workload.db_factory(), config2)
         scheduler.submit_trace(workload.trace)
@@ -122,7 +123,7 @@ class TestMidResumeDiscard:
         config = SchedulerConfig(
             policy="suspend-resume",
             memory_budget=workload.memory_budget,
-            suspend_budget=workload.suspend_budget,
+            suspend=SuspendSpec(budget=workload.suspend_budget),
         )
         baseline = QueryScheduler(workload.db_factory(), config)
         baseline.submit_trace(workload.trace)
@@ -163,7 +164,7 @@ class TestZeroMemoryBudget:
         config = SchedulerConfig(
             policy="suspend-resume",
             memory_budget=0,
-            suspend_budget=workload.suspend_budget,
+            suspend=SuspendSpec(budget=workload.suspend_budget),
         )
         stats = QueryScheduler.run_workload(workload, config=config)
         assert stats.queries_completed == 2

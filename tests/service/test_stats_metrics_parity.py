@@ -16,6 +16,7 @@ from repro.obs import MetricsRegistry, Tracer
 from repro.service import QueryScheduler, SchedulerConfig
 from repro.service.stats import QueryStats, SchedulerStats
 from repro.service.trace import ArrivalTrace
+from repro.core.lifecycle import SuspendSpec
 from repro.workloads.plans import (
     mixed_priority_trace,
     mixed_q_hi_plan,
@@ -36,8 +37,10 @@ def run_mixed(policy, image_store=None, tracer=None):
     config = SchedulerConfig(
         policy=policy,
         memory_budget=workload.memory_budget,
-        suspend_budget=workload.suspend_budget,
-        image_store=image_store,
+        suspend=SuspendSpec(
+            budget=workload.suspend_budget,
+            persist_to=image_store,
+        ),
         tracer=tracer,
     )
     scheduler = QueryScheduler(workload.db_factory(), config)
@@ -124,8 +127,10 @@ class TestSpillCountedExactlyOnce:
         config = SchedulerConfig(
             policy="suspend-resume",
             memory_budget=workload.memory_budget,
-            suspend_budget=workload.suspend_budget,
-            image_store=str(tmp_path),
+            suspend=SuspendSpec(
+                budget=workload.suspend_budget,
+                persist_to=str(tmp_path),
+            ),
         )
         scheduler = QueryScheduler(workload.db_factory(), config)
         scheduler.submit_trace(trace)

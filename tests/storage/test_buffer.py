@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import Database, QuerySession
+from repro import Database, QuerySession, SuspendSpec
 from repro.engine.plan import ScanSpec
 from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
 from repro.storage.buffer import BufferPool
@@ -98,6 +98,6 @@ class TestPooledDatabase:
         db = self.make_db(16)
         session = QuerySession(db, plan)
         first = session.execute(max_rows=40)
-        sq = session.suspend(strategy="lp")
+        sq = session.suspend(SuspendSpec(strategy="lp"))
         resumed = QuerySession.resume(db, sq)
         assert first.rows + resumed.execute().rows == ref

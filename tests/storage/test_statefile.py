@@ -118,13 +118,13 @@ class TestFreeEdgeCases:
             store.load(orphan)
 
     def test_resume_with_freed_dump_handle_raises_storage_error(self):
-        from repro.core.lifecycle import QuerySession, SuspendOptions
+        from repro.core.lifecycle import QuerySession, SuspendSpec
         from tests.conftest import make_small_db, tiny_nlj_plan
 
         db = make_small_db()
         session = QuerySession(db, tiny_nlj_plan())
         session.execute(max_rows=30)
-        sq = session.suspend(SuspendOptions(strategy="all_dump"))
+        sq = session.suspend(SuspendSpec(strategy="all_dump"))
         handles = sq.referenced_handles()
         assert handles, "all_dump suspend must reference dumped state"
         db.state_store.free(next(iter(handles.values())))
