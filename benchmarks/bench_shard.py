@@ -1,0 +1,193 @@
+"""Sharded execution: scaling and global-suspend latency vs one engine.
+
+Measures, on the virtual clock:
+
+- **scan/join scaling** — the makespan (max over shard clocks) of a
+  partitioned scan and of the shuffle hash join at each shard count,
+  against the single-engine time for the same plan. Sharded virtual
+  time should fall as shards are added (the join pays a shuffle tax, so
+  its speedup is sublinear by design);
+- **global-suspend latency** — the cost of the two-phase consistent cut
+  (member images commit in parallel, so latency is the slowest shard)
+  against a single-engine suspend of the same recipe at the same
+  delivered-row point;
+- **correctness gates** — sharded output must equal the single-engine
+  multiset, and the suspended cut must resume to delivery identical to
+  the uninterrupted sharded run.
+
+The snapshot lands in ``BENCH_shard.json`` at the repo root; the CI
+``shard-smoke`` job runs the reduced suite (``REPRO_BENCH_QUICK=1``)
+and fails on any correctness gate.
+
+Run directly (``python benchmarks/bench_shard.py [--quick]``) or via
+pytest (``pytest benchmarks/bench_shard.py``).
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.core.lifecycle import QuerySession
+from repro.durability import build_recipe
+from repro.engine.plan import ScanSpec
+from repro.shard import ShardCoordinator
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+SNAPSHOT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_shard.json"
+
+
+def _params() -> dict:
+    if QUICK:
+        return {"scale": 4, "shard_counts": (1, 2, 4)}
+    return {"scale": 1, "shard_counts": (1, 2, 4, 8)}
+
+
+def _single_engine(plan, scale: int) -> tuple[list, float]:
+    db, recipe_plan = build_recipe("hashjoin", scale=scale)
+    spec = plan if plan is not None else recipe_plan
+    rows = QuerySession(db, spec).execute().rows
+    return rows, db.now
+
+
+def _sharded(
+    plan, scale: int, shards: int, quantum_rows: int = 64
+) -> tuple[list, float]:
+    db, recipe_plan = build_recipe("hashjoin", scale=scale)
+    coord = ShardCoordinator(
+        db,
+        plan if plan is not None else recipe_plan,
+        num_shards=shards,
+        quantum_rows=quantum_rows,
+    )
+    rows = coord.run()
+    return rows, coord.global_now()
+
+
+def measure_scaling(scale: int, shard_counts) -> dict:
+    out: dict = {}
+    for name, plan in (("scan", ScanSpec("P")), ("join", None)):
+        single_rows, single_time = _single_engine(plan, scale)
+        series = []
+        ok = True
+        for shards in shard_counts:
+            rows, elapsed = _sharded(plan, scale, shards)
+            ok = ok and sorted(rows) == sorted(single_rows)
+            series.append(
+                {
+                    "shards": shards,
+                    "virtual_time": round(elapsed, 2),
+                    "speedup": round(single_time / elapsed, 3),
+                }
+            )
+        out[name] = {
+            "rows": len(single_rows),
+            "single_engine_time": round(single_time, 2),
+            "per_shard": series,
+            "output_equal": ok,
+        }
+    return out
+
+
+def measure_suspend_latency(scale: int, shard_counts) -> dict:
+    """Global-cut latency per shard count vs one engine's suspend."""
+    # A small quantum keeps a pass boundary (= a legal cut point) ahead
+    # of completion even at quick-mode data sizes.
+    quantum = 8
+    db, plan = build_recipe("hashjoin", scale=scale)
+    session = QuerySession(db, plan)
+    session.execute(max_rows=48)
+    session.suspend()
+    single_cost = session.last_suspend_cost
+
+    series = []
+    consistent = True
+    for shards in shard_counts:
+        if shards < 2:
+            continue
+        full_rows, _ = _sharded(None, scale, shards, quantum_rows=quantum)
+        cut_rows = max(1, len(full_rows) // 2)
+        db2, plan2 = build_recipe("hashjoin", scale=scale)
+        coord = ShardCoordinator(
+            db2, plan2, num_shards=shards, quantum_rows=quantum
+        )
+        before = coord.run(max_rows=cut_rows)
+        with tempfile.TemporaryDirectory(prefix="repro-bench-shard-") as root:
+            report = coord.suspend_global(root, budget=math.inf)
+            db3, plan3 = build_recipe("hashjoin", scale=scale)
+            resumed = ShardCoordinator.resume(db3, root, report.gid)
+            after = resumed.run()
+        consistent = consistent and before + after == full_rows
+        series.append(
+            {
+                "shards": shards,
+                "global_latency": round(report.latency, 3),
+                "total_cost": round(report.total_cost, 3),
+                "vs_single_engine": round(report.latency / single_cost, 3),
+            }
+        )
+    return {
+        "single_engine_suspend_cost": round(single_cost, 3),
+        "per_shard": series,
+        "cut_consistent": consistent,
+    }
+
+
+def measure() -> dict:
+    params = _params()
+    start = time.perf_counter()
+    scaling = measure_scaling(params["scale"], params["shard_counts"])
+    suspend = measure_suspend_latency(params["scale"], params["shard_counts"])
+    wall_seconds = time.perf_counter() - start
+    ok = (
+        scaling["scan"]["output_equal"]
+        and scaling["join"]["output_equal"]
+        and suspend["cut_consistent"]
+    )
+    return {
+        "benchmark": "sharded_execution",
+        "quick": QUICK,
+        "params": {
+            "scale": params["scale"],
+            "shard_counts": list(params["shard_counts"]),
+        },
+        "wall_seconds": round(wall_seconds, 2),
+        "scaling": scaling,
+        "global_suspend": suspend,
+        "pass": ok,
+    }
+
+
+def run_and_snapshot() -> dict:
+    result = measure()
+    SNAPSHOT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def test_shard_bench(benchmark):
+    from benchmarks.conftest import once
+
+    result = once(benchmark, run_and_snapshot)
+    print(json.dumps(result, indent=2))
+    assert result["scaling"]["scan"]["output_equal"]
+    assert result["scaling"]["join"]["output_equal"]
+    assert result["global_suspend"]["cut_consistent"], (
+        "resumed delivery diverged from the uninterrupted sharded run"
+    )
+    # Partitioned scans split IO evenly: time must drop with shards.
+    scan = result["scaling"]["scan"]["per_shard"]
+    assert scan[-1]["virtual_time"] < scan[0]["virtual_time"]
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv[1:]:
+        QUICK = True
+    snapshot = run_and_snapshot()
+    print(json.dumps(snapshot, indent=2))
+    print(f"[saved to {SNAPSHOT_PATH}]")
+    raise SystemExit(0 if snapshot["pass"] else 1)

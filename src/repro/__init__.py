@@ -110,6 +110,12 @@ from repro.service.core import ExecutorCore
 from repro.service.scheduler import QueryScheduler, SchedulerConfig
 from repro.service.stats import QueryStats, SchedulerStats
 from repro.service.trace import ArrivalTrace, QueryArrival, Workload
+from repro.shard import (
+    GlobalSuspendReport,
+    PartitionSpec,
+    ShardCoordinator,
+    ShardedCatalog,
+)
 
 __version__ = "1.0.0"
 
@@ -122,6 +128,7 @@ __all__ = [
     "EngineConfig",
     "ExecutionResult",
     "FilterSpec",
+    "GlobalSuspendReport",
     "GroupAggSpec",
     "HashGroupAggSpec",
     "HybridHashJoinSpec",
@@ -133,6 +140,7 @@ __all__ = [
     "MergeJoinSpec",
     "MetricsRegistry",
     "NLJSpec",
+    "PartitionSpec",
     "PlanSpec",
     "ProjectSpec",
     "QueryArrival",
@@ -146,6 +154,8 @@ __all__ = [
     "SchedulerConfig",
     "SchedulerStats",
     "ServeConfig",
+    "ShardCoordinator",
+    "ShardedCatalog",
     "SimpleHashJoinSpec",
     "SimulatedDisk",
     "SortSpec",

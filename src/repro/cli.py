@@ -373,16 +373,36 @@ def run_images(
 ) -> str:
     """List, recover, or garbage-collect an image root."""
     from repro.durability import ImageStore
+    from repro.shard import classify_shardsets
 
     store = ImageStore(images)
     if recover:
         report = store.recover().as_dict()
+        # The per-image scan skips shard-set directories; judge the
+        # global cuts separately so nothing under the root goes unjudged.
+        cuts = classify_shardsets(store)
         if as_json:
-            return json.dumps(report)
-        return "\n".join(
+            return json.dumps({**report, "shardset_cuts": cuts.as_dict()})
+        lines = [
             f"{state}: {', '.join(names) if names else '-'}"
             for state, names in report.items()
-        )
+        ]
+        if cuts.committed or cuts.torn:
+            lines.append(
+                "shardset cuts committed: "
+                + (", ".join(cuts.committed) or "-")
+            )
+            for gid, reason in sorted(cuts.torn.items()):
+                stranded = cuts.stranded.get(gid, [])
+                lines.append(
+                    f"shardset cut TORN: {gid} ({reason})"
+                    + (
+                        f"; stranded members: {', '.join(stranded)}"
+                        if stranded
+                        else ""
+                    )
+                )
+        return "\n".join(lines)
     if gc:
         deleted = store.gc()
         if as_json:
@@ -399,9 +419,10 @@ def run_images(
                 "problems": problems,
             }
         )
+    cuts = classify_shardsets(store)
     if as_json:
-        return json.dumps({"images": rows})
-    if not rows:
+        return json.dumps({"images": rows, "shardset_cuts": cuts.as_dict()})
+    if not rows and not cuts.committed and not cuts.torn:
         return f"no committed images under {images}"
     lines = []
     for row in rows:
@@ -416,6 +437,188 @@ def run_images(
             f"{row['total_bytes']} bytes, "
             f"{row['num_blobs']} blobs{chain}, meta={row['meta']} [{status}]"
         )
+    for gid in cuts.committed:
+        lines.append(f"shardset {gid}: committed consistent cut")
+    for gid, reason in sorted(cuts.torn.items()):
+        lines.append(f"shardset {gid}: TORN ({reason})")
+    return "\n".join(lines)
+
+
+def run_shard_suspend(
+    recipe: str,
+    images: str,
+    rows: int = 50,
+    scale: int = 1,
+    seed: int = 0,
+    shards: int = 2,
+    budget: Optional[float] = None,
+    gid: Optional[str] = None,
+    as_json: bool = False,
+    worker_mode: str = "inproc",
+    quantum: int = 64,
+) -> str:
+    """Run a recipe sharded, then commit a consistent-cut shard set."""
+    from repro.durability import build_recipe
+    from repro.shard import ShardCoordinator
+
+    db, plan = build_recipe(recipe, scale=scale, seed=seed)
+    coord = ShardCoordinator(
+        db,
+        plan,
+        num_shards=shards,
+        worker_mode=worker_mode,
+        quantum_rows=quantum,
+    )
+    delivered = coord.run(max_rows=rows)
+    if coord.done:
+        raise SystemExit(
+            f"recipe {recipe!r} completed ({len(delivered)} rows) before "
+            f"the suspend point; lower --rows or raise --scale"
+        )
+    report = coord.suspend_global(
+        images,
+        budget=float("inf") if budget is None else budget,
+        gid=gid,
+        meta={
+            "recipe": recipe,
+            "scale": scale,
+            "seed": seed,
+            "shards": shards,
+        },
+    )
+    if as_json:
+        return json.dumps(
+            {
+                "gid": report.gid,
+                "recipe": recipe,
+                "shards": shards,
+                "rows": [list(r) for r in delivered],
+                "budgets": {str(k): v for k, v in report.budgets.items()},
+                "suspend_costs": {
+                    str(k): v for k, v in report.costs.items()
+                },
+                "suspend_latency": report.latency,
+            }
+        )
+    budgets = ", ".join(
+        f"s{k}={report.budgets[k]:.1f}" for k in sorted(report.budgets)
+    )
+    return (
+        f"recipe {recipe!r} on {shards} shards: delivered "
+        f"{len(delivered)} rows, then cut globally\n"
+        f"shard set {report.gid} committed under {images}: "
+        f"suspend latency {report.latency:.1f} (parallel), "
+        f"budgets [{budgets}]"
+    )
+
+
+def run_shard_resume(images: str, gid: str, as_json: bool = False) -> str:
+    """Verify a shard set, rebuild its recipe, and finish the query."""
+    from repro.durability import ImageStore, build_recipe
+    from repro.shard import ShardCoordinator
+    from repro.shard.manifest import load_shardset
+
+    store = ImageStore(images)
+    doc, _ = load_shardset(store, gid)
+    meta = doc.get("meta", {})
+    if "recipe" not in meta:
+        raise SystemExit(
+            f"shard set {gid!r} carries no recipe metadata; resume it "
+            "programmatically against the database it expects"
+        )
+    db, _ = build_recipe(
+        meta["recipe"], scale=meta.get("scale", 1), seed=meta.get("seed", 0)
+    )
+    coord = ShardCoordinator.resume(db, images, gid)
+    rows = coord.run()
+    if as_json:
+        return json.dumps(
+            {
+                "gid": gid,
+                "recipe": meta["recipe"],
+                "shards": coord.num_shards,
+                "rows": [list(r) for r in rows],
+                "delivered_before": coord.delivered_before,
+            }
+        )
+    return (
+        f"shard set {gid}: resumed recipe {meta['recipe']!r} on "
+        f"{coord.num_shards} shards, emitted {len(rows)} remaining rows "
+        f"({coord.delivered_before} were delivered before the cut)"
+    )
+
+
+def run_workload_sharded(
+    scale: int = 4,
+    seed: int = 1,
+    shards: int = 2,
+    budget: Optional[float] = None,
+) -> str:
+    """Sharded serving demo: run, cut mid-flight, resume, verify.
+
+    Runs the shuffle-join and aggregation recipes on ``shards`` shard
+    workers with a global suspend at the halfway point, resumes from the
+    committed shard set, and checks delivery equals an uninterrupted
+    sharded run and (as a multiset) the single-engine run.
+    """
+    import tempfile
+
+    from repro.core.lifecycle import QuerySession
+    from repro.durability import build_recipe
+    from repro.shard import ShardCoordinator
+
+    lines = [f"sharded workload: {shards} shards, scale {scale}"]
+    table = []
+    # A small quantum guarantees a pass boundary (= a legal cut point)
+    # mid-drain even for low-cardinality outputs like the aggregate.
+    quantum = 4
+    for recipe in ("hashjoin", "hashagg"):
+        db, plan = build_recipe(recipe, scale=scale, seed=seed)
+        single = QuerySession(db, plan, name=recipe)
+        single_rows = single.execute().rows
+        single_time = db.now
+
+        db2, _ = build_recipe(recipe, scale=scale, seed=seed)
+        full_coord = ShardCoordinator(
+            db2, plan, num_shards=shards, quantum_rows=quantum
+        )
+        full_rows = full_coord.run()
+        full_time = full_coord.global_now()
+
+        db3, _ = build_recipe(recipe, scale=scale, seed=seed)
+        coord = ShardCoordinator(
+            db3, plan, num_shards=shards, quantum_rows=quantum
+        )
+        before = coord.run(max_rows=max(1, len(full_rows) // 2))
+        if coord.done:
+            raise SystemExit(
+                f"recipe {recipe!r} finished before the demo's cut point"
+            )
+        with tempfile.TemporaryDirectory() as root:
+            report = coord.suspend_global(
+                root,
+                budget=float("inf") if budget is None else budget,
+            )
+            db4, _ = build_recipe(recipe, scale=scale, seed=seed)
+            resumed = ShardCoordinator.resume(db4, root, report.gid)
+            after = resumed.run()
+        consistent = before + after == full_rows
+        equivalent = sorted(full_rows) == sorted(single_rows)
+        table.append(
+            {
+                "recipe": recipe,
+                "rows": len(full_rows),
+                "single_time": round(single_time, 1),
+                "sharded_time": round(full_time, 1),
+                "suspend_latency": round(report.latency, 1),
+                "cut_consistent": "yes" if consistent else "NO",
+                "output_equal": "yes" if equivalent else "NO",
+            }
+        )
+    lines.append("")
+    lines.append(
+        format_table(table, title="sharded vs single-engine (virtual time)")
+    )
     return "\n".join(lines)
 
 
@@ -660,6 +863,14 @@ def build_parser() -> argparse.ArgumentParser:
             default=None,
             help="run a single policy instead of comparing all three",
         )
+        wl.add_argument(
+            "--shards",
+            type=_positive_int,
+            default=None,
+            help="run the sharded-execution demo on N shard workers "
+            "instead of the scheduler trace: shuffle join + aggregation "
+            "with a mid-run globally consistent suspend/resume",
+        )
         _add_obs_flags(wl, trace_alias=False)
 
     sh = sub.add_parser(
@@ -782,6 +993,32 @@ def build_parser() -> argparse.ArgumentParser:
         default=0,
         help="parallel durable-commit workers (default 0: serial)",
     )
+    susp.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=None,
+        help="run the recipe on N shard workers and commit a globally "
+        "consistent shard-set cut instead of a single image "
+        "(hashjoin/hashagg recipes; --budget becomes the global budget)",
+    )
+    susp.add_argument(
+        "--gid",
+        default=None,
+        help="explicit shard-set id (with --shards; default: generated)",
+    )
+    susp.add_argument(
+        "--quantum",
+        type=_positive_int,
+        default=64,
+        help="rows per shard per round-robin pass (with --shards)",
+    )
+    susp.add_argument(
+        "--worker-mode",
+        choices=("inproc", "process"),
+        default="inproc",
+        help="shard workers in-process or one child process per shard "
+        "(with --shards)",
+    )
     _add_obs_flags(susp)
 
     res = sub.add_parser(
@@ -887,14 +1124,21 @@ def _dispatch(args) -> int:
         print(run_demo(args.rows, row_path=args.row_path))
         return 0
     if args.command in ("workload", "serve"):
-        print(
-            run_workload(
-                args.trace,
-                seed=args.seed,
-                scale=args.scale,
-                policy=args.policy,
+        if args.shards:
+            print(
+                run_workload_sharded(
+                    scale=args.scale, seed=args.seed, shards=args.shards
+                )
             )
-        )
+        else:
+            print(
+                run_workload(
+                    args.trace,
+                    seed=args.seed,
+                    scale=args.scale,
+                    policy=args.policy,
+                )
+            )
         return 0
     if args.command == "serve-http":
         from repro.obs import current_tracer
@@ -927,6 +1171,23 @@ def _dispatch(args) -> int:
         )
         return 0
     if args.command == "suspend":
+        if args.shards:
+            print(
+                run_shard_suspend(
+                    args.recipe,
+                    args.images,
+                    rows=args.rows,
+                    scale=args.scale,
+                    seed=args.seed,
+                    shards=args.shards,
+                    budget=args.budget,
+                    gid=args.gid,
+                    as_json=args.json,
+                    worker_mode=args.worker_mode,
+                    quantum=args.quantum,
+                )
+            )
+            return 0
         print(
             run_suspend_to_image(
                 args.recipe,
@@ -946,7 +1207,28 @@ def _dispatch(args) -> int:
         )
         return 0
     if args.command == "resume-image":
-        print(run_resume_from_image(args.images, args.id, as_json=args.json))
+        import os
+
+        from repro.durability.format import CHANNELS_NAME, SHARDSET_NAME
+
+        # A shard-set directory counts even when the commit crashed before
+        # SHARDSET.json landed — routing it through the shard path yields a
+        # precise InconsistentCutError instead of "no committed image".
+        is_shardset = any(
+            os.path.exists(os.path.join(args.images, args.id, name))
+            for name in (SHARDSET_NAME, CHANNELS_NAME)
+        )
+        if is_shardset:
+            from repro.common.errors import InconsistentCutError
+
+            try:
+                print(run_shard_resume(args.images, args.id, as_json=args.json))
+            except InconsistentCutError as exc:
+                raise SystemExit(f"cannot resume shard set {args.id!r}: {exc}")
+        else:
+            print(
+                run_resume_from_image(args.images, args.id, as_json=args.json)
+            )
         return 0
     if args.command == "images":
         print(

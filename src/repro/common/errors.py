@@ -37,6 +37,37 @@ class SuspendBudgetInfeasibleError(ReproError):
     """Raised when no valid suspend plan fits within the suspend budget."""
 
 
+class LifecycleError(ReproError, RuntimeError):
+    """Raised when a query's lifecycle protocol is violated.
+
+    Examples: unbalanced suppress/unsuppress of the suspend controller, or
+    a harness expecting a suspend trigger that never fired.
+
+    Subclasses ``RuntimeError`` because these conditions were raised as
+    bare ``RuntimeError`` before they were typed; callers catching the old
+    class keep working.
+    """
+
+
+class ShardError(ReproError):
+    """Raised for invalid sharded-execution operations.
+
+    Examples: a plan shape the shard planner cannot partition, a shard id
+    out of range, or a coordinator driven outside its state machine.
+    """
+
+
+class InconsistentCutError(ShardError):
+    """Raised when a shard-set image does not form a consistent global cut.
+
+    A global suspend commits N per-shard images plus the exchange-channel
+    state under one shard-set manifest; resuming from a shard set whose
+    manifest is missing/torn, or whose member images cannot all be
+    recovered, raises this error rather than silently resuming a subset of
+    shards against a cut they do not share.
+    """
+
+
 class SuspendRequested(ReproError):
     """Control-flow exception: a suspend request fired at a safe point.
 

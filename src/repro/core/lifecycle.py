@@ -162,16 +162,25 @@ class SuspendSpec:
 _SUSPEND_SPEC_FIELDS = tuple(SuspendSpec.__dataclass_fields__)
 
 
+#: Module-level latch so the SuspendOptions deprecation fires exactly once
+#: per process — a scheduler constructing one spec per suspend cycle should
+#: not flood the warning log with the identical message. Tests reset it.
+_SUSPEND_OPTIONS_WARNED = False
+
+
 class SuspendOptions(SuspendSpec):
     """Deprecated name for :class:`SuspendSpec` (the PR-1 spelling)."""
 
     def __post_init__(self):
-        warnings.warn(
-            "SuspendOptions is deprecated; use SuspendSpec (same fields, "
-            "plus the durable-persistence knobs)",
-            DeprecationWarning,
-            stacklevel=3,
-        )
+        global _SUSPEND_OPTIONS_WARNED
+        if not _SUSPEND_OPTIONS_WARNED:
+            _SUSPEND_OPTIONS_WARNED = True
+            warnings.warn(
+                "SuspendOptions is deprecated; use SuspendSpec (same "
+                "fields, plus the durable-persistence knobs)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
         super().__post_init__()
 
 

@@ -40,6 +40,12 @@ BLOB_PREFIX = "blob-"
 BLOB_SUFFIX = ".bin"
 TMP_SUFFIX = ".tmp"
 QUARANTINE_DIR = "quarantine"
+#: Shard-set commit-protocol files (see ``repro.shard.manifest``): a
+#: shard-set directory groups N per-shard images plus channel state into
+#: one atomic unit. ``CHANNELS_NAME`` is written first, ``SHARDSET_NAME``
+#: last — its rename is the global commit point.
+SHARDSET_NAME = "SHARDSET.json"
+CHANNELS_NAME = "CHANNELS.json"
 
 #: Version of the directory layout + manifest schema.
 LAYOUT_VERSION = 1

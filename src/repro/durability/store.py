@@ -56,11 +56,13 @@ from repro.durability.faults import FaultInjector
 from repro.obs.tracer import NULL_TRACER
 from repro.durability.format import (
     BLOB_PREFIX,
+    CHANNELS_NAME,
     CONTROL_NAME,
     CONTROL_NAME_V2,
     LAYOUT_VERSION,
     MANIFEST_NAME,
     QUARANTINE_DIR,
+    SHARDSET_NAME,
     TMP_SUFFIX,
     ImageFormatError,
     atomic_write,
@@ -138,6 +140,10 @@ class RecoveryReport:
     torn: list[str] = field(default_factory=list)
     orphaned: list[str] = field(default_factory=list)
     quarantined: list[str] = field(default_factory=list)
+    #: Shard-set directories found at the root. They are not images; the
+    #: scan leaves them in place for
+    #: :func:`repro.shard.manifest.classify_shardsets` to judge.
+    shardsets: list[str] = field(default_factory=list)
 
     def as_dict(self) -> dict:
         return {
@@ -145,6 +151,7 @@ class RecoveryReport:
             "torn": list(self.torn),
             "orphaned": list(self.orphaned),
             "quarantined": list(self.quarantined),
+            "shardsets": list(self.shardsets),
         }
 
 
@@ -939,6 +946,24 @@ class ImageStore:
                 status = "orphaned"
             else:
                 entries = os.listdir(path)
+                if any(
+                    e in (SHARDSET_NAME, CHANNELS_NAME)
+                    or e.startswith((SHARDSET_NAME, CHANNELS_NAME))
+                    for e in entries
+                ):
+                    # A shard-set directory (committed or torn): not an
+                    # image. Its verdict — consistent cut or torn — is
+                    # a cross-image judgement this per-image scan cannot
+                    # make; repro.shard.manifest.classify_shardsets owns
+                    # it.
+                    report.shardsets.append(name)
+                    if tracer.enabled:
+                        tracer.event(
+                            "image.recover_entry",
+                            image_id=name,
+                            status="shardset",
+                        )
+                    continue
                 has_manifest = MANIFEST_NAME in entries
                 has_image_files = any(
                     is_image_file(e) or e.endswith(TMP_SUFFIX)

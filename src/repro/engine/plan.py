@@ -15,6 +15,7 @@ from typing import Optional, Sequence, Union
 from repro.engine.aggregate import DuplicateEliminate, GroupAggregate
 from repro.engine.hash_aggregate import HashGroupAggregate
 from repro.engine.base import Operator
+from repro.engine.exchange import PartitionedScan, ShuffleRead
 from repro.engine.filter import Filter
 from repro.engine.hash_join import HybridHashJoin, SimpleHashJoin
 from repro.engine.index_nlj import IndexNLJ
@@ -41,6 +42,45 @@ class ScanSpec:
 class IndexScanSpec:
     index: str
     start_key: Optional[object] = None
+    label: Optional[str] = None
+
+    @property
+    def children(self):
+        return ()
+
+
+@dataclass(frozen=True)
+class PartitionedScanSpec:
+    """Scan of one shard's partition of ``table`` (see ``repro.shard``).
+
+    Inside a shard worker the partition is simply the shard-local heap
+    file registered under the base table's name, so this instantiates as
+    a :class:`~repro.engine.exchange.PartitionedScan` over that file.
+    ``shard``/``num_shards`` are carried for provenance (labels, traces,
+    and validating that a fragment runs on the shard it was planned for).
+    """
+
+    table: str
+    shard: int = 0
+    num_shards: int = 1
+    label: Optional[str] = None
+
+    @property
+    def children(self):
+        return ()
+
+
+@dataclass(frozen=True)
+class ShuffleReadSpec:
+    """Scan of a materialized exchange channel on one shard.
+
+    The shard coordinator freezes every row routed to this shard into a
+    heap file named after the channel before the consuming fragment
+    starts; this spec instantiates as a scan over that file.
+    """
+
+    channel: str
+    shard: int = 0
     label: Optional[str] = None
 
     @property
@@ -185,6 +225,8 @@ class DupElimSpec:
 
 PlanSpec = Union[
     ScanSpec,
+    PartitionedScanSpec,
+    ShuffleReadSpec,
     IndexScanSpec,
     FilterSpec,
     ProjectSpec,
@@ -230,6 +272,16 @@ def instantiate_plan(spec: PlanSpec, runtime: Runtime) -> Operator:
         if isinstance(node, ScanSpec):
             table = runtime.db.catalog.table(node.table)
             return TableScan(op_id, name, runtime, table)
+        if isinstance(node, PartitionedScanSpec):
+            table = runtime.db.catalog.table(node.table)
+            return PartitionedScan(
+                op_id, name, runtime, table, node.shard, node.num_shards
+            )
+        if isinstance(node, ShuffleReadSpec):
+            table = runtime.db.catalog.table(node.channel)
+            return ShuffleRead(
+                op_id, name, runtime, table, node.channel, node.shard
+            )
         if isinstance(node, IndexScanSpec):
             index = runtime.db.catalog.index(node.index)
             return IndexScan(op_id, name, runtime, index, node.start_key)

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Optional
 
-from repro.common.errors import SuspendRequested
+from repro.common.errors import LifecycleError, SuspendRequested
 from repro.core.contract_graph import ContractGraph
 from repro.core.strategies import SuspendPlan
 from repro.core.suspended_query import SuspendedQuery
@@ -72,7 +72,7 @@ class SuspendController:
 
     def unsuppress(self) -> None:
         if self._suppressed <= 0:
-            raise RuntimeError("unbalanced SuspendController.unsuppress()")
+            raise LifecycleError("unbalanced SuspendController.unsuppress()")
         self._suppressed -= 1
 
     def poll(self, runtime: "Runtime") -> None:

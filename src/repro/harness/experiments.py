@@ -23,6 +23,7 @@ import math
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.common.errors import LifecycleError
 from repro.core.lifecycle import (
     QuerySession,
     QueryStatus,
@@ -109,7 +110,7 @@ def measure_suspend_overhead(
     result = session.execute(suspend_when=trigger)
     rows_before = len(session.rows)
     if session.status is not QueryStatus.SUSPEND_PENDING:
-        raise RuntimeError(
+        raise LifecycleError(
             "suspend trigger never fired; the query ran to completion"
         )
     before_suspend = db.now

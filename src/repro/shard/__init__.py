@@ -1,0 +1,56 @@
+"""Sharded execution with globally consistent cross-shard suspend/resume.
+
+The single-engine machinery (contracts, checkpoints, the MIP suspend-plan
+optimizer, durable images) protects one query on one database. This
+package runs one query across N shard workers and extends the same
+guarantees to the whole fleet:
+
+- :mod:`repro.shard.partition` — hash/range partitioning and the
+  :class:`ShardedCatalog`, plus building N shard-local databases;
+- :mod:`repro.shard.planner` — splitting a single-engine plan into
+  per-shard fragments joined by exchange channels (partitioned scan,
+  shuffle hash join, partial/final aggregation);
+- :mod:`repro.shard.worker` — the shard worker interface and the
+  in-process implementation (one :class:`QuerySession` per shard);
+- :mod:`repro.shard.worker_proc` — the same interface backed by a real
+  child process, so shard crashes are process deaths;
+- :mod:`repro.shard.coordinator` — quantum-interleaved execution and the
+  two-phase consistent-cut suspend protocol under a *global* budget;
+- :mod:`repro.shard.manifest` — the shard-set image: N per-shard images
+  plus channel state committed as one atomic unit, with recovery
+  classification (committed cut / torn / stranded members).
+"""
+
+from repro.shard.coordinator import GlobalSuspendReport, ShardCoordinator
+from repro.shard.manifest import (
+    ShardSetRecovery,
+    classify_shardsets,
+    shard_image_id,
+)
+from repro.shard.partition import (
+    PartitionSpec,
+    ShardedCatalog,
+    build_sharded_database,
+    shard_of_value,
+)
+from repro.shard.planner import ShardQueryPlan, ShardStage, plan_shards
+from repro.shard.worker import InProcessShardWorker, ShardWorker
+from repro.shard.worker_proc import ProcessShardWorker
+
+__all__ = [
+    "GlobalSuspendReport",
+    "InProcessShardWorker",
+    "PartitionSpec",
+    "ProcessShardWorker",
+    "ShardCoordinator",
+    "ShardQueryPlan",
+    "ShardSetRecovery",
+    "ShardStage",
+    "ShardWorker",
+    "ShardedCatalog",
+    "build_sharded_database",
+    "classify_shardsets",
+    "plan_shards",
+    "shard_image_id",
+    "shard_of_value",
+]

@@ -1,0 +1,169 @@
+"""Table partitioning: how base tables are split across shards.
+
+A :class:`PartitionSpec` describes one table's placement — hash or range
+on one column, or replicated to every shard (the broadcast case for small
+dimension tables). A :class:`ShardedCatalog` maps table names to specs
+and is the single source of truth for row routing: the same spec drives
+the initial split in :func:`build_sharded_database`, shuffle routing in
+the coordinator, and the co-partitioning shortcut in the planner.
+
+Routing must be deterministic **across processes** (a resumed coordinator
+in a fresh process must route every row exactly as the original did), so
+the hash function avoids Python's seeded ``hash()``: integers route by
+value modulo shard count, everything else by CRC-32 of ``repr``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from dataclasses import dataclass, field
+
+from repro.common.errors import ShardError
+from repro.storage.database import Database
+
+HASH = "hash"
+RANGE = "range"
+REPLICATED = "replicated"
+
+
+def shard_of_value(value, num_shards: int) -> int:
+    """Deterministic, process-independent hash placement of one key."""
+    if isinstance(value, bool) or not isinstance(value, int):
+        return zlib.crc32(repr(value).encode("utf-8")) % num_shards
+    return value % num_shards
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """Placement of one table: hash/range on a column, or replicated."""
+
+    kind: str = HASH
+    column: int = 0
+    #: For ``range``: sorted upper-exclusive split points. ``len(bounds)``
+    #: must be ``num_shards - 1``; rows with key >= the last bound land on
+    #: the last shard.
+    bounds: tuple = ()
+
+    def __post_init__(self):
+        if self.kind not in (HASH, RANGE, REPLICATED):
+            raise ShardError(f"unknown partition kind {self.kind!r}")
+        if self.kind == RANGE and list(self.bounds) != sorted(self.bounds):
+            raise ShardError(f"range bounds must be sorted: {self.bounds!r}")
+
+    def shard_of(self, row: tuple, num_shards: int) -> int:
+        """Which shard owns ``row``; replicated tables own no single shard."""
+        if self.kind == REPLICATED:
+            raise ShardError("replicated tables are not routed row-by-row")
+        value = row[self.column]
+        if self.kind == HASH:
+            return shard_of_value(value, num_shards)
+        if len(self.bounds) != num_shards - 1:
+            raise ShardError(
+                f"range spec has {len(self.bounds)} bounds for "
+                f"{num_shards} shards (need num_shards - 1)"
+            )
+        return bisect.bisect_right(self.bounds, value)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "column": self.column,
+            "bounds": list(self.bounds),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "PartitionSpec":
+        return PartitionSpec(
+            kind=data["kind"],
+            column=data["column"],
+            bounds=tuple(data["bounds"]),
+        )
+
+
+@dataclass
+class ShardedCatalog:
+    """Table-name → :class:`PartitionSpec` map for one sharded database.
+
+    Tables without an explicit spec default to hash partitioning on
+    column 0 — the convention every workload table in this repo follows
+    (``key`` is the first column).
+    """
+
+    num_shards: int
+    specs: dict[str, PartitionSpec] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.num_shards < 1:
+            raise ShardError(f"num_shards must be >= 1, got {self.num_shards}")
+
+    def spec_for(self, table: str) -> PartitionSpec:
+        return self.specs.get(table, PartitionSpec())
+
+    def is_partitioned_on(self, table: str, column: int) -> bool:
+        """True when ``table`` is hash-placed by ``column`` (co-location)."""
+        spec = self.spec_for(table)
+        return spec.kind == HASH and spec.column == column
+
+    def route(self, table: str, rows) -> list[list[tuple]]:
+        """Split ``rows`` into per-shard lists according to the spec."""
+        parts: list[list[tuple]] = [[] for _ in range(self.num_shards)]
+        spec = self.spec_for(table)
+        if spec.kind == REPLICATED:
+            rows = list(rows)
+            return [list(rows) for _ in range(self.num_shards)]
+        for row in rows:
+            parts[spec.shard_of(row, self.num_shards)].append(row)
+        return parts
+
+    def to_dict(self) -> dict:
+        return {
+            "num_shards": self.num_shards,
+            "specs": {
+                name: spec.to_dict() for name, spec in sorted(self.specs.items())
+            },
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "ShardedCatalog":
+        return ShardedCatalog(
+            num_shards=data["num_shards"],
+            specs={
+                name: PartitionSpec.from_dict(spec)
+                for name, spec in data["specs"].items()
+            },
+        )
+
+
+def build_sharded_database(
+    db: Database, catalog: ShardedCatalog
+) -> list[Database]:
+    """Split ``db`` into ``num_shards`` shard-local databases.
+
+    Each shard database registers its partition under the *original*
+    table name (a fragment's :class:`PartitionedScanSpec` resolves it
+    without renaming), keeps the original page geometry, and inherits the
+    table's predicate-selectivity statistics so the per-shard static
+    optimizer sees the same estimates. Indexes are rebuilt per shard over
+    the local partition. Bulk loading is uncharged, exactly like the
+    initial load of the single-engine database it mirrors.
+    """
+    shards = [Database(cost_model=db.cost_model) for _ in range(catalog.num_shards)]
+    for name in db.catalog.table_names():
+        table = db.catalog.table(name)
+        parts = catalog.route(name, table.all_rows())
+        stats = db.catalog.stats(name)
+        for shard_db, rows in zip(shards, parts):
+            shard_db.create_table(
+                name,
+                table.schema,
+                rows=rows,
+                tuples_per_page=table.tuples_per_page,
+            )
+            for label, sel in stats.predicate_selectivity.items():
+                shard_db.catalog.set_predicate_selectivity(name, label, sel)
+    for index_name in db.catalog.index_names():
+        index = db.catalog.index(index_name)
+        for shard_db in shards:
+            shard_db.create_index(index_name, index.table.name, index.key_column)
+    return shards

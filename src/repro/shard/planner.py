@@ -1,0 +1,311 @@
+"""The shard planner: one single-engine plan → per-shard stage fragments.
+
+A sharded query runs as a sequence of *stages*. Each stage executes the
+same fragment spec on every shard (with the shard id substituted into its
+leaf scans) and sends its output either to the client (``gather``) or
+into an exchange channel (``shuffle``) keyed by one output column. A
+later stage consumes the channel through :class:`ShuffleReadSpec` leaves
+after the coordinator has materialized the routed rows on each shard.
+
+Supported shapes, mirroring the tentpole's operator menu:
+
+- scan pipelines: ``Scan`` under any stack of ``Filter``/``Project`` —
+  one gather stage of partitioned scans;
+- shuffle hash join: ``SimpleHashJoin``/``HybridHashJoin`` whose inputs
+  are scan pipelines — two shuffle stages (build rows keyed by the build
+  column, probe rows by the probe column) feeding a join stage over the
+  two channels; when both inputs are bare (unprojected) scans already
+  hash-partitioned on their join columns, the shuffle collapses to a
+  single co-partitioned join stage;
+- partial/final aggregation: ``HashGroupAgg`` over a scan pipeline — a
+  partial-aggregate stage per shard, a shuffle keyed by the first group
+  column, and a final stage that re-aggregates (count folds by summing
+  the partial counts); bare scans hash-partitioned on a group column skip
+  the shuffle entirely, since no group can span shards.
+
+Anything else raises :class:`~repro.common.errors.ShardError` — the shard
+subsystem refuses shapes it cannot prove equivalent rather than guessing.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import ShardError
+from repro.engine.aggregate import AGG_FUNCS
+from repro.engine.plan import (
+    FilterSpec,
+    HashGroupAggSpec,
+    HybridHashJoinSpec,
+    PartitionedScanSpec,
+    PlanSpec,
+    ProjectSpec,
+    ScanSpec,
+    ShuffleReadSpec,
+    SimpleHashJoinSpec,
+)
+from repro.relational.schema import Schema
+from repro.shard.partition import ShardedCatalog
+from repro.storage.database import Database
+
+GATHER = "gather"
+SHUFFLE = "shuffle"
+
+
+@dataclass(frozen=True)
+class ShardStage:
+    """One stage: a fragment template plus its output routing."""
+
+    index: int
+    fragment: PlanSpec
+    output: str = GATHER
+    channel: Optional[str] = None
+    #: Column of the stage's *output rows* that keys the shuffle.
+    key_column: Optional[int] = None
+    #: Modulus reduction applied to the key before routing — must match
+    #: the join condition's modulus so both sides of a join co-locate.
+    key_modulus: int = 0
+    #: Channels this stage's fragment reads via :class:`ShuffleReadSpec`.
+    consumes: tuple = ()
+    #: Output row schema (channel-table geometry for shuffle stages).
+    schema_names: tuple = ()
+    bytes_per_tuple: int = 200
+
+    def fragment_for(self, shard: int, num_shards: int) -> PlanSpec:
+        """The fragment with ``shard`` substituted into its leaf scans."""
+
+        def localize(node: PlanSpec) -> PlanSpec:
+            changes = {}
+            for f in dataclasses.fields(node):
+                value = getattr(node, f.name)
+                if hasattr(value, "children"):
+                    changes[f.name] = localize(value)
+            if isinstance(node, PartitionedScanSpec):
+                changes.update(shard=shard, num_shards=num_shards)
+            elif isinstance(node, ShuffleReadSpec):
+                changes.update(shard=shard)
+            return dataclasses.replace(node, **changes) if changes else node
+
+        return localize(self.fragment)
+
+
+@dataclass
+class ShardQueryPlan:
+    """The staged decomposition of one plan over one sharded catalog."""
+
+    catalog: ShardedCatalog
+    stages: list = field(default_factory=list)
+
+    @property
+    def num_shards(self) -> int:
+        return self.catalog.num_shards
+
+    @property
+    def final_stage(self) -> ShardStage:
+        return self.stages[-1]
+
+
+def spec_output_schema(
+    spec: PlanSpec, db: Database, channel_schemas: Optional[dict] = None
+) -> Schema:
+    """Output schema of a plan spec against ``db``'s catalog.
+
+    ``channel_schemas`` supplies schemas for :class:`ShuffleReadSpec`
+    leaves whose channel tables do not exist yet (planning time); at run
+    time the channel table is registered and the catalog answers.
+    """
+    channel_schemas = channel_schemas or {}
+    if isinstance(spec, (ScanSpec, PartitionedScanSpec)):
+        return db.catalog.table(spec.table).schema
+    if isinstance(spec, ShuffleReadSpec):
+        if spec.channel in channel_schemas:
+            return channel_schemas[spec.channel]
+        return db.catalog.table(spec.channel).schema
+    if isinstance(spec, FilterSpec):
+        return spec_output_schema(spec.child, db, channel_schemas)
+    if isinstance(spec, ProjectSpec):
+        child = spec_output_schema(spec.child, db, channel_schemas)
+        return child.project(list(spec.columns))
+    if isinstance(spec, (SimpleHashJoinSpec, HybridHashJoinSpec)):
+        # SimpleHashJoin emits build_row + probe_row.
+        build = spec_output_schema(spec.build, db, channel_schemas)
+        probe = spec_output_schema(spec.probe, db, channel_schemas)
+        return build.concat(probe)
+    if isinstance(spec, HashGroupAggSpec):
+        child = spec_output_schema(spec.child, db, channel_schemas)
+        names = [child.columns[c].name for c in spec.group_columns]
+        names.append(f"{spec.agg_func}_{child.columns[spec.agg_column].name}")
+        per_col = max(1, child.bytes_per_tuple // max(1, len(child)))
+        return Schema.of(names, bytes_per_tuple=per_col * len(names))
+    raise ShardError(
+        f"shard planner cannot derive a schema for {type(spec).__name__}"
+    )
+
+
+def _split_pipeline(spec: PlanSpec):
+    """Peel Filter/Project wrappers: returns (wrappers root→leaf, core)."""
+    wrappers = []
+    node = spec
+    while isinstance(node, (FilterSpec, ProjectSpec)):
+        wrappers.append(node)
+        node = node.child
+    return wrappers, node
+
+
+def _rewrap(wrappers, core: PlanSpec) -> PlanSpec:
+    for wrapper in reversed(wrappers):
+        core = dataclasses.replace(wrapper, child=core)
+    return core
+
+
+def _as_scan_pipeline(spec: PlanSpec, num_shards: int) -> PlanSpec:
+    """Rewrite a scan pipeline's leaf ``Scan`` to a partitioned scan."""
+    wrappers, core = _split_pipeline(spec)
+    if not isinstance(core, ScanSpec):
+        raise ShardError(
+            "shard planner supports Filter/Project pipelines over a base "
+            f"table scan here, got {type(core).__name__}"
+        )
+    leaf = PartitionedScanSpec(
+        table=core.table, num_shards=num_shards, label=core.label
+    )
+    return _rewrap(wrappers, leaf)
+
+
+def _bare_scan_table(spec: PlanSpec) -> Optional[str]:
+    """Table name if ``spec`` is a Scan under position-preserving wrappers."""
+    wrappers, core = _split_pipeline(spec)
+    if not isinstance(core, ScanSpec):
+        return None
+    if any(isinstance(w, ProjectSpec) for w in wrappers):
+        return None  # projection may move the key column
+    return core.table
+
+
+def plan_shards(spec: PlanSpec, catalog: ShardedCatalog, db: Database) -> ShardQueryPlan:
+    """Decompose ``spec`` into a :class:`ShardQueryPlan` over ``catalog``."""
+    n = catalog.num_shards
+    plan = ShardQueryPlan(catalog=catalog)
+    wrappers, core = _split_pipeline(spec)
+    channel_schemas: dict = {}
+
+    def add_stage(**kwargs) -> ShardStage:
+        stage = ShardStage(index=len(plan.stages), **kwargs)
+        plan.stages.append(stage)
+        return stage
+
+    def shuffle_stage(fragment: PlanSpec, key_column: int, key_modulus: int, role: str) -> str:
+        schema = spec_output_schema(fragment, db, channel_schemas)
+        channel = f"xch{len(plan.stages)}_{role}"
+        channel_schemas[channel] = schema
+        add_stage(
+            fragment=fragment,
+            output=SHUFFLE,
+            channel=channel,
+            key_column=key_column,
+            key_modulus=key_modulus,
+            schema_names=tuple(schema.names()),
+            bytes_per_tuple=schema.bytes_per_tuple,
+        )
+        return channel
+
+    def final_stage(fragment: PlanSpec, consumes=()) -> None:
+        full = _rewrap(wrappers, fragment)
+        schema = spec_output_schema(full, db, channel_schemas)
+        add_stage(
+            fragment=full,
+            output=GATHER,
+            consumes=tuple(consumes),
+            schema_names=tuple(schema.names()),
+            bytes_per_tuple=schema.bytes_per_tuple,
+        )
+
+    if isinstance(core, ScanSpec):
+        fragment = _as_scan_pipeline(spec, n)
+        schema = spec_output_schema(fragment, db)
+        add_stage(
+            fragment=fragment,
+            output=GATHER,
+            schema_names=tuple(schema.names()),
+            bytes_per_tuple=schema.bytes_per_tuple,
+        )
+        return plan
+
+    if isinstance(core, (SimpleHashJoinSpec, HybridHashJoinSpec)):
+        cond = core.condition
+        build_table = _bare_scan_table(core.build)
+        probe_table = _bare_scan_table(core.probe)
+        co_partitioned = (
+            cond.modulus == 0
+            and build_table is not None
+            and probe_table is not None
+            and catalog.is_partitioned_on(build_table, cond.left_column)
+            and catalog.is_partitioned_on(probe_table, cond.right_column)
+        )
+        if co_partitioned:
+            join = dataclasses.replace(
+                core,
+                build=_as_scan_pipeline(core.build, n),
+                probe=_as_scan_pipeline(core.probe, n),
+            )
+            final_stage(join)
+            return plan
+        build_ch = shuffle_stage(
+            _as_scan_pipeline(core.build, n),
+            cond.left_column,
+            cond.modulus,
+            "build",
+        )
+        probe_ch = shuffle_stage(
+            _as_scan_pipeline(core.probe, n),
+            cond.right_column,
+            cond.modulus,
+            "probe",
+        )
+        join = dataclasses.replace(
+            core,
+            build=ShuffleReadSpec(channel=build_ch),
+            probe=ShuffleReadSpec(channel=probe_ch),
+        )
+        final_stage(join, consumes=(build_ch, probe_ch))
+        return plan
+
+    if isinstance(core, HashGroupAggSpec):
+        if core.agg_func not in AGG_FUNCS:
+            raise ShardError(f"unknown aggregate {core.agg_func!r}")
+        child_table = _bare_scan_table(core.child)
+        if child_table is not None and any(
+            catalog.is_partitioned_on(child_table, c) for c in core.group_columns
+        ):
+            # No group spans shards: full aggregation is shard-local.
+            final_stage(
+                dataclasses.replace(core, child=_as_scan_pipeline(core.child, n))
+            )
+            return plan
+        partial = dataclasses.replace(
+            core, child=_as_scan_pipeline(core.child, n)
+        )
+        # Partial output rows are group-key tuple + aggregate value; route
+        # by the first group key (all rows of a group share it).
+        channel = shuffle_stage(partial, key_column=0, key_modulus=0, role="part")
+        k = len(core.group_columns)
+        final = HashGroupAggSpec(
+            child=ShuffleReadSpec(channel=channel),
+            group_columns=tuple(range(k)),
+            # Partial counts combine by summing; sum/min/max fold by
+            # themselves.
+            agg_func="sum" if core.agg_func in ("count", "sum") else core.agg_func,
+            agg_column=k,
+            num_partitions=core.num_partitions,
+            label=core.label,
+        )
+        final_stage(final, consumes=(channel,))
+        return plan
+
+    raise ShardError(
+        f"shard planner does not support a {type(core).__name__} root; "
+        "supported roots: scan pipelines, hash joins over scan pipelines, "
+        "hash aggregation over scan pipelines"
+    )

@@ -1,0 +1,264 @@
+"""Process-backed shard worker: the same interface, a real process.
+
+The parent side (:class:`ProcessShardWorker`) speaks a JSON-lines
+protocol over the child's stdin/stdout; the child
+(``python -m repro.shard.worker_proc``) builds its shard database from
+the shipped table rows and delegates every request to an ordinary
+:class:`~repro.shard.worker.InProcessShardWorker`. Plan fragments cross
+the boundary via the durability codec's spec encoding; suspend images
+are committed by the child directly into the shared on-disk image root,
+so the coordinator's shard-set protocol is identical for both worker
+kinds.
+
+What the process boundary buys is *real* crash semantics for the fault
+matrix: an armed crash makes the child ``os._exit`` mid-commit or
+mid-resume — actual process death, not an exception unwinding through
+cleanup handlers — and the parent surfaces the broken pipe as a
+:class:`~repro.common.errors.ShardError`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from typing import Optional
+
+import repro
+from repro.common.errors import (
+    ReproError,
+    ShardError,
+    SuspendBudgetInfeasibleError,
+)
+from repro.durability.codec import spec_from_dict, spec_to_dict
+from repro.shard.worker import InProcessShardWorker, ShardWorker
+from repro.storage.database import Database
+
+#: Exit code the child uses for an injected crash (real process death).
+CRASH_EXIT_CODE = 23
+
+
+class ProcessShardWorker(ShardWorker):
+    """Parent-side proxy driving one shard in a child process."""
+
+    def __init__(self, shard_id: int, num_shards: int, tables: list):
+        self.shard_id = shard_id
+        self.num_shards = num_shards
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(repro.__file__))
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in (src_root, env.get("PYTHONPATH")) if p
+        )
+        # -c (not -m): the module is imported once, normally — running it
+        # as __main__ under runpy would shadow the already-imported copy
+        # the package's __init__ pulled in.
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-u",
+                "-c",
+                "from repro.shard.worker_proc import main; main()",
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        self._call(
+            "init", shard_id=shard_id, num_shards=num_shards, tables=tables
+        )
+
+    # -- protocol -------------------------------------------------------
+    def _call(self, op: str, **kwargs):
+        if self.proc.poll() is not None:
+            raise ShardError(
+                f"shard {self.shard_id} worker process is dead "
+                f"(exit code {self.proc.returncode})"
+            )
+        request = {"op": op, **kwargs}
+        try:
+            self.proc.stdin.write(json.dumps(request) + "\n")
+            self.proc.stdin.flush()
+            line = self.proc.stdout.readline()
+        except (BrokenPipeError, OSError) as exc:
+            raise ShardError(
+                f"shard {self.shard_id} worker process died during {op!r}"
+            ) from exc
+        if not line:
+            self.proc.wait()
+            raise ShardError(
+                f"shard {self.shard_id} worker process died during {op!r} "
+                f"(exit code {self.proc.returncode})"
+            )
+        response = json.loads(line)
+        if not response["ok"]:
+            err_type = response.get("error_type")
+            message = f"shard {self.shard_id}: {err_type}: {response['error']}"
+            if err_type == "SuspendBudgetInfeasibleError":
+                raise SuspendBudgetInfeasibleError(message)
+            raise ShardError(message)
+        return response.get("result")
+
+    # -- ShardWorker interface ------------------------------------------
+    def create_channel_table(
+        self, name: str, column_names, bytes_per_tuple: int, rows
+    ) -> None:
+        self._call(
+            "create_channel_table",
+            name=name,
+            column_names=list(column_names),
+            bytes_per_tuple=bytes_per_tuple,
+            rows=[list(r) for r in rows],
+        )
+
+    def start_fragment(self, spec) -> None:
+        self._call("start_fragment", spec=spec_to_dict(spec))
+
+    def run_quantum(self, max_rows: int) -> dict:
+        result = self._call("run_quantum", max_rows=max_rows)
+        result["rows"] = [tuple(r) for r in result["rows"]]
+        return result
+
+    def estimate_suspend_cost(self) -> dict:
+        return self._call("estimate_suspend_cost")
+
+    def suspend_to_image(
+        self,
+        root: str,
+        image_id: str,
+        budget: float = float("inf"),
+        meta: Optional[dict] = None,
+    ) -> dict:
+        return self._call(
+            "suspend_to_image",
+            root=root,
+            image_id=image_id,
+            # JSON has no Infinity literal in strict mode; encode as null.
+            budget=None if budget == float("inf") else budget,
+            meta=meta,
+        )
+
+    def resume_fragment(self, root: str, image_id: str) -> dict:
+        return self._call("resume_fragment", root=root, image_id=image_id)
+
+    def arm_fault(self, kind: str, point: str) -> None:
+        self._call("arm_fault", kind=kind, point=point)
+
+    def now(self) -> float:
+        return self._call("now")
+
+    def close(self) -> None:
+        if self.proc.poll() is None:
+            try:
+                self.proc.stdin.write(json.dumps({"op": "shutdown"}) + "\n")
+                self.proc.stdin.flush()
+            except (BrokenPipeError, OSError):
+                pass
+            try:
+                self.proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+                self.proc.wait()
+
+    def kill(self) -> None:
+        """Hard-kill the child (a shard dying outside any protocol step)."""
+        if self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait()
+
+
+# ----------------------------------------------------------------------
+# Child side
+# ----------------------------------------------------------------------
+def _build_worker(request: dict) -> InProcessShardWorker:
+    from repro.relational.schema import Schema
+
+    db = Database()
+    for table in request["tables"]:
+        db.create_table(
+            table["name"],
+            Schema.of(
+                table["columns"], bytes_per_tuple=table["bytes_per_tuple"]
+            ),
+            rows=[tuple(r) for r in table["rows"]],
+            tuples_per_page=table["tuples_per_page"],
+        )
+    return InProcessShardWorker(
+        request["shard_id"], request["num_shards"], db
+    )
+
+
+def _handle(worker: Optional[InProcessShardWorker], request: dict):
+    op = request["op"]
+    if op == "create_channel_table":
+        worker.create_channel_table(
+            request["name"],
+            request["column_names"],
+            request["bytes_per_tuple"],
+            [tuple(r) for r in request["rows"]],
+        )
+        return None
+    if op == "start_fragment":
+        worker.start_fragment(spec_from_dict(request["spec"]))
+        return None
+    if op == "run_quantum":
+        result = worker.run_quantum(request["max_rows"])
+        return {"rows": [list(r) for r in result["rows"]], "done": result["done"]}
+    if op == "estimate_suspend_cost":
+        return worker.estimate_suspend_cost()
+    if op == "suspend_to_image":
+        budget = request["budget"]
+        return worker.suspend_to_image(
+            request["root"],
+            request["image_id"],
+            budget=float("inf") if budget is None else budget,
+            meta=request["meta"],
+        )
+    if op == "resume_fragment":
+        if worker._fault == ("crash", "resume"):
+            # Injected mid-resume death: the real thing, not an exception.
+            os._exit(CRASH_EXIT_CODE)
+        return worker.resume_fragment(request["root"], request["image_id"])
+    if op == "arm_fault":
+        worker.arm_fault(request["kind"], request["point"])
+        return None
+    if op == "now":
+        return worker.now()
+    raise ShardError(f"unknown worker op {request['op']!r}")
+
+
+def main() -> None:
+    from repro.durability.faults import InjectedCrash
+
+    worker: Optional[InProcessShardWorker] = None
+    for line in sys.stdin:
+        if not line.strip():
+            continue
+        request = json.loads(line)
+        if request["op"] == "shutdown":
+            break
+        try:
+            if request["op"] == "init":
+                worker = _build_worker(request)
+                result = None
+            else:
+                result = _handle(worker, request)
+            response = {"ok": True, "result": result}
+        except InjectedCrash:
+            # The simulated crash becomes a genuine one: no response, no
+            # cleanup, no atexit handlers — the parent sees a dead pipe.
+            sys.stdout.flush()
+            os._exit(CRASH_EXIT_CODE)
+        except ReproError as exc:
+            response = {
+                "ok": False,
+                "error_type": type(exc).__name__,
+                "error": str(exc),
+            }
+        sys.stdout.write(json.dumps(response) + "\n")
+        sys.stdout.flush()
+
+
+if __name__ == "__main__":
+    main()

@@ -20,6 +20,7 @@ import warnings
 import pytest
 
 from repro import QuerySession, SuspendStrategy
+from repro.core import lifecycle
 from repro.core.lifecycle import SuspendOptions, SuspendSpec
 from repro.durability import ImageStore
 from repro.service.core import SchedulerConfig
@@ -84,11 +85,29 @@ class TestSuspendSpec:
 
 
 class TestSuspendOptionsShim:
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_latch(self):
+        # The deprecation fires once per process; rearm it so each test
+        # observes the first-use behaviour.
+        lifecycle._SUSPEND_OPTIONS_WARNED = False
+        yield
+        lifecycle._SUSPEND_OPTIONS_WARNED = False
+
     def test_construction_warns_but_works(self):
         with pytest.warns(DeprecationWarning, match="SuspendSpec"):
             options = SuspendOptions(strategy="all_dump")
         assert isinstance(options, SuspendSpec)
         assert options.strategy is SuspendStrategy.ALL_DUMP
+
+    def test_warns_exactly_once_per_process(self):
+        with pytest.warns(DeprecationWarning, match="SuspendSpec"):
+            SuspendOptions()
+        # Every later construction — even with warning filters wide open —
+        # must stay silent: the latch is per-process, not per-filter.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            SuspendOptions(strategy="all_dump")
+            SuspendOptions(budget=10.0)
 
     def test_suspend_accepts_the_deprecated_subclass(self):
         db, session = mid_flight_session()

@@ -1,0 +1,117 @@
+"""Shard planner: stage decomposition and refusal of unprovable shapes."""
+
+import pytest
+
+from repro.common.errors import ShardError
+from repro.durability import build_recipe
+from repro.engine.plan import (
+    FilterSpec,
+    HashGroupAggSpec,
+    PartitionedScanSpec,
+    ScanSpec,
+    ShuffleReadSpec,
+    SimpleHashJoinSpec,
+)
+from repro.relational.expressions import EquiJoinCondition, UniformSelect
+from repro.shard import PartitionSpec, ShardedCatalog, plan_shards
+from repro.shard.planner import GATHER, SHUFFLE
+
+
+def make_catalog(n=4, **specs):
+    return ShardedCatalog(num_shards=n, specs=specs)
+
+
+class TestScanPipelines:
+    def test_scan_becomes_one_gather_stage(self):
+        db, _ = build_recipe("hashjoin", scale=4)
+        plan = plan_shards(ScanSpec("B"), make_catalog(), db)
+        assert len(plan.stages) == 1
+        stage = plan.stages[0]
+        assert stage.output == GATHER
+        assert isinstance(stage.fragment, PartitionedScanSpec)
+        assert stage.fragment.table == "B"
+
+    def test_filter_wrappers_survive_localization(self):
+        db, _ = build_recipe("sort", scale=4)
+        spec = FilterSpec(ScanSpec("R"), UniformSelect(1, 0.6))
+        plan = plan_shards(spec, make_catalog(n=3), db)
+        frag = plan.stages[0].fragment_for(2, 3)
+        assert isinstance(frag, FilterSpec)
+        assert isinstance(frag.child, PartitionedScanSpec)
+        assert frag.child.shard == 2
+        assert frag.child.num_shards == 3
+
+
+class TestHashJoin:
+    def test_general_join_is_three_stages(self):
+        db, plan_spec = build_recipe("hashjoin", scale=4)
+        # modulus=64 folds keys before comparison, so raw-key
+        # co-partitioning cannot be proven: the general path applies.
+        plan = plan_shards(plan_spec, make_catalog(), db)
+        assert [s.output for s in plan.stages] == [SHUFFLE, SHUFFLE, GATHER]
+        build, probe, join = plan.stages
+        assert build.key_modulus == 64
+        assert probe.key_modulus == 64
+        assert join.consumes == (build.channel, probe.channel)
+        assert isinstance(join.fragment.build, ShuffleReadSpec)
+        assert isinstance(join.fragment.probe, ShuffleReadSpec)
+
+    def test_co_partitioned_join_collapses_to_one_stage(self):
+        db, plan_spec = build_recipe("hashjoin", scale=4)
+        import dataclasses
+
+        local = dataclasses.replace(
+            plan_spec, condition=EquiJoinCondition(0, 0, modulus=0)
+        )
+        plan = plan_shards(local, make_catalog(), db)
+        assert len(plan.stages) == 1
+        frag = plan.stages[0].fragment
+        assert isinstance(frag, SimpleHashJoinSpec)
+        assert isinstance(frag.build, PartitionedScanSpec)
+
+    def test_misaligned_partitioning_blocks_the_shortcut(self):
+        db, plan_spec = build_recipe("hashjoin", scale=4)
+        import dataclasses
+
+        local = dataclasses.replace(
+            plan_spec, condition=EquiJoinCondition(0, 0, modulus=0)
+        )
+        catalog = make_catalog(B=PartitionSpec(kind="hash", column=1))
+        plan = plan_shards(local, catalog, db)
+        assert len(plan.stages) == 3
+
+
+class TestAggregation:
+    def test_partial_final_split(self):
+        db, _ = build_recipe("hashagg", scale=4)
+        # Group by column 1: G is hash-partitioned on column 0, so groups
+        # span shards and the partial/final split is required.
+        spec = HashGroupAggSpec(
+            ScanSpec("G"), group_columns=(1,), agg_func="count", agg_column=0
+        )
+        plan = plan_shards(spec, make_catalog(), db)
+        assert [s.output for s in plan.stages] == [SHUFFLE, GATHER]
+        partial, final = plan.stages
+        assert partial.key_column == 0  # first column of the partial rows
+        assert isinstance(final.fragment, HashGroupAggSpec)
+        # Partial counts fold by summation.
+        assert final.fragment.agg_func == "sum"
+        assert final.fragment.group_columns == (0,)
+        assert final.fragment.agg_column == 1
+
+    def test_co_located_groups_skip_the_shuffle(self):
+        db, plan_spec = build_recipe("hashagg", scale=4)
+        plan = plan_shards(plan_spec, make_catalog(), db)
+        assert len(plan.stages) == 1
+        assert isinstance(plan.stages[0].fragment, HashGroupAggSpec)
+        assert isinstance(
+            plan.stages[0].fragment.child, PartitionedScanSpec
+        )
+
+
+class TestRefusals:
+    @pytest.mark.parametrize("recipe", ["sort", "nlj", "smj"])
+    def test_unsupported_roots_raise(self, recipe):
+        db, plan_spec = build_recipe(recipe, scale=4)
+        with pytest.raises(ShardError):
+            plan_shards(plan_spec, make_catalog(), db)

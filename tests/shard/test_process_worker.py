@@ -1,0 +1,83 @@
+"""Process-backed shard workers: same protocol, real process death."""
+
+import pytest
+
+from repro.common.errors import InconsistentCutError, ShardError
+from repro.durability import build_recipe
+from repro.shard import ShardCoordinator, classify_shardsets
+from repro.shard.worker_proc import CRASH_EXIT_CODE
+
+
+def make_coordinator(worker_mode, shards=2, quantum_rows=32):
+    db, plan = build_recipe("hashjoin", scale=4)
+    return ShardCoordinator(
+        db,
+        plan,
+        num_shards=shards,
+        worker_mode=worker_mode,
+        quantum_rows=quantum_rows,
+    )
+
+
+class TestProcessWorkers:
+    def test_process_output_matches_inprocess(self):
+        inproc = make_coordinator("inproc")
+        proc = make_coordinator("process")
+        try:
+            assert proc.run() == inproc.run()
+        finally:
+            proc.close()
+
+    def test_suspend_resume_across_processes(self, tmp_path):
+        full_coord = make_coordinator("process")
+        try:
+            full = full_coord.run()
+        finally:
+            full_coord.close()
+
+        coord = make_coordinator("process")
+        try:
+            before = coord.run(max_rows=len(full) // 2)
+            assert not coord.done
+            coord.suspend_global(str(tmp_path), gid="pcut")
+        finally:
+            coord.close()
+
+        db, _ = build_recipe("hashjoin", scale=4)
+        resumed = ShardCoordinator.resume(
+            db, str(tmp_path), "pcut", worker_mode="process"
+        )
+        try:
+            assert before + resumed.run() == full
+        finally:
+            resumed.close()
+
+    def test_child_death_mid_commit_is_a_real_crash(self, tmp_path):
+        coord = make_coordinator("process")
+        try:
+            coord.run(max_rows=10)
+            coord.arm_shard_fault(1, "crash", "written:MANIFEST.json")
+            with pytest.raises(ShardError, match="died"):
+                coord.suspend_global(str(tmp_path), gid="pdead")
+            assert coord.workers[1].proc.returncode == CRASH_EXIT_CODE
+        finally:
+            coord.close()
+        from repro.durability import ImageStore
+
+        store = ImageStore(str(tmp_path))
+        store.recover()
+        cuts = classify_shardsets(store)
+        assert "pdead" in cuts.torn
+        db, _ = build_recipe("hashjoin", scale=4)
+        with pytest.raises(InconsistentCutError):
+            ShardCoordinator.resume(db, str(tmp_path), "pdead")
+
+    def test_killed_worker_surfaces_as_shard_error(self):
+        coord = make_coordinator("process")
+        try:
+            coord.run(max_rows=5)
+            coord.workers[0].kill()
+            with pytest.raises(ShardError, match="dead|died"):
+                coord.run_pass()
+        finally:
+            coord.close()
