@@ -3,8 +3,19 @@
 The `repro.obs` tracer's design contract is zero hot-path cost when
 disabled: every instrumentation site checks ``tracer.enabled`` (or the
 precomputed ``_trace_next`` flag in ``Operator.next``) before doing any
-work. This benchmark proves it by A/B-timing a Figure-8-style run
-(NLJ_S execute → LP suspend → resume → finish, over three selectivities):
+work. This benchmark proves it by A/B-timing three workloads that
+together cover every instrumented path:
+
+- **single**: a Figure-8-style run (NLJ_S execute → LP suspend → resume
+  → finish, over three selectivities) — the per-tuple engine hot path;
+- **shard**: a 2-shard coordinator run with a mid-flight consistent-cut
+  suspend and resume — the distributed path (per-pass progress,
+  shard-tagged tracers, trace-id plumbing);
+- **serve**: a continuation-token session driven quantum by quantum to
+  completion — the serving path (per-quantum progress snapshots, token
+  trace fields).
+
+Each workload is timed three ways:
 
 - **seed**: ``Operator.next`` monkeypatched to the pre-observability
   body — the exact hot path the repo shipped before `repro.obs` existed
@@ -13,27 +24,37 @@ work. This benchmark proves it by A/B-timing a Figure-8-style run
 - **enabled**: a live :class:`Tracer` with ``next_sample_every=64``,
   reported for context (no threshold — tracing is allowed to cost).
 
-Timings are best-of-N wall clock; the snapshot lands in
-``BENCH_obs.json`` at the repo root so future PRs can track the
-trajectory. Run directly (``python benchmarks/bench_obs_overhead.py``)
-or via pytest (``pytest benchmarks/bench_obs_overhead.py``).
+The <2% gate applies to the *combined* disabled-vs-seed overhead across
+all three paths. Timings are best-of-N wall clock with the three modes
+**interleaved within each round** (seed, disabled, enabled back to
+back) so page-cache and CPU-frequency drift hits all three equally
+instead of biasing whichever mode ran last; the short shard workload
+additionally runs several iterations per timing sample so one sample is
+long enough to measure. The snapshot lands in ``BENCH_obs.json`` at the
+repo root so future PRs can track the trajectory. Run directly
+(``python benchmarks/bench_obs_overhead.py``) or via pytest
+(``pytest benchmarks/bench_obs_overhead.py``).
 """
 
 from __future__ import annotations
 
 import json
 import pathlib
+import tempfile
 import time
 from typing import Optional
 
 from repro.core.lifecycle import QuerySession, SuspendSpec, SuspendStrategy
+from repro.durability import build_recipe
 from repro.engine.base import Operator, Row
 from repro.obs import Tracer, use_tracer
-from repro.workloads.plans import build_nlj_s
+from repro.serve import QueryService, ServeConfig
+from repro.shard import ShardCoordinator
+from repro.workloads.plans import build_nlj_s, serve_catalog
 
 SCALE = 400
 SELECTIVITIES = (0.1, 0.4, 0.8)
-REPEATS = 5
+REPEATS = 12
 THRESHOLD_PCT = 2.0
 
 SNAPSHOT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_obs.json"
@@ -62,44 +83,117 @@ def fig8_style_run() -> None:
         resumed.execute()
 
 
-def best_of(fn, repeats: int = REPEATS) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - start)
-    return best
+def shard_run() -> None:
+    db, plan = build_recipe("hashjoin", scale=2, seed=1)
+    with tempfile.TemporaryDirectory(prefix="bench-obs-shard-") as root:
+        coord = ShardCoordinator(
+            db, plan, num_shards=2, quantum_rows=32
+        )
+        coord.run(max_rows=32)
+        coord.suspend_global(root, gid="bench")
+        db2, _ = build_recipe("hashjoin", scale=2, seed=1)
+        resumed = ShardCoordinator.resume(db2, root, "bench")
+        resumed.run()
+        resumed.close()
+
+
+def serve_run() -> None:
+    db_factory, catalog = serve_catalog(scale=8, seed=1)
+    with tempfile.TemporaryDirectory(prefix="bench-obs-serve-") as root:
+        service = QueryService(
+            db_factory(),
+            ServeConfig(
+                quantum_rows=64, suspend=SuspendSpec(persist_to=root)
+            ),
+        )
+        result = service.begin("bench", catalog["sorted-join"])
+        while not result.done:
+            result = service.continue_query(result.token)
+
+
+#: (workload, iterations per timing sample) — the shard round trip is
+#: only ~20ms, far too short for a wall-clock sample to resolve a 2%
+#: delta, so one sample runs it several times.
+WORKLOADS = {
+    "single": (fig8_style_run, 1),
+    "shard": (shard_run, 5),
+    "serve": (serve_run, 1),
+}
+
+
+def measure_path(fn, inner: int = 1) -> dict:
+    # Warm caches (imports, table generation code paths) off the clock.
+    fn()
+
+    shipped_next = Operator.next
+
+    def seed_mode():
+        Operator.next = _seed_next
+        try:
+            for _ in range(inner):
+                fn()
+        finally:
+            Operator.next = shipped_next
+
+    def disabled_mode():
+        for _ in range(inner):
+            fn()
+
+    def enabled_mode():
+        with use_tracer(Tracer(next_sample_every=64)):
+            for _ in range(inner):
+                fn()
+
+    modes = (
+        ("seed", seed_mode),
+        ("disabled", disabled_mode),
+        ("enabled", enabled_mode),
+    )
+    # Interleave: each round times all three modes back to back, so
+    # machine drift between rounds cancels out of the A/B delta.
+    best = {name: float("inf") for name, _ in modes}
+    for _ in range(REPEATS):
+        for name, mode in modes:
+            start = time.perf_counter()
+            mode()
+            best[name] = min(best[name], time.perf_counter() - start)
+
+    seed, disabled, enabled = (
+        best["seed"] / inner,
+        best["disabled"] / inner,
+        best["enabled"] / inner,
+    )
+    return {
+        "seed_seconds": round(seed, 4),
+        "disabled_tracer_seconds": round(disabled, 4),
+        "enabled_tracer_seconds": round(enabled, 4),
+        "disabled_overhead_pct": round(
+            100.0 * (disabled - seed) / seed, 2
+        ),
+        "enabled_overhead_pct": round(100.0 * (enabled - seed) / seed, 2),
+    }
 
 
 def measure() -> dict:
-    # Warm caches (imports, table generation code paths) off the clock.
-    fig8_style_run()
-
-    shipped_next = Operator.next
-    Operator.next = _seed_next
-    try:
-        seed = best_of(fig8_style_run)
-    finally:
-        Operator.next = shipped_next
-
-    disabled = best_of(fig8_style_run)
-
-    def traced():
-        with use_tracer(Tracer(next_sample_every=64)):
-            fig8_style_run()
-
-    enabled = best_of(traced)
-
+    paths = {
+        name: measure_path(fn, inner)
+        for name, (fn, inner) in WORKLOADS.items()
+    }
+    seed = sum(p["seed_seconds"] for p in paths.values())
+    disabled = sum(p["disabled_tracer_seconds"] for p in paths.values())
+    enabled = sum(p["enabled_tracer_seconds"] for p in paths.values())
     disabled_pct = 100.0 * (disabled - seed) / seed
     return {
         "benchmark": "obs_overhead",
         "workload": {
-            "shape": "fig8-style NLJ_S execute/suspend(lp)/resume",
+            "shape": "fig8-style NLJ_S + 2-shard cut/resume + "
+            "continuation-token session",
             "scale": SCALE,
             "selectivities": list(SELECTIVITIES),
             "repeats": REPEATS,
-            "timer": "best-of wall clock (s)",
+            "timer": "best-of wall clock (s), modes interleaved per round",
         },
+        "paths": paths,
         "seed_seconds": round(seed, 4),
         "disabled_tracer_seconds": round(disabled, 4),
         "enabled_tracer_seconds": round(enabled, 4),

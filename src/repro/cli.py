@@ -444,6 +444,31 @@ def run_images(
     return "\n".join(lines)
 
 
+def _write_shard_sidecars(coord, trace_out: Optional[str]) -> None:
+    """Write process-worker children's trace streams as sidecar files.
+
+    Each child buffers its own records (``repro.obs`` child tracer) and
+    the coordinator drains them over the pipe; writing them as
+    ``<trace-out>.shard<k>.jsonl`` next to the coordinator trace lets
+    ``repro trace merge`` rebuild the one global timeline offline.
+    In-process workers share the coordinator's sink, so there is nothing
+    to write in that mode.
+    """
+    if not trace_out:
+        return
+    traces = coord.collect_shard_traces()
+    if not traces:
+        return
+    from repro.obs import write_jsonl
+
+    for k in sorted(traces):
+        path = f"{trace_out}.shard{k}.jsonl"
+        n = write_jsonl(traces[k], path)
+        print(
+            f"wrote {n} shard-{k} trace records to {path}", file=sys.stderr
+        )
+
+
 def run_shard_suspend(
     recipe: str,
     images: str,
@@ -456,6 +481,7 @@ def run_shard_suspend(
     as_json: bool = False,
     worker_mode: str = "inproc",
     quantum: int = 64,
+    trace_out: Optional[str] = None,
 ) -> str:
     """Run a recipe sharded, then commit a consistent-cut shard set."""
     from repro.durability import build_recipe
@@ -486,6 +512,7 @@ def run_shard_suspend(
             "shards": shards,
         },
     )
+    _write_shard_sidecars(coord, trace_out)
     if as_json:
         return json.dumps(
             {
@@ -512,7 +539,13 @@ def run_shard_suspend(
     )
 
 
-def run_shard_resume(images: str, gid: str, as_json: bool = False) -> str:
+def run_shard_resume(
+    images: str,
+    gid: str,
+    as_json: bool = False,
+    worker_mode: str = "inproc",
+    trace_out: Optional[str] = None,
+) -> str:
     """Verify a shard set, rebuild its recipe, and finish the query."""
     from repro.durability import ImageStore, build_recipe
     from repro.shard import ShardCoordinator
@@ -529,8 +562,10 @@ def run_shard_resume(images: str, gid: str, as_json: bool = False) -> str:
     db, _ = build_recipe(
         meta["recipe"], scale=meta.get("scale", 1), seed=meta.get("seed", 0)
     )
-    coord = ShardCoordinator.resume(db, images, gid)
+    coord = ShardCoordinator.resume(db, images, gid, worker_mode=worker_mode)
     rows = coord.run()
+    coord.close()
+    _write_shard_sidecars(coord, trace_out)
     if as_json:
         return json.dumps(
             {
@@ -724,23 +759,94 @@ def run_loadgen_cli(
     return "\n".join(lines)
 
 
+def _load_trace_or_die(path: str) -> list:
+    """Load a JSONL trace, exiting cleanly on empty/torn/corrupt files."""
+    from repro.common.errors import TraceFileError
+    from repro.obs import load_trace
+
+    try:
+        return load_trace(path)
+    except TraceFileError as exc:
+        raise SystemExit(f"error: {exc}")
+
+
 def run_trace_summary(path: str) -> str:
     """Per-type record counts and headline metrics for a JSONL trace."""
-    from repro.obs import read_jsonl, render_summary
+    from repro.obs import render_summary
 
-    return render_summary(read_jsonl(path))
+    return render_summary(_load_trace_or_die(path))
 
 
 def run_trace_convert(path: str, output: Optional[str] = None) -> str:
     """Convert a JSONL trace to Chrome trace_event JSON (Perfetto)."""
-    from repro.obs import read_jsonl, write_chrome_trace
+    from repro.obs import write_chrome_trace
 
+    records = _load_trace_or_die(path)
     out = output if output is not None else path + ".chrome.json"
-    n = write_chrome_trace(read_jsonl(path), out)
+    n = write_chrome_trace(records, out)
     return (
         f"wrote {n} Chrome trace events to {out}\n"
         f"open it at https://ui.perfetto.dev or chrome://tracing"
     )
+
+
+def run_trace_merge(
+    files: list, output: Optional[str] = None
+) -> str:
+    """Merge coordinator + shard trace streams into one global timeline.
+
+    With one file, records are split into lanes by their ``shard`` field
+    (the in-process sharded shape); with several, the first file is the
+    coordinator lane and ``*.shardK.jsonl`` sidecars map to shard lanes.
+    """
+    import os
+    import re
+
+    from repro.obs import (
+        COORDINATOR_LANE,
+        merge_traces,
+        shard_lane,
+        split_by_shard,
+        write_jsonl,
+    )
+
+    if len(files) == 1:
+        streams = split_by_shard(_load_trace_or_die(files[0]))
+    else:
+        streams = []
+        for i, path in enumerate(files):
+            match = re.search(r"\.shard(\d+)\.jsonl$", path)
+            if match:
+                lane = shard_lane(int(match.group(1)))
+            elif i == 0:
+                lane = COORDINATOR_LANE
+            else:
+                lane = os.path.basename(path)
+            streams.append((lane, _load_trace_or_die(path)))
+    merged = merge_traces(streams)
+    out = output if output is not None else files[0] + ".merged.jsonl"
+    n = write_jsonl(merged, out)
+    meta = merged[0]
+    lanes = ", ".join(meta["lanes"])
+    trace_id = meta.get("trace_id")
+    lines = [
+        f"merged {len(files)} stream file(s) into {n} records at {out}",
+        f"lanes: {lanes}",
+    ]
+    if trace_id:
+        lines.append(f"trace_id: {trace_id} (consistent across all lanes)")
+    else:
+        lines.append(
+            "trace_id: mixed or absent (streams disagree on identity)"
+        )
+    return "\n".join(lines)
+
+
+def run_trace_progress(path: str) -> str:
+    """Per-query progress timelines from ``query.progress`` records."""
+    from repro.obs import render_progress
+
+    return render_progress(_load_trace_or_die(path))
 
 
 def _positive_int(text: str) -> int:
@@ -1028,6 +1134,13 @@ def build_parser() -> argparse.ArgumentParser:
     res.add_argument("--images", required=True, help="image root directory")
     res.add_argument("--id", required=True, help="image id to resume")
     res.add_argument("--json", action="store_true")
+    res.add_argument(
+        "--worker-mode",
+        choices=("inproc", "process"),
+        default="inproc",
+        help="when resuming a shard set: rebuild shard workers in-process "
+        "or one child process per shard",
+    )
     _add_obs_flags(res)
 
     img = sub.add_parser(
@@ -1064,6 +1177,26 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="output path (default: <file>.chrome.json)",
     )
+    tmerge = trsub.add_parser(
+        "merge",
+        help="merge coordinator + shard trace streams into one timeline "
+        "(one file: split by shard field; several: first is coordinator, "
+        "*.shardK.jsonl sidecars are shard lanes)",
+    )
+    tmerge.add_argument(
+        "files", nargs="+", help="JSONL trace files (coordinator first)"
+    )
+    tmerge.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="merged output path (default: <first file>.merged.jsonl)",
+    )
+    tprog = trsub.add_parser(
+        "progress",
+        help="per-query progress timelines from query.progress records",
+    )
+    tprog.add_argument("file", help="JSONL trace file")
     return parser
 
 
@@ -1185,6 +1318,7 @@ def _dispatch(args) -> int:
                     as_json=args.json,
                     worker_mode=args.worker_mode,
                     quantum=args.quantum,
+                    trace_out=getattr(args, "trace_out", None),
                 )
             )
             return 0
@@ -1222,7 +1356,15 @@ def _dispatch(args) -> int:
             from repro.common.errors import InconsistentCutError
 
             try:
-                print(run_shard_resume(args.images, args.id, as_json=args.json))
+                print(
+                    run_shard_resume(
+                        args.images,
+                        args.id,
+                        as_json=args.json,
+                        worker_mode=getattr(args, "worker_mode", "inproc"),
+                        trace_out=getattr(args, "trace_out", None),
+                    )
+                )
             except InconsistentCutError as exc:
                 raise SystemExit(f"cannot resume shard set {args.id!r}: {exc}")
         else:
@@ -1243,8 +1385,12 @@ def _dispatch(args) -> int:
     if args.command == "trace":
         if args.trace_command == "summary":
             print(run_trace_summary(args.file))
-        else:
+        elif args.trace_command == "convert":
             print(run_trace_convert(args.file, output=args.output))
+        elif args.trace_command == "merge":
+            print(run_trace_merge(args.files, output=args.output))
+        else:
+            print(run_trace_progress(args.file))
         return 0
     return 1  # pragma: no cover - argparse enforces choices
 

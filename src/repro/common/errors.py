@@ -68,6 +68,25 @@ class InconsistentCutError(ShardError):
     """
 
 
+class TraceFileError(ReproError):
+    """Raised when a JSONL trace file cannot be read as a trace.
+
+    Examples: an empty file, a torn tail from a crashed writer, or a line
+    that is not a JSON object. Carries enough context (path, line number)
+    for the CLI to print a clean one-line diagnosis and exit nonzero
+    instead of dumping a JSON decoder traceback.
+    """
+
+    def __init__(self, path: str, reason: str, line: int = 0):
+        detail = f"{path}: {reason}"
+        if line:
+            detail = f"{path}:{line}: {reason}"
+        super().__init__(detail)
+        self.path = path
+        self.reason = reason
+        self.line = line
+
+
 class SuspendRequested(ReproError):
     """Control-flow exception: a suspend request fired at a safe point.
 

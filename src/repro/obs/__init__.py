@@ -31,6 +31,7 @@ or pass a tracer explicitly to ``QuerySession(..., tracer=...)`` /
 """
 
 from repro.obs.export import (
+    load_trace,
     read_jsonl,
     render_summary,
     summarize,
@@ -39,12 +40,30 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.merge import (
+    COORDINATOR_LANE,
+    merge_shard_trace,
+    merge_traces,
+    shard_lane,
+    split_by_shard,
+    strip_lanes,
+)
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+    Summary,
+)
+from repro.obs.progress import (
+    QueryProgress,
+    emit_progress,
+    estimate_cardinalities,
+    progress_timeline,
+    publish_progress,
+    query_progress,
+    render_progress,
 )
 from repro.obs.slo import jain_index, latency_summary, percentile
 from repro.obs.tracer import (
@@ -53,11 +72,13 @@ from repro.obs.tracer import (
     NullTracer,
     Tracer,
     current_tracer,
+    make_trace_id,
     set_current_tracer,
     use_tracer,
 )
 
 __all__ = [
+    "COORDINATOR_LANE",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",
@@ -65,15 +86,30 @@ __all__ = [
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "QueryProgress",
+    "Summary",
     "TRACE_FORMAT_VERSION",
     "Tracer",
     "current_tracer",
+    "emit_progress",
+    "estimate_cardinalities",
     "jain_index",
     "latency_summary",
+    "load_trace",
+    "make_trace_id",
+    "merge_shard_trace",
+    "merge_traces",
     "percentile",
+    "progress_timeline",
+    "publish_progress",
+    "query_progress",
     "read_jsonl",
+    "render_progress",
     "render_summary",
     "set_current_tracer",
+    "shard_lane",
+    "split_by_shard",
+    "strip_lanes",
     "summarize",
     "to_chrome_trace",
     "trace_lines",

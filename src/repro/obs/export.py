@@ -23,7 +23,10 @@ from __future__ import annotations
 
 import json
 import math
+import os
 from typing import Iterable, Optional
+
+from repro.common.errors import TraceFileError
 
 #: Chrome trace timestamps are microseconds; one virtual time unit maps
 #: to this many "microseconds" in the exported file.
@@ -67,6 +70,49 @@ def read_jsonl(path: str) -> list[dict]:
         return [json.loads(line) for line in fh if line.strip()]
 
 
+def load_trace(path: str) -> list[dict]:
+    """Read a JSONL trace, diagnosing empty and torn files.
+
+    Raises :class:`TraceFileError` (with path and line number) instead of
+    propagating a raw ``JSONDecodeError``, distinguishing a *torn tail* —
+    the final line cut mid-write by a crashed or killed exporter — from
+    corruption in the middle of the file, which is never expected and gets
+    a blunter message. An empty (or whitespace-only) file is an error too:
+    every real trace starts with a ``trace.meta`` record.
+    """
+    if not os.path.exists(path):
+        raise TraceFileError(path, "no such trace file")
+    records: list[dict] = []
+    numbered: list[tuple[int, str]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            if line.strip():
+                numbered.append((lineno, line))
+    if not numbered:
+        raise TraceFileError(path, "empty trace file (no records)")
+    last = len(numbered) - 1
+    for i, (lineno, line) in enumerate(numbered):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if i == last:
+                raise TraceFileError(
+                    path,
+                    "torn tail: final line is not valid JSON "
+                    "(writer crashed mid-record?)",
+                    line=lineno,
+                ) from None
+            raise TraceFileError(
+                path, "corrupt record (not valid JSON)", line=lineno
+            ) from None
+        if not isinstance(record, dict) or "type" not in record:
+            raise TraceFileError(
+                path, "not a trace record (missing 'type')", line=lineno
+            )
+        records.append(record)
+    return records
+
+
 # ----------------------------------------------------------------------
 # Chrome trace_event conversion
 # ----------------------------------------------------------------------
@@ -76,10 +122,17 @@ def _track_of(record: dict) -> tuple[str, str]:
 
     Queries are processes; operators are threads within them, so a
     suspend/resume cycle reads top-down like the plan itself. Records
-    with no query context land on the scheduler/system track.
+    with no query context land on the scheduler/system track. Merged
+    distributed traces (see :mod:`repro.obs.merge`) carry a ``lane``
+    field, which takes over the process dimension so each shard (and the
+    coordinator) gets its own lane in Perfetto.
     """
+    lane = record.get("lane")
     query = record.get("query")
-    process = f"query:{query}" if query else "system"
+    if lane is not None:
+        process = str(lane)
+    else:
+        process = f"query:{query}" if query else "system"
     if "op" in record:
         name = record.get("op_name", "")
         thread = f"op {record['op']}" + (f" {name}" if name else "")
@@ -206,10 +259,12 @@ def summarize(records: Iterable[dict]) -> dict:
 
 def render_summary(records: Iterable[dict]) -> str:
     info = summarize(list(records))
+    t_min, t_max = info["time_range"]
+    span = "-" if t_min is None else f"{t_min} .. {t_max}"
     lines = [
         f"{info['records']} records, "
         f"queries: {', '.join(info['queries']) or '-'}, "
-        f"virtual time {info['time_range'][0]} .. {info['time_range'][1]}"
+        f"virtual time {span}"
     ]
     width = max((len(t) for t in info["types"]), default=0)
     for rtype, count in info["types"].items():

@@ -133,6 +133,42 @@ class Histogram:
         return {"count": self.count, "sum": round(self.sum, 6)}
 
 
+class Summary:
+    """A sample-keeping metric with exact percentile readout.
+
+    Unlike :class:`Histogram` (fixed buckets, O(1) memory) a Summary
+    retains every observation, so its percentiles are exact — the same
+    numbers :func:`repro.obs.slo.latency_summary` computes. The serving
+    load generator publishes per-request latencies here so BENCH_serve
+    and ``/obs/metrics`` report from one source. Use for bounded sample
+    counts (one observation per request of a bench run), not unbounded
+    hot paths.
+    """
+
+    __slots__ = ("name", "labels", "samples", "volatile")
+
+    def __init__(self, name: str, labels: tuple):
+        self.name = name
+        self.labels = labels
+        self.samples: list[float] = []
+        self.volatile = False
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def value(self) -> dict:
+        # Imported lazily: slo is pure arithmetic but lives above metrics
+        # in the module graph.
+        from repro.obs.slo import latency_summary
+
+        return latency_summary(self.samples)
+
+
 class MetricsRegistry:
     """Named, labeled metrics with deterministic snapshots."""
 
@@ -163,6 +199,9 @@ class MetricsRegistry:
             Histogram, name, labels, volatile=volatile, boundaries=boundaries
         )
 
+    def summary(self, name: str, volatile: bool = False, **labels) -> Summary:
+        return self._get(Summary, name, labels, volatile=volatile)
+
     def total(self, name: str) -> float:
         """Sum of every counter value registered under ``name``.
 
@@ -190,7 +229,12 @@ class MetricsRegistry:
         excluded by default so the snapshot stays byte-deterministic, and
         included only when a consumer asks (CLI exports for humans).
         """
-        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        out: dict[str, dict] = {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+            "summaries": {},
+        }
         for (kind, name, labels), metric in sorted(self._metrics.items()):
             if metric.volatile and not include_volatile:
                 continue
@@ -199,6 +243,8 @@ class MetricsRegistry:
                 out["counters"][series] = metric.value
             elif kind == "Gauge":
                 out["gauges"][series] = metric.value
+            elif kind == "Summary":
+                out["summaries"][series] = metric.value
             else:
                 out["histograms"][series] = {
                     "count": metric.count,
@@ -231,6 +277,21 @@ class MetricsRegistry:
                 value = metric.value
                 text = repr(value) if isinstance(value, float) else str(value)
                 lines.append(f"{series} {text}")
+            elif kind == "Summary":
+                block = metric.value
+                for stat in ("p50", "p90", "p99"):
+                    q_labels = labels + (("quantile", stat[1:]),)
+                    lines.append(
+                        f"{name}{_format_labels(q_labels)} "
+                        f"{repr(float(block[stat]))}"
+                    )
+                lines.append(
+                    f"{name}_sum{_format_labels(labels)} "
+                    f"{repr(round(sum(metric.samples), 6))}"
+                )
+                lines.append(
+                    f"{name}_count{_format_labels(labels)} {metric.count}"
+                )
             else:
                 cumulative = 0
                 for bound, count in zip(

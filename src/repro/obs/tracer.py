@@ -32,6 +32,7 @@ intermediate call signature.
 
 from __future__ import annotations
 
+import hashlib
 from contextlib import contextmanager
 from typing import Optional
 
@@ -39,6 +40,20 @@ from repro.obs.metrics import MetricsRegistry
 
 #: Version of the trace record schema (see docs/PROTOCOL.md section 7).
 TRACE_FORMAT_VERSION = 1
+
+
+def make_trace_id(*parts) -> str:
+    """Deterministic trace identity from stable inputs.
+
+    One logical query keeps one ``trace_id`` across processes, continuation
+    hops, and suspend/resume cycles, so the id must be derivable from the
+    query's durable identity (name, plan spec, shard-set gid, ...) — never
+    from wall clock, ``id()``, or random state. Sixteen hex chars of
+    SHA-256 over the ``\\x1f``-joined string forms keeps records short
+    while making cross-query collisions implausible.
+    """
+    joined = "\x1f".join(str(p) for p in parts)
+    return hashlib.sha256(joined.encode("utf-8")).hexdigest()[:16]
 
 
 class _Sink:

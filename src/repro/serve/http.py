@@ -17,11 +17,19 @@ Routes (see docs/SERVING.md for a curl session):
   name>?, "priority": <int>?}``; runs the first quantum, returns rows
   plus a continuation token (or ``"status": "done"``);
 - ``POST /continue`` — body ``{"token": "rst1...."}``; next quantum.
-- ``GET /metrics`` — plain-text metrics snapshot when tracing is on.
+- ``GET /metrics`` — plain-text metrics snapshot; 404 (typed error JSON)
+  when tracing is off, so the body shape never depends on config;
+- ``GET /obs/metrics`` — the full registry snapshot as JSON (works with
+  tracing off: serving metrics like request latencies are always kept);
+- ``GET /obs/progress/<token>`` — live fraction-complete and estimated
+  remaining work for the query the token names (no redemption);
+- ``GET /obs/health`` — liveness plus serving counters and trace state.
 
 Error mapping: malformed token → 400, already redeemed → 409 (conflict:
 the continuation was consumed), image GC'd → 410 (gone), unknown
-catalog entry → 404, duplicate session name → 409.
+catalog entry / unknown progress query / disabled metrics → 404,
+duplicate session name → 409. Every error body is
+``{"error": <message>, "code": <machine tag>?}``.
 """
 
 from __future__ import annotations
@@ -68,9 +76,47 @@ class ServeApp:
             return 200, {"queries": sorted(self.catalog)}
         if method == "GET" and path == "/metrics":
             if not self.service.tracer.enabled:
-                return 200, {"text": "# tracing disabled\n"}
+                # Typed error, not a branch-dependent body shape: the
+                # exposition endpoint either serves text metrics or says
+                # why it cannot.
+                return 404, {
+                    "error": "tracing disabled: no metrics exposition",
+                    "code": "metrics_disabled",
+                }
             return 200, {
                 "text": self.service.tracer.metrics.render_text()
+            }
+        if method == "GET" and path == "/obs/metrics":
+            # The JSON snapshot works with tracing off too: the stats
+            # registry (shared with the tracer when tracing is on)
+            # always exists and always carries the serving counters.
+            return 200, {
+                "tracing": self.service.tracer.enabled,
+                "metrics": self.service.stats.registry.as_dict(
+                    include_volatile=True
+                ),
+            }
+        if method == "GET" and path.startswith("/obs/progress/"):
+            token_text = path[len("/obs/progress/"):]
+            try:
+                return 200, self.service.progress_of(token_text)
+            except KeyError as exc:
+                return 404, {
+                    "error": f"no progress for query {exc.args[0]!r} "
+                    "on this server",
+                    "code": "unknown_query",
+                }
+            except TokenError as exc:
+                return 400, {"error": str(exc), "code": "bad_token"}
+        if method == "GET" and path == "/obs/health":
+            stats = self.service.stats
+            return 200, {
+                "ok": True,
+                "tracing": self.service.tracer.enabled,
+                "now": round(self.service.db.now, 6),
+                "queries_admitted": stats.queries_admitted,
+                "queries_completed": stats.queries_completed,
+                "records": len(self.service.records),
             }
         if method == "POST" and path == "/queries":
             body = body or {}

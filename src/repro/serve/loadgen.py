@@ -11,7 +11,10 @@ per-client state between requests.
 What it measures, on the shared virtual clock:
 
 - **per-request latency** (resume + quantum + suspend time inside one
-  request) → p50/p99 via :mod:`repro.obs.slo`;
+  request), observed into a ``loadgen_request_latency`` Summary on the
+  service's metrics registry — the *same* registry ``/obs/metrics``
+  exposes, so BENCH_serve.json and the live endpoint report identical
+  numbers (p50/p99 via :mod:`repro.obs.slo`, computed once);
 - **fairness**: the Jain index over each session's total service time,
   overall and per catalog plan;
 - **determinism**: each session's concatenated rows are digested and
@@ -33,7 +36,7 @@ import json
 from typing import Optional
 
 from repro.core.lifecycle import QuerySession, QueryStatus, SuspendSpec
-from repro.obs.slo import jain_index, latency_summary
+from repro.obs.slo import jain_index
 from repro.serve.service import QueryService, ServeConfig
 from repro.workloads.plans import serve_catalog
 
@@ -84,7 +87,12 @@ def run_loadgen(
     )
     service = QueryService(db_factory(), config)
 
-    latencies: list = []
+    # Per-request latencies live in the registry, not an ad-hoc list:
+    # the Summary keeps raw samples and computes p50/p90/p99 with the
+    # slo module's math, so this report and /obs/metrics agree exactly.
+    latency_metric = service.stats.registry.summary(
+        "loadgen_request_latency"
+    )
     per_session: dict[str, dict] = {}
     outstanding: list[tuple[str, str]] = []  # (session, token), FIFO
     delta_commits = 0
@@ -96,7 +104,7 @@ def run_loadgen(
         entry["rows"].extend(result.rows)
         entry["service_time"] += result.elapsed
         entry["requests"] += 1
-        latencies.append(result.elapsed)
+        latency_metric.observe(result.elapsed)
         if result.done:
             entry["done"] = True
         else:
@@ -148,12 +156,12 @@ def run_loadgen(
     report = {
         "sessions": sessions,
         "concurrent_peak": concurrent_peak,
-        "requests": len(latencies),
+        "requests": latency_metric.count,
         "quantum_rows": quantum_rows,
         "scale": scale,
         "seed": seed,
         "plans": names,
-        "latency": latency_summary(latencies),
+        "latency": latency_metric.value,
         "fairness": {
             "jain_service_time": round(jain_index(service_times), 6),
             "per_plan": {

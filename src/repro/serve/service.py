@@ -101,6 +101,8 @@ class QueryService(ExecutorCore):
                 "SchedulerConfig(suspend=SuspendSpec(persist_to=...))"
             )
         self.tokens = TokenManager(self.image_store)
+        #: Latest progress document per query, for ``/obs/progress``.
+        self._progress: dict[str, dict] = {}
 
     # ------------------------------------------------------------------
     # The two requests
@@ -140,6 +142,16 @@ class QueryService(ExecutorCore):
             self.admit(record)
             record.state = QueryState.SUSPENDED
             record.stats.suspends = token.seq
+        if token.trace_id is not None:
+            # The query's distributed-trace identity survives the hop:
+            # spans in this process join the same trace_id the beginning
+            # process minted (normally also what track() derives).
+            record.trace_id = token.trace_id
+        # Cumulative rows through the issuing hop, restored so the
+        # progress fraction stays monotone in any process.
+        record.rows_offset = max(
+            token.rows_total - record.stats.rows_emitted, 0
+        )
         record.sq = self.image_store.load(token.image_id)
         record.image_id = token.image_id
         self.policy.make_room(self, record)
@@ -155,6 +167,11 @@ class QueryService(ExecutorCore):
         start = self.db.now
         produced = len(record.rows)
         status = self.run_quantum(record)
+        if not self.tracer.enabled and record.session is not None:
+            # run_quantum snapshots progress only when tracing; the live
+            # endpoint wants it either way, and the session is gone once
+            # the query suspends below.
+            self.note_progress(record, emit=False)
         rows = record.rows[produced:]
         if not self.config.collect_rows:
             rows = []
@@ -177,6 +194,8 @@ class QueryService(ExecutorCore):
                 record.image_id,
                 record.stats.suspends,
                 release=previous,
+                trace_id=record.trace_id,
+                rows_total=record.rows_total,
             )
             result = ServeResult(
                 query=record.name,
@@ -196,6 +215,7 @@ class QueryService(ExecutorCore):
             self.tracer.event(
                 "serve.request",
                 query=record.name,
+                trace_id=record.trace_id,
                 kind=kind,
                 status=result.status,
                 rows=len(result.rows),
@@ -208,7 +228,51 @@ class QueryService(ExecutorCore):
             self.tracer.metrics.histogram(
                 "serve_request_latency"
             ).observe(result.elapsed)
+        self._stash_progress(record, result)
         return result
+
+    def _stash_progress(self, record: QueryRecord, result: ServeResult):
+        """Remember the hop's progress for ``/obs/progress/<token>``.
+
+        The snapshot itself was taken at the quantum boundary (while the
+        session was still live); this just shapes the JSON document.
+        """
+        snapshot = record.last_progress
+        doc: dict = {
+            "query": record.name,
+            "status": result.status,
+            "seq": result.seq,
+            "trace_id": record.trace_id,
+            "rows_total": record.rows_total,
+            "token": result.token,
+        }
+        if result.done:
+            doc["fraction"] = 1.0
+            doc["est_remaining_work"] = 0.0
+            doc["est_remaining_bytes"] = 0
+        elif snapshot is not None:
+            doc.update(snapshot.as_dict(include_operators=False))
+            doc["query"] = record.name
+            doc["rows_total"] = record.rows_total
+        self._progress[record.name] = doc
+
+    def progress_of(self, token_text: str) -> dict:
+        """Latest progress for the query a token names (no redemption).
+
+        Raises :class:`~repro.serve.tokens.TokenError` for a malformed
+        token and :class:`KeyError` for a query this server has not
+        served — the transport maps those to 400 and 404.
+        """
+        from repro.serve.tokens import ContinuationToken
+
+        token = ContinuationToken.decode(token_text)
+        doc = self._progress.get(token.query)
+        if doc is None:
+            raise KeyError(token.query)
+        out = dict(doc)
+        out["current"] = doc.get("token") == token.encode()
+        out.pop("token", None)
+        return out
 
     def complete(self, record: QueryRecord) -> None:
         # The completing request's redeemed token still pins the image;

@@ -72,16 +72,32 @@ class TokenExpiredError(TokenError):
 
 @dataclass(frozen=True)
 class ContinuationToken:
-    """The decoded contents of one continuation token."""
+    """The decoded contents of one continuation token.
+
+    ``trace_id`` carries the query's distributed-trace identity across
+    hops (PROTOCOL.md section 7): a resuming server binds its tracer to
+    it so every span of the logical query shares one id however many
+    processes it crosses. ``rows_total`` is the cumulative row count
+    delivered through the hop that issued this token, which lets any
+    process compute monotonically non-decreasing progress without shared
+    state. Both are optional on decode so pre-existing tokens stay valid.
+    """
 
     query: str
     image_id: str
     seq: int
+    trace_id: Optional[str] = None
+    rows_total: int = 0
 
     def encode(self) -> str:
         """The wire string. Deterministic: same fields, same bytes."""
+        doc_fields = {"img": self.image_id, "q": self.query, "seq": self.seq}
+        if self.trace_id is not None:
+            doc_fields["tid"] = self.trace_id
+        if self.rows_total:
+            doc_fields["rows"] = self.rows_total
         doc = json.dumps(
-            {"img": self.image_id, "q": self.query, "seq": self.seq},
+            doc_fields,
             sort_keys=True,
             separators=(",", ":"),
         ).encode("utf-8")
@@ -106,8 +122,15 @@ class ContinuationToken:
         try:
             padded = payload + "=" * (-len(payload) % 4)
             doc = json.loads(base64.urlsafe_b64decode(padded))
+            trace_id = doc.get("tid")
+            if trace_id is not None and not isinstance(trace_id, str):
+                raise TokenError("continuation token trace id must be a string")
             return cls(
-                query=doc["q"], image_id=doc["img"], seq=int(doc["seq"])
+                query=doc["q"],
+                image_id=doc["img"],
+                seq=int(doc["seq"]),
+                trace_id=trace_id,
+                rows_total=int(doc.get("rows", 0)),
             )
         except (ValueError, KeyError, TypeError, binascii.Error) as exc:
             raise TokenError(f"unreadable continuation token: {exc}") from exc
@@ -163,6 +186,8 @@ class TokenManager:
         image_id: str,
         seq: int,
         release: str = None,
+        trace_id: Optional[str] = None,
+        rows_total: int = 0,
     ) -> str:
         """Mint a token for a freshly committed image and pin it.
 
@@ -175,7 +200,11 @@ class TokenManager:
         if release is not None and release != image_id:
             self.store.unpin(release)
         return ContinuationToken(
-            query=query, image_id=image_id, seq=seq
+            query=query,
+            image_id=image_id,
+            seq=seq,
+            trace_id=trace_id,
+            rows_total=rows_total,
         ).encode()
 
     def redeem(self, text: str) -> ContinuationToken:

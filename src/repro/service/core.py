@@ -47,7 +47,12 @@ from repro.core.lifecycle import (
 )
 from repro.core.suspended_query import SuspendedQuery
 from repro.engine.config import EngineConfig
-from repro.obs.tracer import Tracer, current_tracer
+from repro.obs.progress import (
+    emit_progress,
+    estimate_cardinalities,
+    query_progress,
+)
+from repro.obs.tracer import Tracer, current_tracer, make_trace_id
 from repro.service.policies import PressurePolicy, get_policy
 from repro.service.stats import QueryStats, SchedulerStats, TimelineEvent
 from repro.service.trace import QueryArrival
@@ -170,6 +175,23 @@ class QueryRecord:
     #: the core is configured with an image store.
     image_id: Optional[str] = None
     rows: list = field(default_factory=list)
+    #: Distributed-trace identity: every span this query emits — in this
+    #: process or any it continues into — carries this id.
+    trace_id: Optional[str] = None
+    #: Rows the query delivered in *previous* processes (restored from a
+    #: continuation token); added to ``stats.rows_emitted`` for progress.
+    rows_offset: int = 0
+    #: Most recent progress snapshot (set at quantum boundaries).
+    last_progress: Optional[object] = None
+    #: Cached cardinality estimates — pure functions of the plan and
+    #: base-table counts, so one walk serves every quantum and hop
+    #: (operator ids are stable across suspend/resume rebuilds).
+    card_estimates: Optional[dict] = None
+
+    @property
+    def rows_total(self) -> int:
+        """Cumulative rows delivered across every process so far."""
+        return self.rows_offset + self.stats.rows_emitted
 
     @property
     def name(self) -> str:
@@ -226,6 +248,7 @@ class ExecutorCore:
             stats=self.stats.track(
                 arrival.name, arrival.priority, arrival.arrival_time
             ),
+            trace_id=make_trace_id(arrival.name),
         )
         self.records.append(record)
         return record
@@ -359,6 +382,12 @@ class ExecutorCore:
     # ------------------------------------------------------------------
     # Serving primitives
     # ------------------------------------------------------------------
+    def record_tracer(self, record: QueryRecord):
+        """The tracer a record's session runs under: trace_id bound in."""
+        if not self.tracer.enabled:
+            return None
+        return self.tracer.bind(trace_id=record.trace_id)
+
     def start_session(self, record: QueryRecord) -> None:
         """Open a fresh session for a WAITING record."""
         record.session = QuerySession(
@@ -367,7 +396,7 @@ class ExecutorCore:
             config=self.config.engine_config,
             priority=record.priority,
             name=record.name,
-            tracer=self.tracer if self.tracer.enabled else None,
+            tracer=self.record_tracer(record),
         )
         record.state = QueryState.READY
         if record.stats.first_started_at is None:
@@ -387,7 +416,7 @@ class ExecutorCore:
             config=self.config.engine_config,
             priority=record.priority,
             name=record.name,
-            tracer=self.tracer if self.tracer.enabled else None,
+            tracer=self.record_tracer(record),
         )
 
     def adopt_resumed_session(
@@ -404,7 +433,7 @@ class ExecutorCore:
         """Execute one quantum on a READY record; handle completion."""
         if self.tracer.enabled:
             with self.tracer.span(
-                "sched.quantum", query=record.name
+                "sched.quantum", query=record.name, trace_id=record.trace_id
             ) as span:
                 result = record.session.execute(
                     max_rows=self.config.quantum_rows
@@ -417,9 +446,46 @@ class ExecutorCore:
         if self.config.collect_rows:
             record.rows.extend(result.rows)
         self.note_memory()
+        if self.tracer.enabled:
+            self.note_progress(record)
         if result.status is QueryStatus.COMPLETED:
             self.complete(record)
         return result.status
+
+    def note_progress(self, record: QueryRecord, emit: bool = True):
+        """Snapshot, trace, and gauge a record's progress (quantum edge).
+
+        Returns the :class:`~repro.obs.progress.QueryProgress` snapshot
+        (or None when the record has no live session to measure) and
+        remembers it on ``record.last_progress``. The cumulative row
+        count offsets rows delivered before the current session —
+        earlier quanta of this process *and*, via ``rows_offset``,
+        earlier processes — so the query-level fraction never moves
+        backwards across suspend/resume cycles or hops. With
+        ``emit=False`` only the snapshot is taken (live introspection
+        with tracing off).
+        """
+        if record.session is None:
+            return None
+        if record.card_estimates is None:
+            record.card_estimates = estimate_cardinalities(
+                record.session.root
+            )
+        offset = record.rows_total - record.session.root.tuples_emitted
+        progress = query_progress(
+            record.session,
+            rows_offset=offset,
+            estimates=record.card_estimates,
+            include_operators=False,
+        )
+        progress.query = record.name
+        record.last_progress = progress
+        if emit:
+            emit_progress(
+                self.tracer.bind(query=record.name, trace_id=record.trace_id),
+                progress,
+            )
+        return progress
 
     def complete(self, record: QueryRecord) -> None:
         """Retire a finished record and collect its durable spill chain."""

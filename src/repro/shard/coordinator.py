@@ -41,6 +41,7 @@ recovery classifies, never guesses (see :mod:`repro.shard.manifest`).
 
 from __future__ import annotations
 
+import json
 import math
 import uuid
 from dataclasses import dataclass, field
@@ -55,7 +56,7 @@ from repro.durability.faults import FaultInjector
 from repro.durability.store import ImageStore
 from repro.engine.config import EngineConfig
 from repro.engine.plan import PlanSpec
-from repro.obs.tracer import NULL_TRACER
+from repro.obs.tracer import current_tracer, make_trace_id
 from repro.shard.manifest import (
     MEMBER_DONE,
     MEMBER_RUNNING,
@@ -155,6 +156,7 @@ class ShardCoordinator:
         tracer=None,
         worker_mode: str = "inproc",
         quantum_rows: int = 64,
+        trace_id: Optional[str] = None,
         _start: bool = True,
     ):
         self.catalog = catalog or ShardedCatalog(num_shards=num_shards)
@@ -163,9 +165,23 @@ class ShardCoordinator:
             plan_spec, self.catalog, db
         )
         self.config = config or EngineConfig()
-        self.tracer = tracer if tracer is not None else NULL_TRACER
+        base = tracer if tracer is not None else current_tracer()
+        #: One trace identity for the whole distributed query, derived
+        #: from its durable shape (plan spec + shard count) so resume in
+        #: any process rejoins the same trace. Every coordinator record
+        #: and every shard-worker record carries it.
+        self.trace_id = trace_id or make_trace_id(
+            "shard",
+            json.dumps(spec_to_dict(plan_spec), sort_keys=True),
+            self.catalog.num_shards,
+        )
+        self.tracer = base.bind(trace_id=self.trace_id)
         self.quantum_rows = quantum_rows
         self.worker_mode = worker_mode
+        #: Trace records drained from process-backed workers, keyed by
+        #: shard id (in-process workers share the coordinator's sink and
+        #: never appear here). See :meth:`collect_shard_traces`.
+        self.shard_traces: dict[int, list] = {}
         self.workers: list[ShardWorker] = self._make_workers(db)
         self.stage_idx = 0
         self.frag_done: list[bool] = []
@@ -197,8 +213,14 @@ class ShardCoordinator:
             from repro.shard.worker_proc import ProcessShardWorker
 
             payloads = self._table_payloads(db)
+            trace = {
+                "enabled": self.tracer.enabled,
+                "sample": self.tracer.next_sample_every,
+                "trace_id": self.trace_id,
+            }
             return [
-                ProcessShardWorker(k, n, tables=payloads[k]) for k in range(n)
+                ProcessShardWorker(k, n, tables=payloads[k], trace=trace)
+                for k in range(n)
             ]
         raise ShardError(f"unknown worker mode {self.worker_mode!r}")
 
@@ -318,7 +340,48 @@ class ShardCoordinator:
         self.output_rows.extend(delivered)
         if all(self.frag_done):
             self._finish_stage()
+        if self.tracer.enabled:
+            # The pass boundary is also the progress-publication point:
+            # the same safe point suspend_global may cut at.
+            self.tracer.event(
+                "query.progress", ts=self.global_now(), **self.progress()
+            )
         return delivered
+
+    def progress(self) -> dict:
+        """Global fraction-complete, stage-weighted across the plan.
+
+        Each stage contributes ``1 / num_stages``; the in-flight stage
+        contributes the mean of its fragments' fractions (a finished
+        fragment counts 1.0). Cardinality estimates come from each
+        shard's own planner statistics (:mod:`repro.obs.progress`).
+        """
+        num_stages = len(self.shard_plan.stages)
+        if self.done:
+            fraction = 1.0
+        elif not self._stage_started:
+            fraction = round(self.stage_idx / num_stages, 6)
+        else:
+            fracs = [
+                1.0
+                if self.frag_done[k]
+                else self.workers[k].progress()["fraction"]
+                for k in range(self.num_shards)
+            ]
+            stage_fraction = sum(fracs) / len(fracs) if fracs else 1.0
+            fraction = round(
+                (self.stage_idx + stage_fraction) / num_stages, 6
+            )
+        return {
+            # The trace identity doubles as the query label: a sharded
+            # query has no session name, but its trace_id is stable
+            # across suspend/resume and unique per logical query.
+            "query": f"gq:{self.trace_id}",
+            "fraction": fraction,
+            "stage": self.stage_idx,
+            "stages": num_stages,
+            "rows_total": self.delivered_before + len(self.output_rows),
+        }
 
     def run(self, max_rows: Optional[int] = None) -> list:
         """Run passes until completion (or ``max_rows`` new deliveries)."""
@@ -421,6 +484,9 @@ class ShardCoordinator:
             "plan": spec_to_dict(self.plan_spec),
             "catalog": self.catalog.to_dict(),
             "quantum_rows": self.quantum_rows,
+            # The trace identity survives the cut: a resuming coordinator
+            # (any process) rejoins the same distributed trace.
+            "trace_id": self.trace_id,
             "channels": {
                 name: ch.to_dict() for name, ch in sorted(self.channels.items())
             },
@@ -435,12 +501,14 @@ class ShardCoordinator:
         )
         self.done = True  # this incarnation is over; resume from the cut
         self._stage_started = False
+        cut_ts = self.global_now()  # before the workers go away
+        self.collect_shard_traces()
         for worker in self.workers:
             worker.close()
         if self.tracer.enabled:
             self.tracer.event(
                 "shard.suspend_commit",
-                ts=self.global_now(),
+                ts=cut_ts,
                 gid=gid,
                 latency=round(report.latency, 6),
                 total_cost=round(report.total_cost, 6),
@@ -480,6 +548,7 @@ class ShardCoordinator:
             tracer=tracer,
             worker_mode=worker_mode,
             quantum_rows=channels_doc.get("quantum_rows", 64),
+            trace_id=channels_doc.get("trace_id"),
             _start=False,
         )
         coord.stage_idx = channels_doc["stage_index"]
@@ -510,6 +579,21 @@ class ShardCoordinator:
             )
         return coord
 
+    def collect_shard_traces(self) -> dict:
+        """Drain every worker's buffered trace records (idempotent).
+
+        Process-backed workers ship their child-side records over the
+        pipe and clear them, so repeated calls never duplicate; the
+        accumulated streams feed :func:`repro.obs.merge.merge_shard_trace`
+        together with the coordinator's own records.
+        """
+        for k, worker in enumerate(self.workers):
+            records = worker.drain_trace()
+            if records:
+                self.shard_traces.setdefault(k, []).extend(records)
+        return self.shard_traces
+
     def close(self) -> None:
+        self.collect_shard_traces()
         for worker in self.workers:
             worker.close()

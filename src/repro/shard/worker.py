@@ -51,6 +51,17 @@ class ShardWorker:
     def run_quantum(self, max_rows: int) -> dict:
         raise NotImplementedError
 
+    def progress(self) -> dict:
+        """Fragment fraction-complete and cumulative rows (see
+        :mod:`repro.obs.progress`); ``fraction`` is 1.0 once done."""
+        raise NotImplementedError
+
+    def drain_trace(self) -> list:
+        """Trace records buffered in the worker's own process, shipped
+        once and cleared. In-process workers share the coordinator's
+        sink, so theirs is always empty."""
+        return []
+
     def estimate_suspend_cost(self) -> dict:
         raise NotImplementedError
 
@@ -97,6 +108,10 @@ class InProcessShardWorker(ShardWorker):
         self.tracer = base.bind(clock=db.disk.clock, shard=shard_id)
         self.session: Optional[QuerySession] = None
         self._fault: Optional[tuple[str, str]] = None
+        #: Rows this fragment has emitted across every suspend/resume
+        #: cycle (restored from image meta on resume — in-process
+        #: counters restart at zero, the fragment's progress must not).
+        self._rows_total = 0
 
     # -- channels ------------------------------------------------------
     def create_channel_table(
@@ -112,6 +127,7 @@ class InProcessShardWorker(ShardWorker):
     def start_fragment(self, spec: PlanSpec) -> None:
         if self.session is not None:
             raise ShardError(f"shard {self.shard_id} already has a fragment")
+        self._rows_total = 0
         self.session = QuerySession(
             self.db,
             spec,
@@ -123,10 +139,33 @@ class InProcessShardWorker(ShardWorker):
     def run_quantum(self, max_rows: int) -> dict:
         session = self._require_session()
         result = session.execute(max_rows=max_rows)
+        self._rows_total += len(result.rows)
         done = session.status is QueryStatus.COMPLETED
         if done:
             self.session = None
         return {"rows": result.rows, "done": done}
+
+    def progress(self) -> dict:
+        """This fragment's progress snapshot (plain values, pipe-safe)."""
+        from repro.obs.progress import query_progress
+
+        if self.session is None:
+            return {
+                "shard": self.shard_id,
+                "fraction": 1.0,
+                "rows_total": self._rows_total,
+                "est_rows": float(self._rows_total),
+                "work_done": 0.0,
+            }
+        offset = self._rows_total - self.session.root.tuples_emitted
+        snapshot = query_progress(self.session, rows_offset=offset)
+        return {
+            "shard": self.shard_id,
+            "fraction": snapshot.fraction,
+            "rows_total": snapshot.rows_total,
+            "est_rows": round(snapshot.est_rows, 2),
+            "work_done": round(snapshot.work_done, 6),
+        }
 
     # -- suspend / resume ----------------------------------------------
     def estimate_suspend_cost(self) -> dict:
@@ -164,6 +203,11 @@ class InProcessShardWorker(ShardWorker):
             else:
                 raise ShardError(f"unknown fault kind {kind!r}")
         store = ImageStore(root, injector=injector)
+        # The fragment's cumulative row count rides in the image meta so
+        # a resuming process (this one or a fresh child) can keep its
+        # progress fraction monotone.
+        meta = dict(meta or {})
+        meta["rows_total"] = self._rows_total
         session.suspend(
             SuspendSpec(
                 budget=budget,
@@ -190,6 +234,9 @@ class InProcessShardWorker(ShardWorker):
             )
         store = ImageStore(root)
         sq = store.load(image_id)
+        self._rows_total = int(
+            (store.manifest(image_id).get("meta") or {}).get("rows_total", 0)
+        )
         self.session = QuerySession.resume(
             self.db,
             sq,

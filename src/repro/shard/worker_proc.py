@@ -40,11 +40,26 @@ CRASH_EXIT_CODE = 23
 
 
 class ProcessShardWorker(ShardWorker):
-    """Parent-side proxy driving one shard in a child process."""
+    """Parent-side proxy driving one shard in a child process.
 
-    def __init__(self, shard_id: int, num_shards: int, tables: list):
+    ``trace`` configures the child's own tracer:
+    ``{"enabled": bool, "sample": int, "trace_id": str | None}``. The
+    child buffers records in its own sink (virtual-clock timestamps, so
+    no cross-process skew) and ships them back through
+    :meth:`drain_trace`; :mod:`repro.obs.merge` interleaves them with
+    the coordinator's stream into one global timeline.
+    """
+
+    def __init__(
+        self,
+        shard_id: int,
+        num_shards: int,
+        tables: list,
+        trace: Optional[dict] = None,
+    ):
         self.shard_id = shard_id
         self.num_shards = num_shards
+        self.trace = trace or {"enabled": False}
         env = dict(os.environ)
         src_root = os.path.dirname(os.path.dirname(repro.__file__))
         env["PYTHONPATH"] = os.pathsep.join(
@@ -66,7 +81,11 @@ class ProcessShardWorker(ShardWorker):
             text=True,
         )
         self._call(
-            "init", shard_id=shard_id, num_shards=num_shards, tables=tables
+            "init",
+            shard_id=shard_id,
+            num_shards=num_shards,
+            tables=tables,
+            trace=self.trace,
         )
 
     # -- protocol -------------------------------------------------------
@@ -119,6 +138,19 @@ class ProcessShardWorker(ShardWorker):
         result = self._call("run_quantum", max_rows=max_rows)
         result["rows"] = [tuple(r) for r in result["rows"]]
         return result
+
+    def progress(self) -> dict:
+        return self._call("progress")
+
+    def drain_trace(self) -> list:
+        """Ship the child's buffered trace records (cleared after)."""
+        if not self.trace.get("enabled"):
+            return []
+        if self.proc.poll() is not None:
+            # A crashed child's buffered records died with it; the
+            # coordinator's stream still shows the crash.
+            return []
+        return self._call("drain_trace")
 
     def estimate_suspend_cost(self) -> dict:
         return self._call("estimate_suspend_cost")
@@ -184,8 +216,18 @@ def _build_worker(request: dict) -> InProcessShardWorker:
             rows=[tuple(r) for r in table["rows"]],
             tuples_per_page=table["tuples_per_page"],
         )
+    trace = request.get("trace") or {"enabled": False}
+    tracer = None
+    if trace.get("enabled"):
+        from repro.obs.tracer import Tracer
+
+        # The child runs its own root Tracer: records buffer here (with
+        # the shard's virtual-clock timestamps) until the parent drains
+        # them over the pipe for the global merge.
+        root = Tracer(next_sample_every=int(trace.get("sample") or 0))
+        tracer = root.bind(trace_id=trace.get("trace_id"))
     return InProcessShardWorker(
-        request["shard_id"], request["num_shards"], db
+        request["shard_id"], request["num_shards"], db, tracer=tracer
     )
 
 
@@ -205,6 +247,14 @@ def _handle(worker: Optional[InProcessShardWorker], request: dict):
     if op == "run_quantum":
         result = worker.run_quantum(request["max_rows"])
         return {"rows": [list(r) for r in result["rows"]], "done": result["done"]}
+    if op == "progress":
+        return worker.progress()
+    if op == "drain_trace":
+        from repro.obs.export import _jsonable
+
+        records = [_jsonable(r) for r in worker.tracer.records]
+        worker.tracer.records.clear()
+        return records
     if op == "estimate_suspend_cost":
         return worker.estimate_suspend_cost()
     if op == "suspend_to_image":

@@ -1,0 +1,146 @@
+"""Deterministic merge of distributed trace streams."""
+
+from repro.obs import (
+    COORDINATOR_LANE,
+    Tracer,
+    merge_shard_trace,
+    merge_traces,
+    shard_lane,
+    split_by_shard,
+    strip_lanes,
+)
+from repro.obs.merge import _lane_rank
+from repro.obs.tracer import TRACE_FORMAT_VERSION
+
+
+def ev(etype, ts, **fields):
+    return {"type": etype, "ts": ts, **fields}
+
+
+class TestOrdering:
+    def test_primary_key_is_virtual_time(self):
+        merged = merge_traces(
+            [
+                (COORDINATOR_LANE, [ev("a", 2.0)]),
+                (shard_lane(0), [ev("b", 1.0)]),
+            ]
+        )
+        assert [r["type"] for r in merged[1:]] == ["b", "a"]
+
+    def test_tiebreak_is_lane_rank(self):
+        # Same timestamp everywhere: coordinator first, shards by id.
+        merged = merge_traces(
+            [
+                (shard_lane(1), [ev("s1", 5.0)]),
+                (COORDINATOR_LANE, [ev("c", 5.0)]),
+                (shard_lane(0), [ev("s0", 5.0)]),
+                (shard_lane(10), [ev("s10", 5.0)]),
+            ]
+        )
+        assert [r["type"] for r in merged[1:]] == ["c", "s0", "s1", "s10"]
+
+    def test_shard_lanes_rank_numerically_not_lexically(self):
+        assert _lane_rank(shard_lane(2)) < _lane_rank(shard_lane(10))
+        assert _lane_rank(COORDINATOR_LANE) < _lane_rank(shard_lane(0))
+
+    def test_tiebreak_within_lane_preserves_emission_order(self):
+        merged = merge_traces(
+            [(shard_lane(0), [ev("first", 1.0), ev("second", 1.0)])]
+        )
+        assert [r["type"] for r in merged[1:]] == ["first", "second"]
+
+    def test_merged_seq_is_fresh_and_contiguous(self):
+        merged = merge_traces(
+            [
+                (COORDINATOR_LANE, [ev("a", 1.0, seq=99)]),
+                (shard_lane(0), [ev("b", 2.0, seq=99)]),
+            ]
+        )
+        assert [r["seq"] for r in merged] == [0, 1, 2]
+
+    def test_merge_is_deterministic(self):
+        streams = [
+            (COORDINATOR_LANE, [ev("a", 1.0), ev("b", 3.0)]),
+            (shard_lane(0), [ev("c", 2.0)]),
+            (shard_lane(1), [ev("d", 2.0)]),
+        ]
+        assert merge_traces(streams) == merge_traces(streams)
+
+
+class TestMeta:
+    def test_single_meta_lists_lanes(self):
+        merged = merge_traces(
+            [
+                (COORDINATOR_LANE, [ev("trace.meta", 0.0), ev("a", 1.0)]),
+                (shard_lane(0), [ev("trace.meta", 0.0), ev("b", 1.0)]),
+            ]
+        )
+        metas = [r for r in merged if r["type"] == "trace.meta"]
+        assert len(metas) == 1
+        assert metas[0]["merged"] is True
+        assert metas[0]["version"] == TRACE_FORMAT_VERSION
+        assert metas[0]["lanes"] == [COORDINATOR_LANE, shard_lane(0)]
+
+    def test_unique_trace_id_is_promoted(self):
+        merged = merge_traces(
+            [
+                (COORDINATOR_LANE, [ev("a", 1.0, trace_id="t1")]),
+                (shard_lane(0), [ev("b", 1.0, trace_id="t1")]),
+            ]
+        )
+        assert merged[0]["trace_id"] == "t1"
+
+    def test_conflicting_trace_ids_are_not_promoted(self):
+        merged = merge_traces(
+            [
+                (COORDINATOR_LANE, [ev("a", 1.0, trace_id="t1")]),
+                (shard_lane(0), [ev("b", 1.0, trace_id="t2")]),
+            ]
+        )
+        assert "trace_id" not in merged[0]
+
+
+class TestSplitAndStrip:
+    def test_split_by_shard_routes_by_field(self):
+        records = [
+            ev("c", 1.0),
+            ev("s", 1.0, shard=1),
+            ev("s", 2.0, shard=0),
+        ]
+        lanes = dict(split_by_shard(records))
+        assert [r["type"] for r in lanes[COORDINATOR_LANE]] == ["c"]
+        assert lanes[shard_lane(0)][0]["ts"] == 2.0
+        assert lanes[shard_lane(1)][0]["ts"] == 1.0
+
+    def test_split_then_merge_equals_direct_merge_modulo_lanes(self):
+        tracer = Tracer()
+        shard0 = tracer.bind(shard=0)
+        shard1 = tracer.bind(shard=1)
+        shard0.event("x", ts=1.0)
+        shard1.event("y", ts=1.0)
+        tracer.event("z", ts=2.0)
+        merged = merge_traces(split_by_shard(tracer.records))
+        assert [r["lane"] for r in merged[1:]] == [
+            shard_lane(0),
+            shard_lane(1),
+            COORDINATOR_LANE,
+        ]
+        assert all("lane" not in r for r in strip_lanes(merged))
+        assert all("seq" not in r for r in strip_lanes(merged))
+
+    def test_merge_shard_trace_orders_shard_dict_by_id(self):
+        merged = merge_shard_trace(
+            [ev("c", 0.5)],
+            {1: [ev("s1", 1.0)], 0: [ev("s0", 1.0)]},
+        )
+        assert merged[0]["lanes"] == [
+            COORDINATOR_LANE,
+            shard_lane(0),
+            shard_lane(1),
+        ]
+        assert [r["type"] for r in merged[1:]] == ["c", "s0", "s1"]
+
+    def test_input_records_are_not_mutated(self):
+        record = ev("a", 1.0)
+        merge_traces([(COORDINATOR_LANE, [record])])
+        assert record == {"type": "a", "ts": 1.0}

@@ -33,10 +33,13 @@ class TestRoutes:
         assert payload["queries"] == sorted(app.catalog)
 
     def test_metrics_route(self, tmp_path):
+        # Tracing off: a typed 404 error, never a branch-dependent body.
         status, payload = make_app(str(tmp_path)).handle(
             "GET", "/metrics", None
         )
-        assert status == 200 and "disabled" in payload["text"]
+        assert status == 404
+        assert payload["code"] == "metrics_disabled"
+        assert "text" not in payload
 
         app = make_app(str(tmp_path / "traced"), tracer=Tracer())
         app.handle("POST", "/queries", {"query": "sorted-join"})
@@ -180,3 +183,104 @@ class TestLiveServer:
         conn.request("POST", "/queries", body=b"not json {")
         assert conn.getresponse().status == 400
         conn.close()
+
+
+class TestObsRoutes:
+    """The live-introspection endpoints: /obs/metrics, progress, health."""
+
+    def test_obs_metrics_works_with_tracing_off(self, tmp_path):
+        app = make_app(str(tmp_path))
+        app.handle("POST", "/queries", {"query": "sorted-join"})
+        status, payload = app.handle("GET", "/obs/metrics", None)
+        assert status == 200
+        assert payload["tracing"] is False
+        assert isinstance(payload["metrics"], dict)
+
+    def test_obs_metrics_carries_registry_snapshot_when_traced(
+        self, tmp_path
+    ):
+        app = make_app(str(tmp_path), tracer=Tracer())
+        app.handle("POST", "/queries", {"query": "sorted-join"})
+        status, payload = app.handle("GET", "/obs/metrics", None)
+        assert status == 200 and payload["tracing"] is True
+        counters = payload["metrics"]["counters"]
+        assert any("serve_requests_total" in k for k in counters)
+
+    def test_obs_health(self, tmp_path):
+        app = make_app(str(tmp_path))
+        app.handle("POST", "/queries", {"query": "sorted-join", "as": "h"})
+        status, payload = app.handle("GET", "/obs/health", None)
+        assert status == 200 and payload["ok"]
+        assert payload["queries_admitted"] == 1
+        assert payload["now"] > 0
+
+    def test_obs_progress_monotone_across_hops(self, tmp_path):
+        app = make_app(str(tmp_path))
+        _, payload = app.handle(
+            "POST", "/queries", {"query": "sorted-join", "as": "p"}
+        )
+        fractions = []
+        while payload["status"] == "running":
+            status, doc = app.handle(
+                "GET", f"/obs/progress/{payload['token']}", None
+            )
+            assert status == 200
+            assert doc["query"] == "p" and doc["current"] is True
+            fractions.append(doc["fraction"])
+            _, payload = app.handle(
+                "POST", "/continue", {"token": payload["token"]}
+            )
+        assert len(fractions) > 2
+        # Monotonically non-decreasing fraction-complete across hops.
+        assert all(a <= b for a, b in zip(fractions, fractions[1:]))
+        assert 0.0 < fractions[0] < 1.0
+
+    def test_obs_progress_reports_done(self, tmp_path):
+        app = make_app(str(tmp_path))
+        _, payload = app.handle(
+            "POST", "/queries", {"query": "sorted-join", "as": "d"}
+        )
+        last_token = payload["token"]
+        while payload["status"] == "running":
+            last_token = payload["token"]
+            _, payload = app.handle(
+                "POST", "/continue", {"token": payload["token"]}
+            )
+        status, doc = app.handle(
+            "GET", f"/obs/progress/{last_token}", None
+        )
+        assert status == 200
+        assert doc["status"] == "done" and doc["fraction"] == 1.0
+        assert doc["est_remaining_work"] == 0.0
+        # The redeemed token is no longer the latest one for the query.
+        assert doc["current"] is False
+
+    def test_obs_progress_error_mapping(self, tmp_path):
+        app = make_app(str(tmp_path))
+        status, doc = app.handle("GET", "/obs/progress/garbage", None)
+        assert status == 400 and doc["code"] == "bad_token"
+        # A well-formed token for a query this server never saw: 404.
+        other = make_app(str(tmp_path / "other"))
+        _, payload = other.handle(
+            "POST", "/queries", {"query": "sorted-join", "as": "elsewhere"}
+        )
+        status, doc = app.handle(
+            "GET", f"/obs/progress/{payload['token']}", None
+        )
+        assert status == 404 and doc["code"] == "unknown_query"
+
+    def test_progress_trace_id_matches_serve_trace(self, tmp_path):
+        tracer = Tracer()
+        app = make_app(str(tmp_path), tracer=tracer)
+        _, payload = app.handle(
+            "POST", "/queries", {"query": "sorted-join", "as": "t"}
+        )
+        _, doc = app.handle(
+            "GET", f"/obs/progress/{payload['token']}", None
+        )
+        trace_ids = {
+            r["trace_id"]
+            for r in tracer.records
+            if r.get("query") == "t" and "trace_id" in r
+        }
+        assert trace_ids == {doc["trace_id"]}

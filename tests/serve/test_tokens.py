@@ -141,3 +141,43 @@ class TestTokenManagerLifecycle:
         # gc spares the pinned image only.
         assert store.gc() == ["img-1"]
         assert store.list_images()[0].image_id == "img-2"
+
+
+class TestTraceFields:
+    """trace_id and cumulative row count riding in the token."""
+
+    def test_tid_and_rows_round_trip(self):
+        token = ContinuationToken(
+            "q", "img", 3, trace_id="ab12cd34ef56ab78", rows_total=420
+        )
+        back = ContinuationToken.decode(token.encode())
+        assert back.trace_id == "ab12cd34ef56ab78"
+        assert back.rows_total == 420
+        assert (back.query, back.image_id, back.seq) == ("q", "img", 3)
+
+    def test_optional_fields_are_omitted_when_unset(self):
+        # A token without trace fields encodes exactly as before this
+        # schema extension, so pre-extension tokens stay redeemable.
+        plain = ContinuationToken("q", "img", 1)
+        assert plain.encode() == ContinuationToken("q", "img", 1).encode()
+        back = ContinuationToken.decode(plain.encode())
+        assert back.trace_id is None and back.rows_total == 0
+        with_rows = ContinuationToken("q", "img", 1, rows_total=7)
+        assert with_rows.encode() != plain.encode()
+
+    def test_non_string_tid_rejected(self):
+        import base64
+        import json
+        import zlib
+
+        doc = {"img": "i", "q": "q", "seq": 1, "tid": 123}
+        payload = (
+            base64.urlsafe_b64encode(
+                json.dumps(doc, sort_keys=True, separators=(",", ":")).encode()
+            )
+            .rstrip(b"=")
+            .decode("ascii")
+        )
+        crc = format(zlib.crc32(payload.encode("ascii")) & 0xFFFFFFFF, "08x")
+        with pytest.raises(TokenError):
+            ContinuationToken.decode(f"rst1.{payload}.{crc}")
