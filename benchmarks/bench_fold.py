@@ -1,0 +1,262 @@
+"""Shared-work folding: burst I/O collapse and suspend parity.
+
+Measures, on the virtual clock and the charged I/O counters:
+
+- **burst folding** — K similar scan queries (K in {2, 4, 8}) served by
+  the scheduler with folding off and on: charged page reads, virtual
+  makespan, and wall time per burst. The acceptance bar is the issue's:
+  a K=8 identical-scan burst must cost at most 2x the scan I/O of a
+  single query (the fold drains the table essentially once);
+- **suspend parity** — a folded member suspended mid-burst must leave a
+  durable image byte-identical to an unfolded run's, resume correctly,
+  and survive a *repeat* suspend after the fold split with the second
+  image byte-identical too (per-query suspend/resume cost parity);
+- **correctness gates** — folded burst outputs must equal the unfolded
+  outputs query-for-query.
+
+The snapshot lands in ``BENCH_fold.json`` at the repo root; the CI
+``fold-smoke`` job runs the reduced suite (``REPRO_BENCH_QUICK=1``)
+and fails on any divergence.
+
+Run directly (``python benchmarks/bench_fold.py [--quick]``) or via
+pytest (``pytest benchmarks/bench_fold.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import pathlib
+import sys
+import time
+
+import repro.core.checkpoint as checkpoint_module
+from repro import Database, QuerySession, SuspendSpec
+from repro.core.lifecycle import QueryStatus
+from repro.durability.codec2 import encode_suspended_query
+from repro.engine.plan import FilterSpec, ProjectSpec, ScanSpec
+from repro.fold.manager import FoldManager
+from repro.relational.datagen import BASE_SCHEMA, generate_uniform_table
+from repro.service.core import SchedulerConfig
+from repro.service.scheduler import QueryScheduler
+
+QUICK = bool(int(os.environ.get("REPRO_BENCH_QUICK", "0")))
+SNAPSHOT_PATH = pathlib.Path(__file__).parent.parent / "BENCH_fold.json"
+
+BURST_SIZES = (2, 4, 8)
+
+
+def _params() -> dict:
+    if QUICK:
+        return {"table_rows": 600, "quantum_rows": 32, "suspend_point": 20}
+    return {"table_rows": 4000, "quantum_rows": 64, "suspend_point": 80}
+
+
+def build_db(table_rows: int) -> Database:
+    db = Database()
+    db.create_table(
+        "R", BASE_SCHEMA, generate_uniform_table(table_rows, seed=1)
+    )
+    return db
+
+
+def burst_plan(i: int):
+    # Similar-but-not-identical members: same R scan, different
+    # selectivities, so only the shared scan folds.
+    from repro.relational.expressions import UniformSelect
+
+    return ProjectSpec(
+        FilterSpec(ScanSpec("R"), UniformSelect(1, 0.3 + 0.05 * (i % 5))),
+        columns=(0, 2),
+    )
+
+
+def reset_id_counters():
+    checkpoint_module._ckpt_ids = itertools.count(1)
+    checkpoint_module._contract_ids = itertools.count(1)
+
+
+def run_burst(k: int, fold: bool, params: dict):
+    db = build_db(params["table_rows"])
+    scheduler = QueryScheduler(
+        db, SchedulerConfig(fold=fold, quantum_rows=params["quantum_rows"])
+    )
+    for i in range(k):
+        scheduler.submit(f"q{i}", burst_plan(i))
+    start = time.perf_counter()
+    stats = scheduler.run()
+    wall = time.perf_counter() - start
+    rows = {r.name: list(r.rows) for r in scheduler.records}
+    return {
+        "rows": rows,
+        "pages_read": db.disk.counters.pages_read,
+        "makespan": stats.makespan,
+        "wall_seconds": wall,
+        "fold": stats.fold,
+    }
+
+
+def measure_bursts(params: dict) -> dict:
+    single_pages = run_burst(1, fold=False, params=params)["pages_read"]
+    series = []
+    ok = True
+    for k in BURST_SIZES:
+        base = run_burst(k, fold=False, params=params)
+        folded = run_burst(k, fold=True, params=params)
+        ok = ok and folded["rows"] == base["rows"]
+        series.append(
+            {
+                "k": k,
+                "pages_unfolded": base["pages_read"],
+                "pages_folded": folded["pages_read"],
+                "io_ratio": round(
+                    folded["pages_read"] / base["pages_read"], 3
+                ),
+                "vs_single_query": round(
+                    folded["pages_read"] / single_pages, 3
+                ),
+                "makespan_unfolded": round(base["makespan"], 2),
+                "makespan_folded": round(folded["makespan"], 2),
+                "wall_unfolded": round(base["wall_seconds"], 4),
+                "wall_folded": round(folded["wall_seconds"], 4),
+                "fold_stats": folded["fold"],
+            }
+        )
+    k8 = next(s for s in series if s["k"] == 8)
+    return {
+        "single_query_pages": single_pages,
+        "per_burst": series,
+        "outputs_equal": ok,
+        # The issue's acceptance criterion, recorded explicitly.
+        "k8_within_2x_single_query": k8["vs_single_query"] <= 2.0,
+    }
+
+
+def _solo_double_suspend(plan, point: int):
+    reset_id_counters()
+    db = build_db(_params()["table_rows"])
+    session = QuerySession(db, plan, name="victim")
+    first = session.execute(max_rows=point)
+    sq = session.suspend(SuspendSpec(strategy="all_dump"))
+    image1 = encode_suspended_query(sq)
+    resumed = QuerySession.resume(db, sq, name="victim")
+    mid = resumed.execute(max_rows=point)
+    sq2 = resumed.suspend(SuspendSpec(strategy="all_dump"))
+    image2 = encode_suspended_query(sq2)
+    final = QuerySession.resume(db, sq2, name="victim")
+    rows = first.rows + mid.rows + final.execute().rows
+    costs = (
+        repr(resumed.last_resume_cost),
+        repr(resumed.last_suspend_cost),
+    )
+    return rows, image1, image2, costs
+
+
+def _folded_double_suspend(plan, sibling_plan, point: int):
+    reset_id_counters()
+    db = build_db(_params()["table_rows"])
+    manager = FoldManager(db)
+    victim = QuerySession(
+        db, plan, name="victim", fold=manager.admit("victim", plan)
+    )
+    sibling = QuerySession(
+        db,
+        sibling_plan,
+        name="sibling",
+        fold=manager.admit("sibling", sibling_plan),
+    )
+    first = []
+    while len(first) < point:
+        first.extend(
+            victim.execute(max_rows=min(10, point - len(first))).rows
+        )
+        if sibling.status is not QueryStatus.COMPLETED:
+            sibling.execute(max_rows=10)
+    sq = victim.suspend(SuspendSpec(strategy="all_dump"))
+    manager.note_split("victim")
+    image1 = encode_suspended_query(sq)
+    resumed = QuerySession.resume(db, sq, name="victim")
+    mid = resumed.execute(max_rows=point)
+    sq2 = resumed.suspend(SuspendSpec(strategy="all_dump"))
+    image2 = encode_suspended_query(sq2)
+    final = QuerySession.resume(db, sq2, name="victim")
+    rows = first + mid.rows + final.execute().rows
+    if sibling.status is not QueryStatus.COMPLETED:
+        sibling.execute()
+    costs = (
+        repr(resumed.last_resume_cost),
+        repr(resumed.last_suspend_cost),
+    )
+    return rows, image1, image2, costs
+
+
+def measure_suspend_parity(params: dict) -> dict:
+    plan = burst_plan(0)
+    sibling_plan = burst_plan(1)
+    point = params["suspend_point"]
+    solo = _solo_double_suspend(plan, point)
+    folded = _folded_double_suspend(plan, sibling_plan, point)
+    return {
+        "suspend_point": point,
+        "rows_equal": folded[0] == solo[0],
+        "first_image_identical": folded[1] == solo[1],
+        "repeat_image_identical": folded[2] == solo[2],
+        "image_bytes": len(solo[1]),
+        "resume_suspend_costs_equal": folded[3] == solo[3],
+    }
+
+
+def measure() -> dict:
+    params = _params()
+    start = time.perf_counter()
+    bursts = measure_bursts(params)
+    parity = measure_suspend_parity(params)
+    wall_seconds = time.perf_counter() - start
+    ok = (
+        bursts["outputs_equal"]
+        and bursts["k8_within_2x_single_query"]
+        and parity["rows_equal"]
+        and parity["first_image_identical"]
+        and parity["repeat_image_identical"]
+        and parity["resume_suspend_costs_equal"]
+    )
+    return {
+        "benchmark": "shared_work_folding",
+        "quick": QUICK,
+        "params": params,
+        "wall_seconds": round(wall_seconds, 2),
+        "bursts": bursts,
+        "suspend_parity": parity,
+        "pass": ok,
+    }
+
+
+def run_and_snapshot() -> dict:
+    result = measure()
+    SNAPSHOT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    return result
+
+
+def test_fold_bench(benchmark):
+    from benchmarks.conftest import once
+
+    result = once(benchmark, run_and_snapshot)
+    print(json.dumps(result, indent=2))
+    assert result["bursts"]["outputs_equal"], (
+        "folded burst outputs diverged from the unfolded run"
+    )
+    assert result["bursts"]["k8_within_2x_single_query"]
+    parity = result["suspend_parity"]
+    assert parity["first_image_identical"]
+    assert parity["repeat_image_identical"]
+    assert parity["rows_equal"]
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv[1:]:
+        QUICK = True
+    snapshot = run_and_snapshot()
+    print(json.dumps(snapshot, indent=2))
+    print(f"[saved to {SNAPSHOT_PATH}]")
+    raise SystemExit(0 if snapshot["pass"] else 1)

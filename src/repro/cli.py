@@ -171,6 +171,7 @@ def run_workload(
     seed: int = 1,
     scale: int = 4,
     policy: Optional[str] = None,
+    fold: bool = False,
 ) -> str:
     """Replay an arrival trace under one or all pressure policies."""
     from repro.harness.scheduling import (
@@ -182,7 +183,7 @@ def run_workload(
 
     workload = TRACES[trace](scale=scale, seed=seed)
     policies = DEFAULT_POLICIES if policy is None else (policy,)
-    results = compare_policies(workload, policies=policies)
+    results = compare_policies(workload, policies=policies, fold=fold)
 
     budget = workload.memory_budget
     lines = [
@@ -199,6 +200,16 @@ def run_workload(
                 title=f"policy {name} - per-query latency",
             )
         )
+        if stats.fold is not None:
+            f = stats.fold
+            lines.append(
+                f"fold: {f['grafted']}/{f['candidates']} queries grafted, "
+                f"{f['splits']} splits, "
+                f"{f['pages_absorbed']} pages absorbed vs "
+                f"{f['pages_shared']} fetched "
+                f"({f['refetches']} refetches, "
+                f"{f['build_hits']} shared build tables)"
+            )
         lines.append("")
         lines.append(
             format_table(
@@ -665,6 +676,7 @@ def run_serve_http(
     seed: int = 1,
     quantum_rows: int = 64,
     tracer=None,
+    fold: bool = False,
 ) -> int:
     """Serve the demo catalog over HTTP with continuation tokens."""
     import tempfile
@@ -683,6 +695,7 @@ def run_serve_http(
         tracer=tracer,
         host=host,
         port=port,
+        fold=fold,
     )
     service = QueryService(db_factory(), config)
     print(
@@ -970,6 +983,14 @@ def build_parser() -> argparse.ArgumentParser:
             help="run a single policy instead of comparing all three",
         )
         wl.add_argument(
+            "--fold",
+            action="store_true",
+            help="fold shared work across concurrent queries: common "
+            "scans drain once through shared producers, common hash-join "
+            "build sides are built once (outputs, per-query clocks, and "
+            "suspend images are unchanged; see docs/PROTOCOL.md #11)",
+        )
+        wl.add_argument(
             "--shards",
             type=_positive_int,
             default=None,
@@ -1002,6 +1023,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=_positive_int,
         default=64,
         help="rows each request may emit before suspending (default 64)",
+    )
+    sh.add_argument(
+        "--fold",
+        action="store_true",
+        help="fold shared work across concurrently served queries "
+        "(shared scan page windows persist across token hops)",
     )
     _add_obs_flags(sh)
 
@@ -1270,6 +1297,7 @@ def _dispatch(args) -> int:
                     seed=args.seed,
                     scale=args.scale,
                     policy=args.policy,
+                    fold=args.fold,
                 )
             )
         return 0
@@ -1285,6 +1313,7 @@ def _dispatch(args) -> int:
             seed=args.seed,
             quantum_rows=args.quantum_rows,
             tracer=tracer if tracer.enabled else None,
+            fold=args.fold,
         )
     if args.command == "loadgen":
         from repro.obs import current_tracer

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 import warnings
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from enum import Enum
 from typing import TYPE_CHECKING, Callable, Optional, Union
@@ -222,6 +223,7 @@ class QuerySession:
         priority: int = 0,
         name: Optional[str] = None,
         tracer=None,
+        fold=None,
     ):
         self.db = db
         self.plan_spec = plan_spec
@@ -231,8 +233,14 @@ class QuerySession:
         self.priority = priority
         self.name = name
         self.runtime = Runtime(db, self.config, tracer=tracer, query=name)
-        self.root = instantiate_plan(plan_spec, self.runtime)
-        self.root.open()
+        #: Fold binding (``repro.fold``): when the scheduler detected that
+        #: this query shares subplans with running siblings, the binding
+        #: makes ``instantiate_plan`` graft the shared leaves onto the
+        #: fold's producers. Must be installed before instantiation.
+        self.runtime.fold = fold
+        with self._lane_active():
+            self.root = instantiate_plan(plan_spec, self.runtime)
+            self.root.open()
         self.status = QueryStatus.RUNNING
         self.rows: list = []
         self.last_suspend_cost = 0.0
@@ -241,6 +249,24 @@ class QuerySession:
         #: ImageInfo of the durable image written by the last
         #: ``suspend(persist_to=...)`` call, if any.
         self.last_image = None
+
+    @contextmanager
+    def _lane_active(self):
+        """Install this session's :class:`QueryLane` as the disk's active
+        lane for the duration — every charge mirrors onto the query's
+        private as-if-solo clock. Restores the previous lane on exit so
+        interleaved sessions (a scheduler quantum, a nested resume) never
+        cross-charge each other's lanes."""
+        prev = self.db.disk.set_lane(self.runtime.lane)
+        try:
+            yield
+        finally:
+            self.db.disk.set_lane(prev)
+
+    @property
+    def query_now(self) -> float:
+        """This query's as-if-solo virtual clock (its lane's time)."""
+        return self.runtime.lane.now
 
     # ------------------------------------------------------------------
     # Execute phase
@@ -268,6 +294,7 @@ class QuerySession:
         io_before = self.db.disk.counters.snapshot() if tracer.enabled else None
         controller = self.runtime.controller
         fired_before = controller.fired
+        prev_lane = self.db.disk.set_lane(self.runtime.lane)
         try:
             if self.config.batch_execution:
                 # Vectorized path: a drain is a handful of next_batch()
@@ -305,6 +332,7 @@ class QuerySession:
         except SuspendRequested:
             self.status = QueryStatus.SUSPEND_PENDING
         finally:
+            self.db.disk.set_lane(prev_lane)
             self.runtime.controller.disarm()
         self.rows.extend(produced)
         if io_before is not None:
@@ -391,8 +419,10 @@ class QuerySession:
         controller = self.runtime.controller
         controller.suppress()
         start = self.db.now
+        lane_start = self.query_now
         tracer = self.runtime.tracer
         io_before = self.db.disk.counters.snapshot() if tracer.enabled else None
+        prev_lane = self.db.disk.set_lane(self.runtime.lane)
         try:
             chosen = options.plan
             # With tracing on, build the cost model here once so the
@@ -429,7 +459,10 @@ class QuerySession:
                 plan_spec=self.plan_spec,
                 suspend_plan=chosen,
                 root_rows_emitted=self.root.tuples_emitted,
-                suspended_at=self.db.now,
+                # The query's as-if-solo time, not the shared clock: the
+                # serialized image must not depend on how the scheduler
+                # interleaved this query with others.
+                suspended_at=self.query_now,
             )
             ctx = SuspendContext(plan=chosen, sq=sq, runtime=self.runtime)
             self.root.do_suspend(ctx)
@@ -437,9 +470,14 @@ class QuerySession:
             self.db.disk.write_control_bytes(
                 sq.nominal_bytes(bytes_per_row=200)
             )
+            # Lane value after the suspend-phase I/O: resume (possibly in
+            # another process) restarts the lane here so the query's solo
+            # timeline stays continuous across the gap.
+            sq.query_clock = self.query_now
         finally:
+            self.db.disk.set_lane(prev_lane)
             controller.unsuppress()
-        self.last_suspend_cost = self.db.now - start
+        self.last_suspend_cost = self.query_now - lane_start
         self.last_suspend_plan = chosen
         if io_before is not None:
             io = self.db.disk.counters.snapshot().minus(io_before)
@@ -535,6 +573,7 @@ class QuerySession:
         priority: int = 0,
         name: Optional[str] = None,
         tracer=None,
+        fold=None,
     ) -> "QuerySession":
         """Reconstruct a session from a SuspendedQuery.
 
@@ -551,29 +590,37 @@ class QuerySession:
         session.priority = priority
         session.name = name
         session.runtime = Runtime(db, session.config, tracer=tracer, query=name)
+        session.runtime.fold = fold
+        # Continue the query's as-if-solo clock where the suspend phase
+        # left it (possibly in another process), so the lane timeline is
+        # the same whatever schedule or fold the query ran under.
+        session.runtime.lane.clock.advance(max(0.0, sq.query_clock))
         session.rows = []
         session.last_suspend_cost = 0.0
         session.last_suspend_plan = sq.suspend_plan
         session.last_image = None
 
         start = db.now
+        lane_start = session.runtime.lane.now
         session_tracer = session.runtime.tracer
         io_before = (
             db.disk.counters.snapshot() if session_tracer.enabled else None
         )
         controller = session.runtime.controller
         controller.suppress()
+        prev_lane = db.disk.set_lane(session.runtime.lane)
         try:
             if sq.migrated_payloads:
-                sq.import_payloads(db.state_store)
+                sq.import_payloads(session.runtime.store)
             # Read the SuspendedQuery structure from disk.
             db.disk.read_control_bytes(sq.nominal_bytes(bytes_per_row=200))
             session.root = instantiate_plan(sq.plan_spec, session.runtime)
             ctx = ResumeContext(sq=sq, runtime=session.runtime)
             session.root.do_resume(ctx)
         finally:
+            db.disk.set_lane(prev_lane)
             controller.unsuppress()
-        session.last_resume_cost = db.now - start
+        session.last_resume_cost = session.runtime.lane.now - lane_start
         if io_before is not None:
             io = db.disk.counters.snapshot().minus(io_before)
             session_tracer.event(

@@ -87,6 +87,12 @@ class SuspendedQuery:
     #: already received them; resume continues after them).
     root_rows_emitted: int = 0
     suspended_at: float = 0.0
+    #: The query's as-if-solo virtual clock (its lane) at the end of the
+    #: suspend phase. Resume restarts the lane here so the per-query
+    #: timeline stays continuous across the gap — in any process, under
+    #: any schedule, folded or not. Defaults to ``suspended_at`` when
+    #: decoding images written before this field existed.
+    query_clock: float = 0.0
     #: Dump payloads exported for migration to a replica (see
     #: :meth:`export_payloads`). Empty when resuming in place.
     migrated_payloads: dict = field(default_factory=dict)

@@ -257,6 +257,7 @@ def suspended_query_to_dict(sq: SuspendedQuery) -> dict:
         ],
         "root_rows_emitted": sq.root_rows_emitted,
         "suspended_at": sq.suspended_at,
+        "query_clock": sq.query_clock,
     }
 
 
@@ -272,6 +273,7 @@ def suspended_query_from_dict(data: dict) -> SuspendedQuery:
         suspend_plan=suspend_plan_from_dict(data["suspend_plan"]),
         root_rows_emitted=data["root_rows_emitted"],
         suspended_at=data["suspended_at"],
+        query_clock=data.get("query_clock", data["suspended_at"]),
     )
     for item in data["entries"]:
         sq.add_entry(entry_from_dict(item))

@@ -527,6 +527,7 @@ def suspended_query_to_record(sq: SuspendedQuery) -> dict:
         ],
         "root_rows_emitted": sq.root_rows_emitted,
         "suspended_at": sq.suspended_at,
+        "query_clock": sq.query_clock,
     }
 
 
@@ -553,6 +554,7 @@ def suspended_query_from_record(record: dict) -> SuspendedQuery:
         ),
         root_rows_emitted=record["root_rows_emitted"],
         suspended_at=record["suspended_at"],
+        query_clock=record.get("query_clock", record["suspended_at"]),
     )
     for item in record["entries"]:
         sq.add_entry(

@@ -260,9 +260,9 @@ class Operator:
         Wrap only *direct* storage calls — never calls into children,
         whose work is attributed to them by their own wrappers.
         """
-        before = self.rt.disk.now
+        before = self.rt.disk.query_now
         yield
-        self.work += self.rt.disk.now - before
+        self.work += self.rt.disk.query_now - before
 
     # ------------------------------------------------------------------
     # Heap/control state introspection (drives costs and dumps)
@@ -325,7 +325,7 @@ class Operator:
             work_at=self.work,
             emitted_at=self.tuples_emitted,
             reactive=not self.STATEFUL,
-            created_at=self.rt.disk.now,
+            created_at=self.rt.disk.query_now,
         )
         graph.add_checkpoint(ckpt)
         for child in self.children:
@@ -390,7 +390,7 @@ class Operator:
             ),
             work_at_signing=self.work,
             emitted_at_signing=self.tuples_emitted,
-            signed_at=self.rt.disk.now,
+            signed_at=self.rt.disk.query_now,
         )
         for child in self.stream_children():
             contract.nested[child.op_id] = child.sign_contract(
@@ -434,7 +434,7 @@ class Operator:
             work_at=self.work,
             emitted_at=self.tuples_emitted,
             reactive=True,
-            created_at=self.rt.disk.now,
+            created_at=self.rt.disk.query_now,
         )
         graph.add_checkpoint(ckpt)
         for child in self.children:
@@ -451,7 +451,7 @@ class Operator:
             work_at=self.work,
             emitted_at=self.tuples_emitted,
             reactive=True,
-            created_at=self.rt.disk.now,
+            created_at=self.rt.disk.query_now,
         )
         graph.add_checkpoint(ckpt)
         for child in self.children:
@@ -655,7 +655,7 @@ class Operator:
         self.is_open = True
         entry = ctx.sq.entry(self.op_id)
         self._pending_rows = deque(entry.saved_rows)
-        start = self.rt.disk.now
+        start = self.rt.disk.query_now
         if entry.kind in (KIND_DUMP, KIND_DUMP_TO_CONTRACT):
             payload = None
             if entry.dump_handle is not None:
@@ -668,7 +668,7 @@ class Operator:
             # The span covers only this operator's own restore (children
             # resumed above, before ``start``); for GoBack entries its
             # duration is exactly the redo work Equation (2) charges.
-            redo = round(self.rt.disk.now - start, 6)
+            redo = round(self.rt.disk.query_now - start, 6)
             self._tr.event(
                 "op.resume", ts=start, dur=redo, kind=entry.kind
             )

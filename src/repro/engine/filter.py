@@ -95,9 +95,9 @@ class Filter(Operator):
         append = out.append
         need = max_rows
         while need > 0:
-            before = disk.now
+            before = disk.query_now
             page = cursor.current_page()
-            after = disk.now
+            after = disk.query_now
             if after != before:
                 child.work += after - before
             if page is None:

@@ -264,9 +264,9 @@ class HashGroupAggregate(Operator):
             if scan_run:
                 scan.work = add_each(scan.work, c, scan_run)
                 scan_run = 0
-            before = disk.now
+            before = disk.query_now
             page = cursor.current_page()
-            after = disk.now
+            after = disk.query_now
             if after != before:
                 scan.work += after - before
             if page is None:

@@ -285,9 +285,9 @@ class SimpleHashJoin(Operator):
             if scan_run:
                 scan.work = add_each(scan.work, c, scan_run)
                 scan_run = 0
-            before = disk.now
+            before = disk.query_now
             page = cursor.current_page()
-            after = disk.now
+            after = disk.query_now
             if after != before:
                 scan.work += after - before
             if page is None:
@@ -428,9 +428,9 @@ class SimpleHashJoin(Operator):
                             charge_each(crun)
                             self.work = add_each(self.work, c, crun)
                             crun = 0
-                        before = disk.now
+                        before = disk.query_now
                         disk.read_pages(1)
-                        self.work += disk.now - before
+                        self.work += disk.query_now - before
                     matches = ht_get(right_key(probe_row))
                     if matches:
                         crun += 1  # the row path's match charge

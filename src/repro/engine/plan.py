@@ -260,8 +260,18 @@ def _default_label(spec: PlanSpec, op_id: int) -> str:
 
 
 def instantiate_plan(spec: PlanSpec, runtime: Runtime) -> Operator:
-    """Build the operator tree for ``spec``, assigning preorder op ids."""
+    """Build the operator tree for ``spec``, assigning preorder op ids.
+
+    When the runtime carries a fold binding, foldable nodes instantiate
+    as their shared-work variants (``repro.engine.folded``): plain table
+    scans graft onto the manager's per-table page producers, and hash
+    joins get a build-side fingerprint so spilled partitions can adopt a
+    sibling's hash table. The spec tree itself is never rewritten — the
+    suspend image records the original plan, so resuming with or without
+    a fold manager yields the same query.
+    """
     counter = [0]
+    fold = runtime.fold
 
     def build(node: PlanSpec) -> Operator:
         if not hasattr(node, "children"):
@@ -271,6 +281,11 @@ def instantiate_plan(spec: PlanSpec, runtime: Runtime) -> Operator:
         name = node.label or _default_label(node, op_id)
         if isinstance(node, ScanSpec):
             table = runtime.db.catalog.table(node.table)
+            if fold is not None:
+                from repro.engine.folded import SharedScanLeaf
+
+                producer = fold.manager.producer_for(table)
+                return SharedScanLeaf(op_id, name, runtime, table, producer)
             return TableScan(op_id, name, runtime, table)
         if isinstance(node, PartitionedScanSpec):
             table = runtime.db.catalog.table(node.table)
@@ -317,6 +332,16 @@ def instantiate_plan(spec: PlanSpec, runtime: Runtime) -> Operator:
         if isinstance(node, SimpleHashJoinSpec):
             build_child = build(node.build)
             probe_child = build(node.probe)
+            if fold is not None:
+                from repro.engine.folded import FoldedSimpleHashJoin
+                from repro.fold.fingerprint import build_side_fingerprint
+
+                join = FoldedSimpleHashJoin(
+                    op_id, name, build_child, probe_child, runtime,
+                    node.condition, node.num_partitions,
+                )
+                join.bind_fold(fold, build_side_fingerprint(node))
+                return join
             return SimpleHashJoin(
                 op_id, name, build_child, probe_child, runtime,
                 node.condition, node.num_partitions,
@@ -324,6 +349,17 @@ def instantiate_plan(spec: PlanSpec, runtime: Runtime) -> Operator:
         if isinstance(node, HybridHashJoinSpec):
             build_child = build(node.build)
             probe_child = build(node.probe)
+            if fold is not None:
+                from repro.engine.folded import FoldedHybridHashJoin
+                from repro.fold.fingerprint import build_side_fingerprint
+
+                join = FoldedHybridHashJoin(
+                    op_id, name, build_child, probe_child, runtime,
+                    node.condition, node.num_partitions,
+                    node.memory_partitions,
+                )
+                join.bind_fold(fold, build_side_fingerprint(node))
+                return join
             return HybridHashJoin(
                 op_id, name, build_child, probe_child, runtime,
                 node.condition, node.num_partitions, node.memory_partitions,

@@ -87,9 +87,9 @@ class Project(Operator):
         append = out.append
         need = max_rows
         while need > 0:
-            before = disk.now
+            before = disk.query_now
             page = cursor.current_page()
-            after = disk.now
+            after = disk.query_now
             if after != before:
                 scan.work += after - before
             if page is None:

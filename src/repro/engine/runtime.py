@@ -19,11 +19,12 @@ from repro.core.suspended_query import SuspendedQuery
 from repro.engine.config import EngineConfig
 from repro.obs.tracer import Tracer, current_tracer
 from repro.storage.database import Database
-from repro.storage.disk import SimulatedDisk
-from repro.storage.statefile import StateStore
+from repro.storage.disk import QueryLane, SimulatedDisk
+from repro.storage.statefile import ScopedStateStore, StateStore
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.engine.base import Operator
+    from repro.fold.manager import FoldBinding
 
 
 class SuspendController:
@@ -106,6 +107,18 @@ class Runtime:
         self.controller = SuspendController()
         self.ops: dict[int, "Operator"] = {}
         self.ops_by_name: dict[str, "Operator"] = {}
+        #: The query's private as-if-solo clock/counters. Installed as the
+        #: disk's active lane by the session while this query is the one
+        #: executing; all per-query cost-model reads go through
+        #: :attr:`SimulatedDisk.query_now` so they see this lane.
+        self.lane = QueryLane(name=query or "")
+        #: Session name doubling as the state-store key namespace; ``None``
+        #: for anonymous sessions (legacy global key sequence).
+        self.key_scope = query
+        #: Fold binding installed by the scheduler before plan
+        #: instantiation; when set, ``instantiate_plan`` substitutes
+        #: shared-scan leaves / shared-build joins (see ``repro.fold``).
+        self.fold: Optional["FoldBinding"] = None
 
     @property
     def disk(self) -> SimulatedDisk:
@@ -113,6 +126,8 @@ class Runtime:
 
     @property
     def store(self) -> StateStore:
+        if self.key_scope is not None:
+            return ScopedStateStore(self.db.state_store, self.key_scope)
         return self.db.state_store
 
     def register(self, op: "Operator") -> None:

@@ -59,9 +59,9 @@ class TableScan(Operator):
         c = disk.cost_model.cpu_tuple_cost
         n = len(rows)
         while n < max_rows:
-            before = disk.now
+            before = disk.query_now
             page = cursor.current_page()
-            after = disk.now
+            after = disk.query_now
             if after != before:
                 self.work += after - before
             if page is None:

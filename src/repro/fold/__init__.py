@@ -1,0 +1,30 @@
+"""Shared-work folding of concurrent queries (GraftDB-style).
+
+When K concurrent queries read the same tables, K-1 of every page read
+is redundant. ``repro.fold`` detects common subplans among queries
+admitted to the scheduler/serve layers via structural plan fingerprints,
+grafts matching consumers onto shared producers (shared table-scan page
+windows first, then shared build-side hash tables), and — the part the
+suspend/resume contracts make tractable — *splits the fold on suspend*:
+a folded member chosen as a victim detaches at a tuple boundary and its
+durable image is byte-identical to the image an unfolded run would have
+committed, because all per-query accounting runs on the query's private
+:class:`~repro.storage.disk.QueryLane` rather than the shared clock.
+"""
+
+from repro.fold.fingerprint import (
+    build_side_fingerprint,
+    plan_fingerprint,
+    scan_tables,
+)
+from repro.fold.manager import FoldBinding, FoldManager, FoldProducer, FoldStats
+
+__all__ = [
+    "FoldBinding",
+    "FoldManager",
+    "FoldProducer",
+    "FoldStats",
+    "build_side_fingerprint",
+    "plan_fingerprint",
+    "scan_tables",
+]

@@ -1,0 +1,94 @@
+"""Structural plan-spec fingerprints for fold detection.
+
+A fingerprint canonicalizes a plan-spec subtree into a label-free string:
+two subtrees fingerprint equal iff they would do identical physical work
+over identical inputs. Labels are presentation-only (they name operators
+in traces and images) and are excluded, so ``q1`` and ``q7`` running the
+same shape fold together.
+
+Fingerprints are deliberately conservative: every semantic field of a
+spec participates (tables, predicates, key columns, partition counts),
+so a false "equal" is impossible as long as spec dataclasses keep their
+``repr`` faithful — all of them are frozen dataclasses, so it is.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields, is_dataclass
+
+from repro.engine.plan import (
+    HybridHashJoinSpec,
+    PlanSpec,
+    ScanSpec,
+    SimpleHashJoinSpec,
+)
+
+
+def _canon(value) -> str:
+    """Canonical, label-free rendering of a spec field value."""
+    if is_dataclass(value) and not isinstance(value, type):
+        if hasattr(value, "children"):  # a nested plan spec
+            return plan_fingerprint(value)
+        parts = ", ".join(
+            f"{f.name}={_canon(getattr(value, f.name))}"
+            for f in fields(value)
+        )
+        return f"{type(value).__name__}({parts})"
+    if isinstance(value, frozenset):
+        return f"frozenset({sorted(map(repr, value))})"
+    if isinstance(value, (list, tuple)):
+        inner = ", ".join(_canon(v) for v in value)
+        return f"({inner})"
+    return repr(value)
+
+
+def plan_fingerprint(spec: PlanSpec) -> str:
+    """Label-free structural fingerprint of a plan-spec tree."""
+    parts = []
+    for f in fields(spec):
+        if f.name == "label":
+            continue
+        value = getattr(spec, f.name)
+        parts.append(f"{f.name}={_canon(value)}")
+    return f"{type(spec).__name__}({', '.join(parts)})"
+
+
+def scan_tables(spec: PlanSpec) -> set[str]:
+    """Names of tables read by plain ``ScanSpec`` leaves of ``spec``.
+
+    Only plain table scans participate in page-window folding; index
+    scans, partitioned scans, and shuffle reads have their own access
+    patterns and stay unfolded.
+    """
+    tables: set[str] = set()
+    if isinstance(spec, ScanSpec):
+        tables.add(spec.table)
+    for child in spec.children:
+        tables |= scan_tables(child)
+    return tables
+
+
+def build_side_fingerprint(spec: PlanSpec) -> str | None:
+    """Shared-build cache key for a hash-join spec, or ``None``.
+
+    Two joins may share one build-side hash table per partition iff they
+    drain an identical build subplan, hash it with the same left-key
+    columns, and split it into the same partition layout — all of which
+    this key captures. The probe side is irrelevant to the build table
+    and is excluded, so joins probing different inputs still share.
+    """
+    if not isinstance(spec, (SimpleHashJoinSpec, HybridHashJoinSpec)):
+        return None
+    memory = getattr(spec, "memory_partitions", 0)
+    return (
+        f"build[{plan_fingerprint(spec.build)}]"
+        f" cond[{_canon(spec.condition)}]"
+        f" k={spec.num_partitions} mem={memory}"
+    )
+
+
+def iter_specs(spec: PlanSpec):
+    """Preorder iteration over a spec tree (matches operator-id order)."""
+    yield spec
+    for child in spec.children:
+        yield from iter_specs(child)

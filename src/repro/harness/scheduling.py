@@ -25,6 +25,7 @@ def compare_policies(
     workload: Workload,
     policies: Sequence[str] = DEFAULT_POLICIES,
     quantum_rows: Optional[int] = None,
+    fold: bool = False,
 ) -> dict[str, SchedulerStats]:
     """Replay ``workload`` once per policy; return stats keyed by policy."""
     results: dict[str, SchedulerStats] = {}
@@ -33,6 +34,7 @@ def compare_policies(
             policy=policy,
             memory_budget=workload.memory_budget,
             suspend=workload.suspend_spec(),
+            fold=fold,
         )
         if quantum_rows is not None:
             config.quantum_rows = quantum_rows

@@ -119,6 +119,14 @@ class SchedulerConfig:
     suspend: Optional[SuspendSpec] = None
     engine_config: Optional[EngineConfig] = None
     collect_rows: bool = True
+    #: Shared-work folding (``repro.fold``): detect common subplans among
+    #: admitted queries and graft them onto shared scan producers and
+    #: build-side hash tables. Off by default — folding changes global
+    #: I/O and co-scheduling order (never per-query outputs, clocks, or
+    #: images). Not applied when the database has a buffer pool.
+    fold: bool = False
+    #: Pages a fold producer may buffer per table (bounds fold memory).
+    fold_window_pages: int = 64
     #: Observability tracer for this run; defaults to the process-wide
     #: tracer (:func:`repro.obs.tracer.current_tracer`), a no-op unless
     #: tracing was explicitly enabled.
@@ -187,6 +195,9 @@ class QueryRecord:
     #: base-table counts, so one walk serves every quantum and hop
     #: (operator ids are stable across suspend/resume rebuilds).
     card_estimates: Optional[dict] = None
+    #: Fold binding (``repro.fold``) when the core folds shared work;
+    #: installed on every session this record opens.
+    fold: Optional[object] = None
 
     @property
     def rows_total(self) -> int:
@@ -233,6 +244,15 @@ class ExecutorCore:
             policy=self.policy.name,
             registry=self.tracer.metrics if self.tracer.enabled else None,
         )
+        self.fold_manager = None
+        if self.config.fold:
+            from repro.fold.manager import FoldManager
+
+            self.fold_manager = FoldManager(
+                db,
+                window_pages=self.config.fold_window_pages,
+                tracer=self.tracer,
+            )
 
     def _resolve_image_store(self) -> Optional["ImageStore"]:
         return self.config.suspend.resolve_image_store()
@@ -257,6 +277,12 @@ class ExecutorCore:
         """Mark a tracked record admitted (visible to stats/pressure)."""
         self.stats.queries_admitted += 1
         self.stats.per_query[record.name] = record.stats
+        if self.fold_manager is not None and record.arrival.plan is not None:
+            # (A token-only continue carries no plan — the image does —
+            # so cross-process continuations stay unfolded.)
+            record.fold = self.fold_manager.admit(
+                record.name, record.arrival.plan
+            )
         self.mark("admit", record)
 
     def record_named(self, name: str) -> Optional[QueryRecord]:
@@ -318,6 +344,11 @@ class ExecutorCore:
             victim.session = None
             victim.state = QueryState.SUSPENDED
             victim.stats.suspends += 1
+            if self.fold_manager is not None:
+                # Fold split: closing the victim's session detached its
+                # shared cursors at a tuple boundary; the survivors keep
+                # sharing and the victim's image is unfold-identical.
+                self.fold_manager.note_split(victim.name)
         if self.image_store is not None:
             self.spill_victims(victims)
         for victim in victims:
@@ -377,6 +408,8 @@ class ExecutorCore:
         victim.stats.rows_emitted = 0
         victim.state = QueryState.WAITING
         victim.stats.kills += 1
+        if self.fold_manager is not None:
+            self.fold_manager.note_split(victim.name)
         self.mark("kill", victim)
 
     # ------------------------------------------------------------------
@@ -397,6 +430,7 @@ class ExecutorCore:
             priority=record.priority,
             name=record.name,
             tracer=self.record_tracer(record),
+            fold=record.fold,
         )
         record.state = QueryState.READY
         if record.stats.first_started_at is None:
@@ -417,6 +451,7 @@ class ExecutorCore:
             priority=record.priority,
             name=record.name,
             tracer=self.record_tracer(record),
+            fold=record.fold,
         )
 
     def adopt_resumed_session(
@@ -500,6 +535,8 @@ class ExecutorCore:
             record.image_id = None
         record.stats.completed_at = self.db.now
         self.stats.queries_completed += 1
+        if self.fold_manager is not None:
+            self.fold_manager.forget(record.name)
         self.mark("complete", record)
 
     # ------------------------------------------------------------------
@@ -525,6 +562,10 @@ class ExecutorCore:
             self.tracer.event(
                 f"sched.{event}", query=record.name, memory_bytes=memory
             )
+        if self.fold_manager is not None:
+            # Into the stats registry (the tracer's registry when tracing
+            # is on), so /obs/metrics sees fold.* with tracing off too.
+            self.fold_manager.publish_metrics(self.stats.registry)
 
 
 __all__ = [

@@ -28,13 +28,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 
 def select_victims(
-    candidates: list["QueryRecord"], excess: int
+    candidates: list["QueryRecord"], excess: int, fold_manager=None
 ) -> list["QueryRecord"]:
     """Pick victims covering ``excess`` bytes: lowest priority first,
-    largest memory first within a priority, name breaking ties."""
+    largest memory first within a priority, name breaking ties.
+
+    With a fold manager, ungrafted members go first within a priority:
+    suspending a grafted query splits its fold (the survivors keep
+    sharing, but the victim's future work is no longer absorbed), so
+    equal-priority victims that share nothing are cheaper to evict.
+    """
+
+    def grafted(r: "QueryRecord") -> bool:
+        return fold_manager is not None and fold_manager.is_grafted(r.name)
+
     ordered = sorted(
         candidates,
-        key=lambda r: (r.priority, -r.memory_in_use(), r.name),
+        key=lambda r: (r.priority, grafted(r), -r.memory_in_use(), r.name),
     )
     victims: list["QueryRecord"] = []
     freed = 0
@@ -84,7 +94,10 @@ class SuspendResumePolicy(PressurePolicy):
         excess = scheduler.pressure_excess(record)
         if excess <= 0:
             return True
-        victims = select_victims(scheduler.victim_candidates(record), excess)
+        victims = select_victims(
+            scheduler.victim_candidates(record), excess,
+            fold_manager=scheduler.fold_manager,
+        )
         _trace_pressure(scheduler, record, excess, victims, "suspend")
         # One batch: the in-memory suspends run in victim order (virtual
         # clock unchanged vs. a loop), and the durable spill images commit
@@ -102,7 +115,10 @@ class KillRestartPolicy(PressurePolicy):
         excess = scheduler.pressure_excess(record)
         if excess <= 0:
             return True
-        victims = select_victims(scheduler.victim_candidates(record), excess)
+        victims = select_victims(
+            scheduler.victim_candidates(record), excess,
+            fold_manager=scheduler.fold_manager,
+        )
         _trace_pressure(scheduler, record, excess, victims, "kill")
         for victim in victims:
             scheduler.kill_victim(victim)

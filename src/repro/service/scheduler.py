@@ -105,6 +105,8 @@ class QueryScheduler(ExecutorCore):
             self._serve(record)
             self._admit_due()
         self.stats.finished_at = self.db.now
+        if self.fold_manager is not None:
+            self.stats.fold = self.fold_manager.stats.as_dict()
         return self.stats
 
     def run_to_completion(self) -> SchedulerStats:  # pragma: no cover
@@ -161,9 +163,32 @@ class QueryScheduler(ExecutorCore):
         runnable = self._runnable()
         if not runnable:
             return None
+        if self.fold_manager is not None:
+            return self._pick_next_folded(runnable)
         return min(
             runnable, key=lambda r: (-r.priority, r.arrival.arrival_time, r.seq)
         )
+
+    def _pick_next_folded(self, runnable: list[QueryRecord]) -> QueryRecord:
+        """Fold-aware selection: co-schedule grafted members.
+
+        Strict FIFO within a priority would run fold siblings *serially*
+        — the first completes before the second starts, so the producer
+        window never holds a page both need and every fold degenerates to
+        refetches. With folding on, the lagging member of a fold group is
+        preferred among the top-priority runnable records (fewest rows
+        delivered first), which keeps grafted cursors within a window of
+        each other; ungrafted queries keep FIFO order among themselves.
+        """
+        top_priority = max(r.priority for r in runnable)
+        top = [r for r in runnable if r.priority == top_priority]
+        grafted = [r for r in top if self.fold_manager.is_grafted(r.name)]
+        if grafted:
+            return min(
+                grafted,
+                key=lambda r: (r.rows_total, r.arrival.arrival_time, r.seq),
+            )
+        return min(top, key=lambda r: (r.arrival.arrival_time, r.seq))
 
     # ------------------------------------------------------------------
     # Serving

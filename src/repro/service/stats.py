@@ -177,6 +177,9 @@ class SchedulerStats:
         self.finished_at: float = 0.0
         self.per_query: dict[str, QueryStats] = {}
         self.timeline: list[TimelineEvent] = []
+        #: Shared-work folding tallies (``FoldStats.as_dict()``) when the
+        #: run folded; ``None`` otherwise.
+        self.fold: Optional[dict] = None
 
     def track(
         self, name: str, priority: int, arrival_time: float
@@ -230,6 +233,7 @@ class SchedulerStats:
             "peak_memory": self.peak_memory,
             "makespan": round(self.makespan, 2),
             "total_turnaround": round(self.total_turnaround(), 2),
+            **({"fold": self.fold} if self.fold is not None else {}),
         }
 
     def query_rows(self) -> list[dict]:

@@ -119,6 +119,32 @@ class IOCounters:
         )
 
 
+class QueryLane:
+    """Per-query "as-if-solo" accounting mirrored off the shared disk.
+
+    Every :class:`SimulatedDisk` charge is replayed onto the active lane's
+    private clock and counters using the *same* float operations, so a
+    query's lane traces exactly the virtual-clock sequence it would have
+    produced running alone on a fresh disk — independent of how the
+    scheduler interleaves it with other queries. Checkpoints, contracts,
+    suspend images, and the MIP optimizer's work constants all read the
+    lane (via :attr:`SimulatedDisk.query_now`), which is what makes folded
+    and unfolded executions byte-identical per query: shared-work folding
+    changes *global* I/O, never the lane.
+    """
+
+    __slots__ = ("name", "clock", "counters")
+
+    def __init__(self, name: str = "", start: float = 0.0):
+        self.name = name
+        self.clock = VirtualClock(start)
+        self.counters = IOCounters()
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+
 @dataclass
 class SimulatedDisk:
     """Charges I/O costs against a virtual clock and counts operations.
@@ -127,21 +153,50 @@ class SimulatedDisk:
     physical operators) can attribute work to themselves; the suspend-plan
     optimizer's ``g^r`` constants are derived from those per-operator
     cumulative-work counters (Section 5 of the paper).
+
+    When a :class:`QueryLane` is active, every charge is mirrored onto it
+    (same counter increments, same clock arithmetic). Shared-work folding
+    (``repro.fold``) additionally uses the *absorbed*/*shared* read
+    variants: an absorbed read charges only the consumer's lane (the page
+    came from a fold producer's buffer, so no global I/O happened), while
+    a shared read charges only the global disk (the producer fetches on
+    behalf of all consumers; no single lane owns the cost).
     """
 
     cost_model: IOCostModel = field(default_factory=IOCostModel)
     clock: VirtualClock = field(default_factory=VirtualClock)
     counters: IOCounters = field(default_factory=IOCounters)
+    lane: QueryLane | None = None
+    #: Page reads satisfied from fold-producer buffers instead of the disk.
+    fold_pages_saved: int = 0
+    #: Pages fetched by fold producers on behalf of >=1 consumers.
+    fold_shared_pages: int = 0
 
     @property
     def now(self) -> float:
         return self.clock.now
+
+    @property
+    def query_now(self) -> float:
+        """The active query's as-if-solo clock (global clock if no lane)."""
+        if self.lane is not None:
+            return self.lane.clock.now
+        return self.clock.now
+
+    def set_lane(self, lane: QueryLane | None) -> QueryLane | None:
+        """Activate ``lane`` for subsequent charges; return the previous one."""
+        prev = self.lane
+        self.lane = lane
+        return prev
 
     def read_pages(self, n: int) -> float:
         """Charge ``n`` page reads; return the cost."""
         if n < 0:
             raise ValueError(f"negative page count {n}")
         self.counters.pages_read += n
+        if self.lane is not None:
+            self.lane.counters.pages_read += n
+            self.lane.clock.advance(n * self.cost_model.page_read_cost)
         return self.clock.advance(n * self.cost_model.page_read_cost)
 
     def write_pages(self, n: int) -> float:
@@ -149,6 +204,9 @@ class SimulatedDisk:
         if n < 0:
             raise ValueError(f"negative page count {n}")
         self.counters.pages_written += n
+        if self.lane is not None:
+            self.lane.counters.pages_written += n
+            self.lane.clock.advance(n * self.cost_model.page_write_cost)
         return self.clock.advance(n * self.cost_model.page_write_cost)
 
     def read_control_bytes(self, nbytes: int) -> float:
@@ -156,6 +214,10 @@ class SimulatedDisk:
         self.counters.control_bytes_read += nbytes
         pages = self.cost_model.pages_for_bytes(nbytes)
         self.counters.pages_read += pages
+        if self.lane is not None:
+            self.lane.counters.control_bytes_read += nbytes
+            self.lane.counters.pages_read += pages
+            self.lane.clock.advance(pages * self.cost_model.page_read_cost)
         return self.clock.advance(pages * self.cost_model.page_read_cost)
 
     def write_control_bytes(self, nbytes: int) -> float:
@@ -163,6 +225,10 @@ class SimulatedDisk:
         self.counters.control_bytes_written += nbytes
         pages = self.cost_model.pages_for_bytes(nbytes)
         self.counters.pages_written += pages
+        if self.lane is not None:
+            self.lane.counters.control_bytes_written += nbytes
+            self.lane.counters.pages_written += pages
+            self.lane.clock.advance(pages * self.cost_model.page_write_cost)
         return self.clock.advance(pages * self.cost_model.page_write_cost)
 
     def charge_cpu_tuples(self, n: int) -> float:
@@ -170,6 +236,9 @@ class SimulatedDisk:
         if n < 0:
             raise ValueError(f"negative tuple count {n}")
         self.counters.cpu_tuples += n
+        if self.lane is not None:
+            self.lane.counters.cpu_tuples += n
+            self.lane.clock.advance(n * self.cost_model.cpu_tuple_cost)
         return self.clock.advance(n * self.cost_model.cpu_tuple_cost)
 
     def charge_cpu_tuples_each(self, n: int) -> float:
@@ -184,7 +253,60 @@ class SimulatedDisk:
         if n < 0:
             raise ValueError(f"negative tuple count {n}")
         self.counters.cpu_tuples += n
+        if self.lane is not None:
+            self.lane.counters.cpu_tuples += n
+            self.lane.clock.advance_each(self.cost_model.cpu_tuple_cost, n)
         return self.clock.advance_each(self.cost_model.cpu_tuple_cost, n)
+
+    # -- shared-work folding charge variants (repro.fold) ------------------
+
+    def absorbed_read_pages(self, n: int) -> float:
+        """Charge ``n`` page reads to the active lane only.
+
+        Used by folded consumers whose pages arrive from a fold producer's
+        buffer: the query's as-if-solo cost model must see the read (its
+        checkpoints and suspend image depend on it) but no global I/O
+        happened — that is the fold's saving, tallied in
+        :attr:`fold_pages_saved`.
+        """
+        if n < 0:
+            raise ValueError(f"negative page count {n}")
+        if self.lane is None:
+            raise RuntimeError("absorbed_read_pages requires an active QueryLane")
+        self.fold_pages_saved += n
+        self.lane.counters.pages_read += n
+        return self.lane.clock.advance(n * self.cost_model.page_read_cost)
+
+    def absorbed_cpu_tuples_each(self, n: int) -> float:
+        """Charge per-tuple CPU to the active lane only (``n`` unit charges).
+
+        Used when a folded consumer adopts work a sibling already did for
+        real (e.g. a shared build-side hash table): the lane must replay
+        the exact as-if-solo charge sequence, but globally the work ran
+        once.
+        """
+        if n < 0:
+            raise ValueError(f"negative tuple count {n}")
+        if self.lane is None:
+            raise RuntimeError(
+                "absorbed_cpu_tuples_each requires an active QueryLane"
+            )
+        self.lane.counters.cpu_tuples += n
+        return self.lane.clock.advance_each(self.cost_model.cpu_tuple_cost, n)
+
+    def shared_read_pages(self, n: int) -> float:
+        """Charge ``n`` page reads to the global disk only (no lane).
+
+        Used by fold producers fetching pages on behalf of all attached
+        consumers: the I/O is real (global clock and counters advance) but
+        no single query's lane owns it — each consumer charges its own
+        absorbed read when it drains the page.
+        """
+        if n < 0:
+            raise ValueError(f"negative page count {n}")
+        self.fold_shared_pages += n
+        self.counters.pages_read += n
+        return self.clock.advance(n * self.cost_model.page_read_cost)
 
     def cost_of_page_reads(self, n: int) -> float:
         """Cost of ``n`` page reads without charging (for estimation)."""

@@ -156,6 +156,12 @@ class ScanCursor:
         """Reposition to the start of the file."""
         self.seek(TuplePosition(0, 0))
 
+    def _fetch_page(self, page_no: int) -> Sequence[Row]:
+        """Fetch ``page_no``, charging the read. Subclasses may redirect
+        the fetch (e.g. through a shared fold producer) as long as the
+        charge sequence seen by the owning query is preserved."""
+        return self._file.read_page(page_no)
+
     def current_page(self) -> Optional[Sequence[Row]]:
         """Rows of the page under the cursor, fetching it if needed.
 
@@ -171,7 +177,7 @@ class ScanCursor:
             if self._page_no >= self._file.num_pages:
                 return None
             if self._page_rows is None:
-                self._page_rows = self._file.read_page(self._page_no)
+                self._page_rows = self._fetch_page(self._page_no)
                 self._pages_fetched += 1
             if self._slot < len(self._page_rows):
                 return self._page_rows
@@ -189,7 +195,7 @@ class ScanCursor:
             if self._page_no >= self._file.num_pages:
                 return None
             if self._page_rows is None:
-                self._page_rows = self._file.read_page(self._page_no)
+                self._page_rows = self._fetch_page(self._page_no)
                 self._pages_fetched += 1
             if self._slot < len(self._page_rows):
                 row = self._page_rows[self._slot]

@@ -46,6 +46,12 @@ class StateStore:
         self._store_id = next(self._ids)
         self._objects: dict[str, tuple[Any, int]] = {}
         self._key_seq = itertools.count(1)
+        # Per-(scope, prefix) counters for query-scoped keys. Scoped keys
+        # make the key sequence a query draws independent of how the
+        # scheduler interleaves it with other queries — dump keys are
+        # serialized into suspend images, so without scoping the image
+        # bytes would depend on what *other* queries did first.
+        self._scoped_seq: dict[tuple[str, str], itertools.count] = {}
         # Per-key write generation: bumped every time a key is (re)dumped.
         # Delta suspend images use it to prove a payload is byte-identical
         # to the one a base image already persisted without re-encoding it.
@@ -58,9 +64,19 @@ class StateStore:
         # in the base image.
         self.epoch = uuid.uuid4().hex
 
-    def fresh_key(self, prefix: str) -> str:
-        """Generate a unique key with the given prefix."""
-        return f"{prefix}#{next(self._key_seq)}"
+    def fresh_key(self, prefix: str, scope: Optional[str] = None) -> str:
+        """Generate a unique key with the given prefix.
+
+        With a ``scope`` (normally the query's session name) the key is
+        namespaced as ``scope/prefix#N`` with a counter private to that
+        (scope, prefix) pair, so the keys one query draws are a pure
+        function of its own dump sequence. Unscoped keys keep the legacy
+        ``prefix#N`` format off a store-global counter.
+        """
+        if scope is None:
+            return f"{prefix}#{next(self._key_seq)}"
+        seq = self._scoped_seq.setdefault((scope, prefix), itertools.count(1))
+        return f"{scope}/{prefix}#{next(seq)}"
 
     def dump(self, key: str, payload: Any, pages: int) -> DumpHandle:
         """Store ``payload`` under ``key``, charging ``pages`` page writes."""
@@ -150,3 +166,29 @@ class StateStore:
             )
         if handle.key not in self._objects:
             raise StorageError(f"no payload stored under key {handle.key!r}")
+
+
+class ScopedStateStore:
+    """A view of a :class:`StateStore` whose fresh keys are namespaced.
+
+    Each query session gets one of these (scope = session name) so the
+    dump keys it draws — which end up serialized inside suspend images —
+    depend only on its own dump sequence, never on scheduler interleaving.
+    Everything except key generation delegates to the underlying store;
+    payloads remain shared (handles are interchangeable across views).
+    """
+
+    __slots__ = ("_base", "scope")
+
+    def __init__(self, base: StateStore, scope: str):
+        self._base = base
+        self.scope = scope
+
+    def fresh_key(self, prefix: str) -> str:
+        return self._base.fresh_key(prefix, scope=self.scope)
+
+    def import_payload(self, key: str, payload: Any, pages: int) -> DumpHandle:
+        return self._base.dump(self.fresh_key(f"import_{key}"), payload, pages)
+
+    def __getattr__(self, name):
+        return getattr(self._base, name)

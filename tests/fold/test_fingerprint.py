@@ -1,0 +1,109 @@
+"""Structural fingerprints: label-free, semantically exhaustive."""
+
+from repro.engine.plan import (
+    FilterSpec,
+    HybridHashJoinSpec,
+    IndexScanSpec,
+    ProjectSpec,
+    ScanSpec,
+    SimpleHashJoinSpec,
+)
+from repro.fold.fingerprint import (
+    build_side_fingerprint,
+    plan_fingerprint,
+    scan_tables,
+)
+from repro.relational.expressions import EquiJoinCondition, UniformSelect
+
+
+def sfp(table="R", sel=0.5, label=None, flabel=None):
+    return FilterSpec(
+        ScanSpec(table, label=label), UniformSelect(1, sel), label=flabel
+    )
+
+
+class TestPlanFingerprint:
+    def test_labels_do_not_matter(self):
+        a = sfp(label="scan_q1", flabel="filter_q1")
+        b = sfp(label="scan_q7", flabel=None)
+        assert plan_fingerprint(a) == plan_fingerprint(b)
+
+    def test_table_matters(self):
+        assert plan_fingerprint(sfp("R")) != plan_fingerprint(sfp("S"))
+
+    def test_predicate_matters(self):
+        assert plan_fingerprint(sfp(sel=0.5)) != plan_fingerprint(sfp(sel=0.6))
+
+    def test_operator_type_matters(self):
+        scan = ScanSpec("R")
+        assert plan_fingerprint(scan) != plan_fingerprint(
+            ProjectSpec(scan, columns=(0,))
+        )
+
+    def test_nested_children_participate(self):
+        a = ProjectSpec(sfp(sel=0.3), columns=(0, 1))
+        b = ProjectSpec(sfp(sel=0.4), columns=(0, 1))
+        assert plan_fingerprint(a) != plan_fingerprint(b)
+
+
+class TestScanTables:
+    def test_collects_plain_scan_leaves(self):
+        plan = SimpleHashJoinSpec(
+            build=ScanSpec("S"),
+            probe=sfp("R"),
+            condition=EquiJoinCondition(0, 0),
+        )
+        assert scan_tables(plan) == {"R", "S"}
+
+    def test_index_scans_excluded(self):
+        assert scan_tables(IndexScanSpec("R_idx")) == set()
+
+
+class TestBuildSideFingerprint:
+    def cond(self, modulus=40):
+        return EquiJoinCondition(0, 0, modulus=modulus)
+
+    def test_probe_side_is_irrelevant(self):
+        a = SimpleHashJoinSpec(
+            build=ScanSpec("S"), probe=sfp("R", 0.2), condition=self.cond()
+        )
+        b = SimpleHashJoinSpec(
+            build=ScanSpec("S"), probe=sfp("R", 0.9), condition=self.cond()
+        )
+        assert build_side_fingerprint(a) == build_side_fingerprint(b)
+
+    def test_build_plan_matters(self):
+        a = SimpleHashJoinSpec(
+            build=ScanSpec("S"), probe=sfp(), condition=self.cond()
+        )
+        b = SimpleHashJoinSpec(
+            build=ScanSpec("R"), probe=sfp(), condition=self.cond()
+        )
+        assert build_side_fingerprint(a) != build_side_fingerprint(b)
+
+    def test_partitioning_matters(self):
+        a = SimpleHashJoinSpec(
+            build=ScanSpec("S"), probe=sfp(), condition=self.cond(),
+            num_partitions=4,
+        )
+        b = SimpleHashJoinSpec(
+            build=ScanSpec("S"), probe=sfp(), condition=self.cond(),
+            num_partitions=8,
+        )
+        assert build_side_fingerprint(a) != build_side_fingerprint(b)
+
+    def test_simple_and_hybrid_never_collide(self):
+        # memory_partitions=0 still loads partitions differently enough
+        # to keep the keys apart (mem= field differs only by class when
+        # hybrid uses >0, so the spec type guards the rest).
+        a = SimpleHashJoinSpec(
+            build=ScanSpec("S"), probe=sfp(), condition=self.cond()
+        )
+        b = HybridHashJoinSpec(
+            build=ScanSpec("S"), probe=sfp(), condition=self.cond(),
+            memory_partitions=2,
+        )
+        assert build_side_fingerprint(a) != build_side_fingerprint(b)
+
+    def test_non_joins_have_no_key(self):
+        assert build_side_fingerprint(sfp()) is None
